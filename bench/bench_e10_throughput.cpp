@@ -1,0 +1,100 @@
+// E10 — scheduler overhead: requests/second on steady-state churn, via
+// google-benchmark. The paper bounds *reallocations*, not computation; this
+// bench documents what the bookkeeping costs in wall-clock terms and how it
+// scales with n, so downstream users can judge deployability.
+#include <benchmark/benchmark.h>
+
+#include "reasched/reasched.hpp"
+
+namespace reasched {
+namespace {
+
+const std::vector<Request>& trace_for(std::size_t n) {
+  static std::map<std::size_t, std::vector<Request>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    ChurnParams params;
+    params.seed = 42 + n;
+    params.target_active = n;
+    params.requests = 4 * n;
+    params.min_span = 64;
+    params.max_span = 4096;
+    it = cache.emplace(n, make_churn_trace(params)).first;
+  }
+  return it->second;
+}
+
+template <typename MakeScheduler>
+void run_trace_benchmark(benchmark::State& state, MakeScheduler make) {
+  const auto& trace = trace_for(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    auto scheduler = make();
+    const auto report = replay_trace(*scheduler, trace);
+    benchmark::DoNotOptimize(report.metrics.requests());
+    requests += report.metrics.requests();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+}
+
+void BM_ReservationScheduler(benchmark::State& state) {
+  run_trace_benchmark(state, [] {
+    SchedulerOptions options;
+    options.overflow = OverflowPolicy::kBestEffort;
+    return std::make_unique<ReallocatingScheduler>(1, options);
+  });
+}
+BENCHMARK(BM_ReservationScheduler)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_NaiveScheduler(benchmark::State& state) {
+  run_trace_benchmark(state, [] {
+    return std::make_unique<ReallocatingScheduler>(
+        1, [] { return std::make_unique<NaiveScheduler>(); }, "naive");
+  });
+}
+BENCHMARK(BM_NaiveScheduler)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EdfRepair(benchmark::State& state) {
+  run_trace_benchmark(state, [] {
+    return std::make_unique<ReallocatingScheduler>(
+        1,
+        [] {
+          return std::make_unique<GreedyRepairScheduler>(
+              GreedyRepairScheduler::Fit::kEarliest);
+        },
+        "edf-repair");
+  });
+}
+BENCHMARK(BM_EdfRepair)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_OptRebuild(benchmark::State& state) {
+  run_trace_benchmark(state, [] { return std::make_unique<OptRebuildScheduler>(1); });
+}
+BENCHMARK(BM_OptRebuild)->Arg(256)->Arg(1024);
+
+void BM_MultiMachineInsertErase(benchmark::State& state) {
+  const auto machines = static_cast<unsigned>(state.range(0));
+  SchedulerOptions options;
+  options.overflow = OverflowPolicy::kBestEffort;
+  ReallocatingScheduler scheduler(machines, options);
+  std::uint64_t next = 1;
+  // Warm population.
+  for (int i = 0; i < 512; ++i) scheduler.insert(JobId{next++}, Window{0, 4096});
+  std::vector<JobId> ring;
+  for (std::uint64_t v = 1; v < next; ++v) ring.push_back(JobId{v});
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    scheduler.erase(ring[cursor]);
+    const JobId fresh{next++};
+    scheduler.insert(fresh, Window{0, 4096});
+    ring[cursor] = fresh;
+    cursor = (cursor + 1) % ring.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 2));
+}
+BENCHMARK(BM_MultiMachineInsertErase)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace reasched
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// E11 — ablations of the design choices DESIGN.md calls out:
+//   (a) trimming on/off — §4's "Trimming Windows to n" converts the
+//       O(log* Δ) bound into O(log* n); with few jobs in huge windows the
+//       untrimmed scheduler touches deep levels, the trimmed one does not;
+//   (b) placement policy — oblivious (paper-faithful) vs. avoid-reserved
+//       (engineering tweak that dodges reserved slots at lower levels);
+//   (c) workload alignment — aligned input vs. §5 on-the-fly alignment;
+//   (d) amortized rebuilds vs. the §4 even/odd de-amortization — same mean,
+//       drastically different worst single request.
+#include "common.hpp"
+
+namespace reasched::bench {
+namespace {
+
+struct Variant {
+  std::string label;
+  SchedulerOptions options;
+};
+
+int run(const Args& args) {
+  Table table("E11: ablations (trimming, placement policy, alignment)");
+  table.set_header({"variant", "workload", "mean realloc", "p99", "max", "rebuilds"});
+
+  const std::size_t n = args.quick ? 256 : 1024;
+
+  std::vector<Variant> variants;
+  {
+    SchedulerOptions base;
+    base.overflow = OverflowPolicy::kBestEffort;
+    Variant trimmed{"trimming=on  (paper)", base};
+    Variant untrimmed{"trimming=off", base};
+    untrimmed.options.trimming = false;
+    Variant avoid{"placement=avoid-reserved", base};
+    avoid.options.placement = PlacementPolicy::kAvoidReserved;
+    variants = {trimmed, untrimmed, avoid};
+  }
+
+  for (const bool aligned : {true, false}) {
+    ChurnParams params;
+    params.seed = 77;
+    params.target_active = n;
+    params.requests = 6 * n;
+    params.min_span = 64;
+    params.max_span = pow2(26);  // huge spans: trimming has work to do
+    params.aligned = aligned;
+    const auto trace = make_churn_trace(params);
+
+    for (const auto& variant : variants) {
+      ReallocatingScheduler scheduler(1, variant.options);
+      const auto report = replay_trace(scheduler, trace);
+      table.add_row({variant.label, aligned ? "aligned" : "unaligned",
+                     Table::num(report.metrics.steady_reallocations(), 3),
+                     Table::num(report.metrics.p99_reallocations()),
+                     Table::num(report.metrics.max_reallocations()),
+                     Table::num(report.metrics.rebuilds())});
+    }
+  }
+  emit(table, args);
+
+  // (d) Amortized rebuild vs. §4 de-amortization: compare the worst single
+  // request. The amortized scheduler pays Θ(n) on a rebuild request; the
+  // even/odd incremental adapter spreads the same work two jobs at a time.
+  Table deamortized("E11b: amortized vs de-amortized rebuilds (worst single request)");
+  deamortized.set_header(
+      {"variant", "mean realloc", "worst request", "rebuild events"});
+  {
+    ChurnParams params;
+    params.seed = 123;
+    params.target_active = n;
+    params.requests = 6 * n;
+    params.min_span = 64;
+    params.max_span = 1 << 14;
+    params.aligned = true;
+    const auto trace = make_churn_trace(params);
+
+    {
+      SchedulerOptions options;
+      options.overflow = OverflowPolicy::kBestEffort;
+      ReallocatingScheduler amortized(1, options);
+      const auto report = replay_trace(amortized, trace);
+      deamortized.add_row({"amortized rebuilds (default)",
+                           Table::num(report.metrics.amortized_reallocations(), 3),
+                           Table::num(report.metrics.max_reallocations()),
+                           Table::num(report.metrics.rebuilds())});
+    }
+    {
+      SchedulerOptions options;
+      options.overflow = OverflowPolicy::kBestEffort;
+      ReallocatingScheduler incremental(
+          1,
+          [options] { return std::make_unique<IncrementalRebuildScheduler>(options); },
+          "incremental");
+      const auto report = replay_trace(incremental, trace);
+      deamortized.add_row({"incremental even/odd (deamortized, §4)",
+                           Table::num(report.metrics.amortized_reallocations(), 3),
+                           Table::num(report.metrics.max_reallocations()),
+                           Table::num(report.metrics.rebuilds())});
+    }
+  }
+  emit(deamortized, args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace reasched::bench
+
+int main(int argc, char** argv) {
+  return reasched::bench::run(reasched::bench::parse_args(argc, argv));
+}

@@ -1,0 +1,125 @@
+// E1 — Theorem 1 / Lemma 9 headline: per-request reallocation cost vs. n.
+//
+// Workload: the "funnel" — nested span classes filled to half the Lemma-2
+// density cap (γ-underallocated by construction) with adversarial churn
+// that buries every second insert under the packed prefix. This is maximum
+// reallocation pressure among instances that still satisfy Theorem 1's
+// precondition.
+//
+// Expected shape (the paper's claim): the reservation scheduler's worst
+// steady-state request stays a small constant (log* n <= 3 for any feasible
+// n) while the Lemma-4 naive scheduler's grows like log n, and the offline
+// "recompute EDF each time" strawman pays Θ(n) per request. All sweep cells
+// run in parallel via the sim::replay_sweep harness.
+#include "common.hpp"
+
+namespace reasched::bench {
+namespace {
+
+int run(const Args& args) {
+  Table table(
+      "E1: reallocations per request vs n  (funnel: max pressure, "
+      "gamma-underallocated)");
+  table.set_header({"n", "scheduler", "mean", "p99", "steady max", "rebuilds",
+                    "migr<=1", "degraded"});
+
+  // The funnel ties n to its largest span: n ~= 2^E/8 jobs fill the chain.
+  std::vector<unsigned> exponents = {11, 13, 15, 17, 19};
+  if (args.quick) exponents = {11, 13};
+
+  SchedulerOptions options;
+  options.overflow = OverflowPolicy::kBestEffort;
+
+  struct Cell {
+    std::uint64_t n;
+    std::string label;
+  };
+  std::vector<std::vector<Request>> traces;  // stable storage for the sweep
+  traces.reserve(exponents.size());
+  std::vector<SweepJob> jobs;
+  std::vector<Cell> cells;
+
+  for (const unsigned exponent : exponents) {
+    FunnelParams params;
+    params.seed = 1234 + exponent;
+    params.min_span_log = 6;
+    params.max_span_log = exponent;
+    params.gamma = 8;
+    params.churn_pairs = args.quick ? 2000 : 12'000;
+    params.adversarial = true;
+    traces.push_back(make_funnel_trace(params));
+    const auto* trace = &traces.back();
+    std::uint64_t n = 0;
+    for (const auto& request : *trace) {
+      if (request.kind != RequestKind::kInsert) break;
+      ++n;
+    }
+
+    const auto add = [&](std::string label,
+                         std::function<std::unique_ptr<IReallocScheduler>()> make) {
+      jobs.push_back(SweepJob{std::move(make), trace, SimOptions{}});
+      cells.push_back(Cell{n, std::move(label)});
+    };
+    add("reservation (paper)", [options] {
+      return std::make_unique<ReallocatingScheduler>(1, options);
+    });
+    add("naive/any-victim (Lemma 4)", [] {
+      return std::make_unique<ReallocatingScheduler>(
+          1,
+          [] {
+            return std::make_unique<NaiveScheduler>(SchedulerOptions{},
+                                                    NaiveScheduler::Victim::kFirst);
+          },
+          "naive-first");
+    });
+    add("naive/longest-victim", [] {
+      return std::make_unique<ReallocatingScheduler>(
+          1,
+          [] {
+            return std::make_unique<NaiveScheduler>(SchedulerOptions{},
+                                                    NaiveScheduler::Victim::kLongest);
+          },
+          "naive-longest");
+    });
+    add("edf-repair (classic)", [] {
+      return std::make_unique<ReallocatingScheduler>(
+          1,
+          [] {
+            return std::make_unique<GreedyRepairScheduler>(
+                GreedyRepairScheduler::Fit::kEarliest);
+          },
+          "edf-repair");
+    });
+    add("incremental-rebuild (deamortized)", [options] {
+      return std::make_unique<ReallocatingScheduler>(
+          1,
+          [options] { return std::make_unique<IncrementalRebuildScheduler>(options); },
+          "incremental");
+    });
+    if (n <= 4096) {
+      // Opt-rebuild is O(n) per request; its trend is clear at small n.
+      add("opt-rebuild (offline)", [] { return std::make_unique<OptRebuildScheduler>(1); });
+    }
+  }
+
+  const auto reports = replay_sweep(jobs);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& metrics = reports[i].metrics;
+    table.add_row({Table::num(cells[i].n), cells[i].label,
+                   Table::num(metrics.amortized_reallocations(), 3),
+                   Table::num(metrics.p99_reallocations()),
+                   Table::num(metrics.steady_max_reallocations()),
+                   Table::num(metrics.rebuilds()),
+                   metrics.max_migrations() <= 1 ? "yes" : "NO",
+                   Table::num(metrics.degraded())});
+  }
+  emit(table, args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace reasched::bench
+
+int main(int argc, char** argv) {
+  return reasched::bench::run(reasched::bench::parse_args(argc, argv));
+}

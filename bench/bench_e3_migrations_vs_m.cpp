@@ -1,0 +1,60 @@
+// E3 — Theorem 1: at most ONE machine migration per request, for any m.
+//
+// Sweep the machine count on multi-machine churn; report the max and mean
+// migrations per request. The §3 round-robin balancer guarantees max <= 1
+// (and inserts never migrate); opt-rebuild — which recomputes the EDF
+// optimum freely — migrates many jobs per request, showing that the bound
+// is a property of the algorithm, not of the workload.
+#include "common.hpp"
+
+namespace reasched::bench {
+namespace {
+
+int run(const Args& args) {
+  Table table("E3: machine migrations per request vs m");
+  table.set_header(
+      {"m", "scheduler", "max migr", "mean migr", "total migr", "requests"});
+
+  std::vector<unsigned> machine_counts = {2, 4, 8, 16, 32, 64};
+  if (args.quick) machine_counts = {2, 8};
+
+  for (const unsigned m : machine_counts) {
+    ChurnParams params;
+    params.seed = 55 + m;
+    params.target_active = 128 * m;
+    params.requests = args.quick ? 2000 : 600 * m;
+    params.machines = m;
+    params.min_span = 64;
+    params.max_span = 4096;
+    const auto trace = make_churn_trace(params);
+
+    SchedulerOptions options;
+    options.overflow = OverflowPolicy::kBestEffort;
+
+    std::vector<Contender> roster;
+    roster.push_back({"reservation (paper)",
+                      std::make_unique<ReallocatingScheduler>(m, options)});
+    if (m <= 8) {
+      roster.push_back(
+          {"opt-rebuild (offline)", std::make_unique<OptRebuildScheduler>(m)});
+    }
+    for (auto& contender : roster) {
+      const auto report = replay_trace(*contender.scheduler, trace);
+      table.add_row({Table::num(std::uint64_t{m}), contender.label,
+                     Table::num(report.metrics.max_migrations()),
+                     Table::num(report.metrics.migrations().mean(), 4),
+                     Table::num(static_cast<std::uint64_t>(
+                         report.metrics.migrations().sum())),
+                     Table::num(report.metrics.requests())});
+    }
+  }
+  emit(table, args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace reasched::bench
+
+int main(int argc, char** argv) {
+  return reasched::bench::run(reasched::bench::parse_args(argc, argv));
+}

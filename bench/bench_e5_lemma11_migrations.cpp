@@ -1,0 +1,47 @@
+// E5 — Lemma 11 (lower bound): Ω(s) migrations are forced.
+//
+// Run the adaptive 6m-request adversary for growing sequence lengths and
+// report total migrations. The paper proves >= s/12 for any deterministic
+// scheduler; our scheduler must show a linear slope within a constant of
+// that, while respecting its own <= 1 migration-per-request bound.
+#include "common.hpp"
+
+namespace reasched::bench {
+namespace {
+
+int run(const Args& args) {
+  Table table("E5: Lemma 11 adversary — total migrations vs sequence length s");
+  table.set_header({"m", "rounds", "s (requests)", "migrations", "s/12 (bound)",
+                    "migr/round", "max per request"});
+
+  std::vector<std::pair<unsigned, std::uint64_t>> configs = {
+      {4, 25}, {4, 100}, {4, 400}, {8, 200}, {16, 100}};
+  if (args.quick) configs = {{4, 25}};
+
+  for (const auto& [m, rounds] : configs) {
+    SchedulerOptions options;
+    options.overflow = OverflowPolicy::kBestEffort;
+    ReallocatingScheduler scheduler(m, options);
+    Lemma11Adversary adversary(m, rounds);
+    const auto report = run_adaptive(
+        scheduler, [&](const Schedule& s) { return adversary.next(s); });
+    const std::uint64_t s = adversary.requests_emitted();
+    table.add_row({Table::num(std::uint64_t{m}), Table::num(rounds), Table::num(s),
+                   Table::num(static_cast<std::uint64_t>(
+                       report.metrics.migrations().sum())),
+                   Table::num(s / 12),
+                   Table::num(report.metrics.migrations().sum() /
+                                  static_cast<double>(rounds),
+                              2),
+                   Table::num(report.metrics.max_migrations())});
+  }
+  emit(table, args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace reasched::bench
+
+int main(int argc, char** argv) {
+  return reasched::bench::run(reasched::bench::parse_args(argc, argv));
+}

@@ -1,0 +1,60 @@
+// E7 — Observation 13: with job sizes {1, k}, Ω(kn) total reallocation cost
+// is forced over Θ(n) requests even on γ-underallocated instances.
+//
+// The construction: timeline of m = 2γk slots, k unit jobs with window
+// [0, m), one size-k job hopping through positions 0, k, 2k, ..., m-k, the
+// whole sweep repeated n times. Each hop evicts the unit jobs in its target
+// region. We execute it on RigidBlockSim and report total evictions — the
+// slope in k at fixed n is the Ω(k·n) of the bound.
+#include "common.hpp"
+
+namespace reasched::bench {
+namespace {
+
+int run(const Args& args) {
+  Table table("E7: Observation 13 — forced cost with job sizes {1, k}");
+  table.set_header({"k", "n (sweeps)", "requests", "total realloc", "realloc/(k*n)"});
+
+  std::vector<Time> ks = {4, 8, 16, 32};
+  if (args.quick) ks = {4};
+  const std::uint64_t sweeps = args.quick ? 8 : 32;
+  const std::uint64_t gamma = 8;
+
+  for (const Time k : ks) {
+    const Time m = static_cast<Time>(2 * gamma) * k;  // schedule length 2γk
+    RigidBlockSim sim;
+    for (Time i = 0; i < k; ++i) {
+      const auto cost =
+          sim.insert(JobId{static_cast<std::uint64_t>(i + 1)}, 1, Window{0, m});
+      RS_CHECK(cost.has_value(), "obs13: unit job placement failed");
+    }
+    std::uint64_t total = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t next = 1000;
+    for (std::uint64_t sweep = 0; sweep < sweeps; ++sweep) {
+      for (Time pos = 0; pos + k <= m; pos += k) {
+        const JobId big{next++};
+        const auto cost = sim.insert(big, k, Window{pos, pos + k});
+        RS_CHECK(cost.has_value(), "obs13: block placement failed");
+        total += *cost;
+        ++requests;
+        sim.erase(big);
+        ++requests;
+      }
+    }
+    table.add_row({Table::num(static_cast<std::uint64_t>(k)), Table::num(sweeps),
+                   Table::num(requests), Table::num(total),
+                   Table::num(static_cast<double>(total) /
+                                  (static_cast<double>(k) * static_cast<double>(sweeps)),
+                              2)});
+  }
+  emit(table, args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace reasched::bench
+
+int main(int argc, char** argv) {
+  return reasched::bench::run(reasched::bench::parse_args(argc, argv));
+}

@@ -1,0 +1,107 @@
+// E8 — Observation 7: which reservations are fulfilled is history
+// independent. Build the same active set through many random request
+// orders (with churn detours) and fingerprint the fulfillment tables of
+// every interval: all fingerprints must collide. Also reports how the
+// *placements* differ — the paper notes placement is NOT history
+// independent, and the bench shows both facts side by side.
+#include <algorithm>
+#include <set>
+
+#include "common.hpp"
+
+namespace reasched::bench {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  hash ^= value;
+  return hash * 1099511628211ULL;
+}
+
+int run(const Args& args) {
+  Table table("E8: Observation 7 — fulfillment history-independence");
+  table.set_header({"orders tried", "distinct fulfillment fingerprints",
+                    "distinct placement fingerprints", "history independent?"});
+
+  const unsigned kOrders = args.quick ? 8 : 64;
+
+  // Target active set: a mix of windows across levels.
+  std::vector<JobSpec> target;
+  std::uint64_t id = 1;
+  for (int i = 0; i < 6; ++i) target.push_back({JobId{id++}, Window{0, 256}});
+  for (int i = 0; i < 4; ++i) target.push_back({JobId{id++}, Window{0, 64}});
+  for (int i = 0; i < 4; ++i) target.push_back({JobId{id++}, Window{64, 128}});
+  for (int i = 0; i < 3; ++i) target.push_back({JobId{id++}, Window{0, 16}});
+  for (int i = 0; i < 3; ++i) target.push_back({JobId{id++}, Window{128, 256}});
+
+  std::set<std::uint64_t> fulfillment_prints;
+  std::set<std::uint64_t> placement_prints;
+  Rng rng(2024);
+
+  for (unsigned order = 0; order < kOrders; ++order) {
+    SchedulerOptions options;
+    options.trimming = false;
+    ReservationScheduler scheduler(options);
+
+    // Shuffle the insertion order and interleave decoy insert/delete pairs.
+    std::vector<JobSpec> sequence = target;
+    for (std::size_t i = sequence.size(); i > 1; --i) {
+      std::swap(sequence[i - 1],
+                sequence[static_cast<std::size_t>(rng.uniform(0, i - 1))]);
+    }
+    std::uint64_t decoy = 100000 + order * 1000;
+    for (const auto& spec : sequence) {
+      if (rng.chance(0.3)) {
+        const JobId extra{decoy++};
+        scheduler.insert(extra, Window{0, 128});
+        scheduler.erase(extra);
+      }
+      scheduler.insert(spec.id, spec.window);
+    }
+
+    // Fingerprint fulfillment across all level-1 and level-2 intervals that
+    // overlap the used range [0, 1280).
+    std::uint64_t f_print = 14695981039346656037ULL;
+    for (Time base = 0; base < 1280; base += 32) {
+      for (const auto& entry : scheduler.fulfillment_of_interval(1, base)) {
+        f_print = fnv1a(f_print, static_cast<std::uint64_t>(entry.window.start));
+        f_print = fnv1a(f_print, entry.window.span_log);
+        f_print = fnv1a(f_print, entry.reservations);
+        f_print = fnv1a(f_print, entry.fulfilled);
+      }
+    }
+    for (Time base = 0; base < 1280 + 256; base += 256) {
+      for (const auto& entry : scheduler.fulfillment_of_interval(2, base)) {
+        f_print = fnv1a(f_print, entry.reservations);
+        f_print = fnv1a(f_print, entry.fulfilled);
+      }
+    }
+    fulfillment_prints.insert(f_print);
+
+    std::uint64_t p_print = 14695981039346656037ULL;
+    std::vector<std::pair<std::uint64_t, Time>> placements;
+    const Schedule snap = scheduler.snapshot();
+    for (const auto& [job, placement] : snap.assignments()) {
+      placements.emplace_back(job.value, placement.slot);
+    }
+    std::sort(placements.begin(), placements.end());
+    for (const auto& [jid, slot] : placements) {
+      p_print = fnv1a(p_print, jid);
+      p_print = fnv1a(p_print, static_cast<std::uint64_t>(slot));
+    }
+    placement_prints.insert(p_print);
+  }
+
+  table.add_row({Table::num(std::uint64_t{kOrders}),
+                 Table::num(static_cast<std::uint64_t>(fulfillment_prints.size())),
+                 Table::num(static_cast<std::uint64_t>(placement_prints.size())),
+                 fulfillment_prints.size() == 1 ? "yes (Observation 7)" : "NO"});
+  emit(table, args);
+  return fulfillment_prints.size() == 1 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace reasched::bench
+
+int main(int argc, char** argv) {
+  return reasched::bench::run(reasched::bench::parse_args(argc, argv));
+}

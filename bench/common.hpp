@@ -1,0 +1,70 @@
+// Shared helpers for the experiment binaries (bench_e1 .. bench_e11).
+//
+// Every binary prints a paper-style table to stdout; pass --csv to emit
+// machine-readable CSV instead. The experiments and their mapping to the
+// paper's claims are indexed in DESIGN.md §2 and EXPERIMENTS.md.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reasched/reasched.hpp"
+
+namespace reasched::bench {
+
+struct Args {
+  bool csv = false;
+  bool quick = false;  // smaller sweeps for smoke-testing
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") args.csv = true;
+    if (arg == "--quick") args.quick = true;
+  }
+  return args;
+}
+
+inline void emit(const Table& table, const Args& args) {
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+}
+
+/// The scheduler roster most experiments compare.
+struct Contender {
+  std::string label;
+  std::unique_ptr<IReallocScheduler> scheduler;
+};
+
+inline std::vector<Contender> standard_roster(unsigned machines,
+                                              const SchedulerOptions& options) {
+  std::vector<Contender> roster;
+  roster.push_back({"reservation (paper)",
+                    std::make_unique<ReallocatingScheduler>(machines, options)});
+  roster.push_back(
+      {"naive-pecking (Lemma 4)",
+       std::make_unique<ReallocatingScheduler>(
+           machines, [] { return std::make_unique<NaiveScheduler>(); }, "naive")});
+  roster.push_back(
+      {"edf-repair (classic)",
+       std::make_unique<ReallocatingScheduler>(
+           machines,
+           [] {
+             return std::make_unique<GreedyRepairScheduler>(
+                 GreedyRepairScheduler::Fit::kEarliest);
+           },
+           "edf-repair")});
+  roster.push_back({"opt-rebuild (offline)",
+                    std::make_unique<OptRebuildScheduler>(machines)});
+  return roster;
+}
+
+}  // namespace reasched::bench

@@ -1,0 +1,79 @@
+// Lower bounds live (§6): run the paper's adversarial constructions and
+// watch the forced costs appear.
+//
+//   $ ./example_adversary_demo
+//
+// Part 1 — Lemma 11: an adaptive adversary forces ~s/12 migrations out of
+// ANY deterministic scheduler, ours included.
+// Part 2 — Lemma 12: without slack, toggling one unit job forces every
+// other job to move: Θ(s²) total reallocations. This is exactly why
+// Theorem 1 needs γ-underallocation.
+#include <iostream>
+
+#include "reasched/reasched.hpp"
+
+int main() {
+  using namespace reasched;
+
+  std::cout << "== Part 1: Lemma 11 — migrations are unavoidable ==\n";
+  {
+    constexpr unsigned kMachines = 4;
+    constexpr std::uint64_t kRounds = 50;
+    SchedulerOptions options;
+    options.overflow = OverflowPolicy::kBestEffort;
+    ReallocatingScheduler scheduler(kMachines, options);
+    Lemma11Adversary adversary(kMachines, kRounds);
+    const auto report = run_adaptive(
+        scheduler, [&](const Schedule& s) { return adversary.next(s); });
+    const auto s = adversary.requests_emitted();
+    std::cout << "  machines=" << kMachines << " rounds=" << kRounds
+              << " requests=" << s << '\n';
+    std::cout << "  total migrations forced: "
+              << static_cast<std::uint64_t>(report.metrics.migrations().sum())
+              << "  (paper's lower bound: s/12 = " << s / 12 << ")\n";
+    std::cout << "  ...while still never migrating more than "
+              << report.metrics.max_migrations() << " job per request.\n\n";
+  }
+
+  std::cout << "== Part 2: Lemma 12 — no slack, quadratic pain ==\n";
+  {
+    constexpr std::uint64_t kEta = 64;
+    constexpr std::uint64_t kToggles = 32;
+    const auto trace = make_lemma12_trace(kEta, kToggles);
+    OptRebuildScheduler optimal(1);
+    const auto report = replay_trace(optimal, trace);
+    std::cout << "  staircase of " << kEta << " jobs, " << kToggles
+              << " filler toggles (" << trace.size() << " requests)\n";
+    std::cout << "  total reallocations paid by the OPTIMAL scheduler: "
+              << static_cast<std::uint64_t>(report.metrics.reallocations().sum())
+              << "  (~eta per toggle — forced, Θ(s²) overall)\n";
+    std::cout << "  The same instance is NOT gamma-underallocated for any "
+                 "gamma > 1, so Theorem 1 does not apply — and cannot: the "
+                 "moves are information-theoretically forced.\n\n";
+  }
+
+  std::cout << "== Contrast: the same toggle pattern WITH slack ==\n";
+  {
+    // Give the staircase jobs 8x wider windows: the toggles stop hurting.
+    std::vector<Request> trace;
+    constexpr std::uint64_t kEta = 64;
+    for (std::uint64_t j = 0; j < kEta; ++j) {
+      trace.push_back(Request::insert(
+          JobId{j + 1}, Window{static_cast<Time>(16 * j), static_cast<Time>(16 * j + 16)}));
+    }
+    std::uint64_t next = 1000;
+    for (int t = 0; t < 32; ++t) {
+      const JobId low{next++};
+      trace.push_back(Request::insert(low, Window{0, 1}));
+      trace.push_back(Request::erase(low));
+    }
+    SchedulerOptions options;
+    options.overflow = OverflowPolicy::kBestEffort;
+    ReallocatingScheduler scheduler(1, options);
+    const auto report = replay_trace(scheduler, trace);
+    std::cout << "  same toggles, windows 16x wider: total reallocations = "
+              << static_cast<std::uint64_t>(report.metrics.reallocations().sum())
+              << " (slack collapses the cascade, as Theorem 1 promises)\n";
+  }
+  return 0;
+}

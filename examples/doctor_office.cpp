@@ -1,0 +1,69 @@
+// The paper's motivating example (§1): scheduling a doctor's office.
+//
+//   $ ./example_doctor_office [days]
+//
+// Patients call in asking for an appointment within an availability window;
+// some cancel later. The receptionist (our scheduler) keeps everyone booked
+// and wants to annoy as few patients as possible — each reallocation is a
+// phone call saying "we have to move your appointment". The demo compares
+// the paper's scheduler with the classic EDF-repair receptionist on the
+// same phone log and prints how many patients each annoyed.
+#include <iostream>
+
+#include "reasched/reasched.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reasched;
+
+  DoctorOfficeParams params;
+  params.days = argc > 1 ? std::stoull(argv[1]) : 96;
+  params.bookings_per_day = 10.0;
+  params.cancel_rate = 0.03;
+  const auto phone_log = make_doctor_office_trace(params);
+
+  std::cout << "doctor's office: " << params.days << " days, " << phone_log.size()
+            << " phone calls (bookings + cancellations)\n\n";
+
+  struct Receptionist {
+    std::string label;
+    std::unique_ptr<IReallocScheduler> scheduler;
+  };
+  std::vector<Receptionist> receptionists;
+  SchedulerOptions options;
+  options.overflow = OverflowPolicy::kBestEffort;
+  receptionists.push_back(
+      {"reservation scheduler (this paper)",
+       std::make_unique<ReallocatingScheduler>(1, options)});
+  receptionists.push_back(
+      {"EDF repair (classic greedy)",
+       std::make_unique<ReallocatingScheduler>(
+           1,
+           [] {
+             return std::make_unique<GreedyRepairScheduler>(
+                 GreedyRepairScheduler::Fit::kEarliest);
+           },
+           "edf-repair")});
+
+  Table table("patients rescheduled per booking/cancellation");
+  table.set_header({"receptionist", "calls", "mean moved", "p99 moved", "max moved",
+                    "total moved"});
+  for (auto& receptionist : receptionists) {
+    SimOptions sim;
+    sim.validate_every = 64;
+    const auto report = replay_trace(*receptionist.scheduler, phone_log, sim);
+    if (!report.clean()) {
+      std::cerr << "validation problem: " << report.first_issue << '\n';
+      return 1;
+    }
+    table.add_row({receptionist.label, Table::num(report.metrics.requests()),
+                   Table::num(report.metrics.reallocations().mean(), 3),
+                   Table::num(report.metrics.p99_reallocations()),
+                   Table::num(report.metrics.max_reallocations()),
+                   Table::num(static_cast<std::uint64_t>(
+                       report.metrics.reallocations().sum()))});
+  }
+  table.print(std::cout);
+  std::cout << "\nEvery booked patient always keeps a valid appointment inside "
+               "their stated availability (validated every 64 calls).\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: the 60-second tour of the public API.
+//
+//   $ ./example_quickstart
+//
+// Creates a 2-machine reallocating scheduler, inserts a handful of jobs
+// with arrival/deadline windows, deletes one, and prints the schedule and
+// the per-request reallocation/migration costs.
+#include <iostream>
+
+#include "reasched/reasched.hpp"
+
+int main() {
+  using namespace reasched;
+
+  // The paper's full pipeline: align → round-robin delegate → schedule with
+  // reservations. Theorem 1: O(log* n) reallocations and <= 1 migration per
+  // request on sufficiently underallocated inputs.
+  ReallocatingScheduler scheduler(/*machines=*/2);
+
+  std::cout << "scheduler: " << scheduler.name() << "\n\n";
+
+  // ⟨INSERTJOB, name, arrival, deadline⟩ — the job needs one unit slot in
+  // [arrival, deadline).
+  struct Arrival {
+    std::uint64_t id;
+    Time arrival;
+    Time deadline;
+  };
+  const std::vector<Arrival> arrivals = {
+      {1, 0, 64},  {2, 0, 64},  {3, 16, 32}, {4, 0, 128},
+      {5, 48, 96}, {6, 0, 8},   {7, 4, 6},   {8, 0, 256},
+  };
+  for (const auto& [id, arrival, deadline] : arrivals) {
+    const RequestStats stats = scheduler.insert(JobId{id}, Window{arrival, deadline});
+    std::cout << "insert job " << id << " window [" << arrival << "," << deadline
+              << ")  -> reallocations=" << stats.reallocations
+              << " migrations=" << stats.migrations << '\n';
+  }
+
+  // ⟨DELETEJOB, name⟩ — deleting may migrate at most one job (§3).
+  const RequestStats stats = scheduler.erase(JobId{2});
+  std::cout << "\ndelete job 2 -> reallocations=" << stats.reallocations
+            << " migrations=" << stats.migrations << "\n\n";
+
+  // The scheduler can always output its current feasible schedule (§2).
+  std::cout << "current schedule (machine, slot):\n";
+  const Schedule snapshot = scheduler.snapshot();
+  for (const auto& [job, placement] : snapshot.assignments()) {
+    std::cout << "  job " << job.value << " -> (m" << placement.machine << ", t"
+              << placement.slot << ")\n";
+  }
+
+  // ...or as a picture (last digit of each job id; '.' = free):
+  RenderOptions render;
+  render.from = 0;
+  render.to = 64;
+  std::cout << '\n' << render_schedule(snapshot, render);
+
+  // Validate it independently.
+  std::unordered_map<JobId, Window> active;
+  for (const auto& [id, arrival, deadline] : arrivals) {
+    if (id != 2) active.emplace(JobId{id}, Window{arrival, deadline});
+  }
+  const auto report = validate_schedule(snapshot, active);
+  std::cout << "\nvalidator: " << report.to_string() << '\n';
+  return report.ok() ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Fundamental model types for the reallocation scheduling problem (paper §2).
+//
+// Time is discrete: the schedule is a grid of unit timeslots per machine.
+// A job j = ⟨name, aⱼ, dⱼ⟩ must occupy exactly one slot t with
+// aⱼ <= t <= dⱼ - 1 (the window [aⱼ, dⱼ] offers dⱼ - aⱼ slots; its *span*
+// is dⱼ - aⱼ). A feasible schedule gives every active job a distinct
+// (machine, slot) pair inside its window.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace reasched {
+
+/// Discrete slot index. Signed so interval arithmetic near zero is safe.
+using Time = std::int64_t;
+
+/// Machine index in [0, m).
+using MachineId = std::uint32_t;
+
+/// Opaque job identifier ("name" in the paper's request model).
+struct JobId {
+  std::uint64_t value = 0;
+  friend auto operator<=>(const JobId&, const JobId&) = default;
+};
+
+enum class RequestKind : std::uint8_t { kInsert, kDelete };
+
+/// Per-request cost report, matching the paper's accounting (§2):
+///   - reallocations: number of *previously scheduled* jobs whose
+///     (machine, slot) assignment changed while serving this request. The
+///     inserted job's initial placement and the deleted job's removal are
+///     not counted (they are the request itself, not a reallocation).
+///   - migrations: number of previously scheduled jobs whose machine
+///     changed (a subset of reallocations).
+struct RequestStats {
+  std::uint64_t reallocations = 0;
+  std::uint64_t migrations = 0;
+  /// Number of scheduler levels touched by the displacement cascade.
+  std::uint64_t levels_touched = 0;
+  /// Placements that had to bypass the reservation system ("parked" jobs,
+  /// OverflowPolicy::kBestEffort) because the instance lacked the slack the
+  /// algorithm's guarantee requires. Zero on γ-underallocated sequences.
+  std::uint64_t degraded = 0;
+  /// True when the scheduler fell back to a full rebuild (overflow policy
+  /// or n* resizing); the rebuild's moves are included in `reallocations`.
+  bool rebuilt = false;
+
+  RequestStats& operator+=(const RequestStats& other) noexcept {
+    reallocations += other.reallocations;
+    migrations += other.migrations;
+    levels_touched += other.levels_touched;
+    degraded += other.degraded;
+    rebuilt = rebuilt || other.rebuilt;
+    return *this;
+  }
+};
+
+}  // namespace reasched
+
+template <>
+struct std::hash<reasched::JobId> {
+  std::size_t operator()(const reasched::JobId& id) const noexcept {
+    // splitmix64-style finalizer for good bucket spread on sequential ids.
+    std::uint64_t z = id.value + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

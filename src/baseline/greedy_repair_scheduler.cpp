@@ -1,0 +1,101 @@
+#include "baseline/greedy_repair_scheduler.hpp"
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+GreedyRepairScheduler::GreedyRepairScheduler(Fit fit) : fit_(fit) {}
+
+RequestStats GreedyRepairScheduler::insert(JobId id, Window window) {
+  RS_REQUIRE(window.valid(), "GreedyRepairScheduler::insert: empty window");
+  RS_REQUIRE(!jobs_.contains(id), "GreedyRepairScheduler::insert: id already active");
+  jobs_.emplace(id, JobState{window, 0});
+  RequestStats stats;
+  try {
+    place_cascading(id, stats, /*counts=*/false);
+  } catch (const InfeasibleError&) {
+    jobs_.erase(id);
+    throw;
+  }
+  return stats;
+}
+
+RequestStats GreedyRepairScheduler::erase(JobId id) {
+  const auto it = jobs_.find(id);
+  RS_REQUIRE(it != jobs_.end(), "GreedyRepairScheduler::erase: id not active");
+  occupant_.erase(it->second.slot);
+  runs_.release(it->second.slot);
+  jobs_.erase(it);
+  return RequestStats{};
+}
+
+Time GreedyRepairScheduler::find_empty(const Window& w) const {
+  if (fit_ == Fit::kEarliest) {
+    const Time gap = runs_.next_free(w.start);
+    return gap < w.end ? gap : w.start - 1;  // start-1 = none
+  }
+  const Time gap = runs_.prev_free(w.end - 1);
+  return gap >= w.start ? gap : w.start - 1;
+}
+
+void GreedyRepairScheduler::place_cascading(JobId id, RequestStats& stats, bool counts) {
+  // Journal of displacements so a dead-ended chain unwinds cleanly (strong
+  // exception guarantee for the insert).
+  struct Step {
+    Time slot;
+    JobId evicted;
+  };
+  std::vector<Step> journal;
+  JobId current = id;
+  bool current_counts = counts;
+  for (;;) {
+    JobState& state = jobs_.at(current);
+    const Window w = state.window;
+    const Time empty = find_empty(w);
+    if (empty >= w.start) {
+      state.slot = empty;
+      occupant_[empty] = current;
+      runs_.occupy(empty);
+      if (current_counts) ++stats.reallocations;
+      return;
+    }
+    // Window full: displace the occupant with the latest deadline, provided
+    // it is strictly later than ours (termination: deadlines increase).
+    JobId victim{};
+    Time victim_slot = 0;
+    Time victim_deadline = w.end;
+    bool found = false;
+    for (auto it = occupant_.lower_bound(w.start);
+         it != occupant_.end() && it->first < w.end; ++it) {
+      const Time deadline = jobs_.at(it->second).window.end;
+      if (deadline > victim_deadline) {
+        victim_deadline = deadline;
+        victim = it->second;
+        victim_slot = it->first;
+        found = true;
+      }
+    }
+    if (!found) {
+      for (auto step = journal.rbegin(); step != journal.rend(); ++step) {
+        occupant_[step->slot] = step->evicted;
+        jobs_.at(step->evicted).slot = step->slot;
+      }
+      throw InfeasibleError(
+          "greedy repair: window full and no occupant has a later deadline");
+    }
+    journal.push_back(Step{victim_slot, victim});
+    state.slot = victim_slot;
+    occupant_[victim_slot] = current;
+    if (current_counts) ++stats.reallocations;
+    current = victim;
+    current_counts = true;
+  }
+}
+
+Schedule GreedyRepairScheduler::snapshot() const {
+  Schedule out(1);
+  for (const auto& [id, state] : jobs_) out.assign(id, Placement{0, state.slot});
+  return out;
+}
+
+}  // namespace reasched

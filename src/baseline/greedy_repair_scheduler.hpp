@@ -1,0 +1,58 @@
+// Classic deadline-driven greedy with repair — the "brittle" baseline the
+// paper's introduction contrasts against (§1: "This brittleness is certainly
+// inherent to earliest-deadline-first (EDF) and least-laxity-first (LLF)
+// scheduling policies").
+//
+// Insert places the job at the earliest (or latest, per Fit) empty slot of
+// its window; if the window is full it displaces the occupant with the
+// latest deadline (the most laxity) — provided that deadline is strictly
+// later than the incoming job's — and recursively reinserts it. Deadlines
+// strictly increase along the chain, so insertion terminates, but on tight
+// instances the chain is Θ(n): exactly the cascading the paper's scheduler
+// avoids.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "schedule/scheduler_interface.hpp"
+#include "schedule/slot_runs.hpp"
+
+namespace reasched {
+
+class GreedyRepairScheduler final : public IReallocScheduler {
+ public:
+  enum class Fit : std::uint8_t {
+    kEarliest,  ///< EDF-flavored: grab the earliest feasible slot
+    kLatest,    ///< procrastinating variant: grab the latest feasible slot
+  };
+
+  explicit GreedyRepairScheduler(Fit fit = Fit::kEarliest);
+
+  RequestStats insert(JobId id, Window window) override;
+  RequestStats erase(JobId id) override;
+
+  [[nodiscard]] Schedule snapshot() const override;
+  [[nodiscard]] std::size_t active_jobs() const override { return jobs_.size(); }
+  [[nodiscard]] unsigned machines() const override { return 1; }
+  [[nodiscard]] std::string name() const override {
+    return fit_ == Fit::kEarliest ? "edf-repair" : "latest-fit-repair";
+  }
+
+ private:
+  struct JobState {
+    Window window;
+    Time slot = 0;
+  };
+
+  void place_cascading(JobId id, RequestStats& stats, bool counts);
+  [[nodiscard]] Time find_empty(const Window& w) const;
+
+  Fit fit_;
+  std::map<Time, JobId> occupant_;
+  SlotRuns runs_;  // O(log n) first/last-gap queries
+  std::unordered_map<JobId, JobState> jobs_;
+};
+
+}  // namespace reasched

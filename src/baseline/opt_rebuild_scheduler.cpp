@@ -1,0 +1,62 @@
+#include "baseline/opt_rebuild_scheduler.hpp"
+
+#include "feasibility/edf.hpp"
+#include "util/assert.hpp"
+
+namespace reasched {
+
+OptRebuildScheduler::OptRebuildScheduler(unsigned machines) : machines_(machines) {
+  RS_REQUIRE(machines >= 1, "OptRebuildScheduler: need at least one machine");
+}
+
+RequestStats OptRebuildScheduler::insert(JobId id, Window window) {
+  RS_REQUIRE(window.valid(), "OptRebuildScheduler::insert: empty window");
+  RS_REQUIRE(!windows_.contains(id), "OptRebuildScheduler::insert: id already active");
+  windows_.emplace(id, window);
+  try {
+    return recompute(id);
+  } catch (const InfeasibleError&) {
+    windows_.erase(id);
+    throw;
+  }
+}
+
+RequestStats OptRebuildScheduler::erase(JobId id) {
+  RS_REQUIRE(windows_.contains(id), "OptRebuildScheduler::erase: id not active");
+  windows_.erase(id);
+  placements_.erase(id);
+  return recompute(id);
+}
+
+RequestStats OptRebuildScheduler::recompute(JobId subject) {
+  std::vector<JobSpec> specs;
+  specs.reserve(windows_.size());
+  for (const auto& [id, window] : windows_) specs.push_back(JobSpec{id, window});
+
+  const auto schedule = edf_schedule(specs, machines_);
+  if (!schedule.has_value()) {
+    throw InfeasibleError("opt-rebuild: EDF found the active set infeasible");
+  }
+
+  RequestStats stats;
+  std::unordered_map<JobId, Placement> next;
+  next.reserve(schedule->size());
+  for (const auto& [id, placement] : *schedule) {
+    next.emplace(id, placement);
+    const auto previous = placements_.find(id);
+    if (previous != placements_.end() && id != subject) {
+      if (previous->second != placement) ++stats.reallocations;
+      if (previous->second.machine != placement.machine) ++stats.migrations;
+    }
+  }
+  placements_ = std::move(next);
+  return stats;
+}
+
+Schedule OptRebuildScheduler::snapshot() const {
+  Schedule out(machines_);
+  for (const auto& [id, placement] : placements_) out.assign(id, placement);
+  return out;
+}
+
+}  // namespace reasched

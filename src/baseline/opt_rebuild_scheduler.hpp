@@ -1,0 +1,43 @@
+// The "recompute the offline optimum after every request" strawman.
+//
+// The paper frames reallocation as interpolating between offline (free
+// reallocation → resolve from scratch each time) and online (infinite
+// reallocation cost). This scheduler realizes the offline end: after every
+// request it recomputes a canonical EDF schedule for the active set and
+// pays whatever reallocations/migrations the diff shows. It is feasible
+// whenever the instance is (EDF is exact for unit jobs) but its reallocation
+// cost per request is typically Θ(n) — the quantity Theorem 1 collapses to
+// O(log* n).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "schedule/scheduler_interface.hpp"
+
+namespace reasched {
+
+class OptRebuildScheduler final : public IReallocScheduler {
+ public:
+  explicit OptRebuildScheduler(unsigned machines = 1);
+
+  RequestStats insert(JobId id, Window window) override;
+  RequestStats erase(JobId id) override;
+
+  [[nodiscard]] Schedule snapshot() const override;
+  [[nodiscard]] std::size_t active_jobs() const override { return windows_.size(); }
+  [[nodiscard]] unsigned machines() const override { return machines_; }
+  [[nodiscard]] std::string name() const override { return "opt-rebuild-edf"; }
+
+ private:
+  /// Recomputes the EDF schedule; returns the diff cost vs. the previous
+  /// placements, ignoring `subject`.
+  RequestStats recompute(JobId subject);
+
+  unsigned machines_;
+  std::unordered_map<JobId, Window> windows_;
+  std::unordered_map<JobId, Placement> placements_;
+};
+
+}  // namespace reasched

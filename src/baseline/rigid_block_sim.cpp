@@ -1,0 +1,94 @@
+#include "baseline/rigid_block_sim.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+bool RigidBlockSim::range_free(Time start, Time size) const {
+  const auto it = slot_to_job_.lower_bound(start);
+  return it == slot_to_job_.end() || it->first >= start + size;
+}
+
+std::optional<Time> RigidBlockSim::find_start(Time size, const Window& window) const {
+  for (Time start = window.start; start + size <= window.end; ++start) {
+    // Jump past the blocking occupant instead of sliding one slot at a time.
+    const auto it = slot_to_job_.lower_bound(start);
+    if (it == slot_to_job_.end() || it->first >= start + size) return start;
+    start = it->first;  // loop ++ moves just past the collision
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> RigidBlockSim::insert(JobId id, Time size, Window window) {
+  RS_REQUIRE(size >= 1, "RigidBlockSim::insert: size must be positive");
+  RS_REQUIRE(window.valid() && window.span() >= size,
+             "RigidBlockSim::insert: window cannot hold the job");
+  RS_REQUIRE(!jobs_.contains(id), "RigidBlockSim::insert: id already active");
+
+  std::uint64_t reallocations = 0;
+
+  if (const auto start = find_start(size, window); start.has_value()) {
+    jobs_.emplace(id, JobState{size, window, *start});
+    for (Time t = *start; t < *start + size; ++t) slot_to_job_.emplace(t, id);
+    return reallocations;
+  }
+
+  // No free run: evict unit jobs from the first candidate region (the
+  // adversarial instance only ever needs this), relocate them, then place.
+  const Time start = window.start;
+  std::vector<JobId> evicted;
+  for (auto it = slot_to_job_.lower_bound(start);
+       it != slot_to_job_.end() && it->first < start + size; ++it) {
+    const JobState& blocker = jobs_.at(it->second);
+    if (blocker.size != 1) return std::nullopt;  // cannot displace big jobs
+    evicted.push_back(it->second);
+  }
+  for (const JobId unit : evicted) {
+    slot_to_job_.erase(jobs_.at(unit).start);
+  }
+  // Reserve the region before relocating so evictees cannot move back in.
+  jobs_.emplace(id, JobState{size, window, start});
+  for (Time t = start; t < start + size; ++t) slot_to_job_.emplace(t, id);
+
+  for (const JobId unit : evicted) {
+    JobState& state = jobs_.at(unit);
+    const auto spot = find_start(1, state.window);
+    if (!spot.has_value()) {
+      // Roll back is pointless for the adversarial harness; report failure.
+      return std::nullopt;
+    }
+    state.start = *spot;
+    slot_to_job_.emplace(*spot, unit);
+    ++reallocations;
+  }
+  return reallocations;
+}
+
+void RigidBlockSim::erase(JobId id) {
+  const auto it = jobs_.find(id);
+  RS_REQUIRE(it != jobs_.end(), "RigidBlockSim::erase: id not active");
+  for (Time t = it->second.start; t < it->second.start + it->second.size; ++t) {
+    slot_to_job_.erase(t);
+  }
+  jobs_.erase(it);
+}
+
+void RigidBlockSim::audit() const {
+  std::size_t covered = 0;
+  for (const auto& [id, state] : jobs_) {
+    RS_CHECK(state.window.start <= state.start &&
+                 state.start + state.size <= state.window.end,
+             "rigid block outside window");
+    for (Time t = state.start; t < state.start + state.size; ++t) {
+      const auto it = slot_to_job_.find(t);
+      RS_CHECK(it != slot_to_job_.end() && it->second == id,
+               "rigid block slot map mismatch");
+      ++covered;
+    }
+  }
+  RS_CHECK(covered == slot_to_job_.size(), "orphan slots in rigid block map");
+}
+
+}  // namespace reasched

@@ -1,0 +1,56 @@
+// Simulation substrate for Observation 13 (non-unit jobs).
+//
+// The paper's scheduler handles unit jobs only; Observation 13 shows why:
+// with job sizes {1, k} an adversary forces Ω(kn) total reallocations over
+// Θ(n) requests even on γ-underallocated sequences. This module implements
+// a minimal single-machine scheduler for *rigid blocks* (a job occupies
+// `size` consecutive slots, anywhere inside its window) so the adversarial
+// instance can be executed and the forced cost measured. It is an
+// experiment harness (bench E7), not part of the core API.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "base/window.hpp"
+
+namespace reasched {
+
+class RigidBlockSim {
+ public:
+  /// Inserts a job of `size` consecutive slots placeable inside `window`.
+  /// Unit jobs already in the way are relocated (first fit) and counted as
+  /// reallocations; larger jobs are never displaced (the adversary never
+  /// needs it). Returns the number of reallocations, or std::nullopt if the
+  /// job cannot be placed.
+  std::optional<std::uint64_t> insert(JobId id, Time size, Window window);
+
+  /// Removes a job; never reallocates.
+  void erase(JobId id);
+
+  [[nodiscard]] std::size_t active_jobs() const noexcept { return jobs_.size(); }
+  [[nodiscard]] std::string name() const { return "rigid-block-sim"; }
+
+  /// Validates internal consistency (tests).
+  void audit() const;
+
+ private:
+  struct JobState {
+    Time size = 1;
+    Window window;
+    Time start = 0;
+  };
+
+  /// True iff [start, start+size) is empty (ignoring jobs in `ignore`).
+  [[nodiscard]] bool range_free(Time start, Time size) const;
+  /// First-fit start position inside the window, or nullopt.
+  [[nodiscard]] std::optional<Time> find_start(Time size, const Window& window) const;
+
+  std::map<Time, JobId> slot_to_job_;  // every occupied slot -> owner
+  std::unordered_map<JobId, JobState> jobs_;
+};
+
+}  // namespace reasched

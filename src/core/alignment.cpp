@@ -1,0 +1,35 @@
+#include "core/alignment.hpp"
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace reasched {
+
+Window aligned_shrink(const Window& w) {
+  RS_REQUIRE(w.valid(), "aligned_shrink: empty window");
+  const auto span = static_cast<u64>(w.span());
+  // Try the largest power of two <= span, then one smaller. One of the two
+  // always fits: with span 2^e available, the 2^(e-1)-grid has a point in
+  // [start, start + 2^(e-1)], leaving 2^(e-1) slots before `end`.
+  for (unsigned exp = floor_log2(span);; --exp) {
+    const u64 block = pow2(exp);
+    const Time a = align_up(w.start, block);
+    if (a + static_cast<Time>(block) <= w.end) {
+      Window result{a, a + static_cast<Time>(block)};
+      RS_CHECK(result.aligned() && w.contains(result),
+               "aligned_shrink produced a bad window");
+      RS_CHECK(result.span() * 4 > w.span(), "aligned_shrink lost too much span");
+      return result;
+    }
+    RS_CHECK(exp > 0, "aligned_shrink: no aligned sub-window found");
+  }
+}
+
+bool all_aligned(std::span<const JobSpec> jobs) {
+  for (const auto& job : jobs) {
+    if (!job.window.aligned()) return false;
+  }
+  return true;
+}
+
+}  // namespace reasched

@@ -1,0 +1,26 @@
+// Window alignment (paper §5).
+//
+// ALIGNED(W) is a largest aligned window contained in W; the paper shows
+// |ALIGNED(W)| >= |W|/4 (and Lemma 10: shrinking every window of a
+// 4γ-underallocated instance this way leaves it γ-underallocated). This
+// module implements the shrink deterministically (leftmost largest aligned
+// sub-window) so traces replay identically.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/window.hpp"
+
+namespace reasched {
+
+/// Largest aligned sub-window of `w` (leftmost when several are largest).
+/// Guarantees: result.aligned(), w.contains(result), and
+/// result.span() > w.span()/4.
+[[nodiscard]] Window aligned_shrink(const Window& w);
+
+/// True iff every window in `jobs` is aligned (hence the set is recursively
+/// aligned / laminar, §2).
+[[nodiscard]] bool all_aligned(std::span<const JobSpec> jobs);
+
+}  // namespace reasched

@@ -1,0 +1,157 @@
+#include "core/incremental_rebuild.hpp"
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+namespace {
+
+constexpr std::uint64_t kMinNStar = 8;
+
+std::uint64_t job_hash(JobId id) noexcept {
+  std::uint64_t z = id.value + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+IncrementalRebuildScheduler::IncrementalRebuildScheduler(SchedulerOptions options)
+    : options_(std::move(options)) {
+  RS_REQUIRE(is_pow2(options_.gamma),
+             "IncrementalRebuildScheduler: gamma must be a power of two");
+  SchedulerOptions inner = options_;
+  inner.trimming = false;  // the adapter owns n*/trimming
+  inner.overflow = OverflowPolicy::kBestEffort;  // migrations must not throw
+  inner.audit = false;
+  generations_[0] = std::make_unique<ReservationScheduler>(inner);
+  generations_[1] = std::make_unique<ReservationScheduler>(inner);
+}
+
+Window IncrementalRebuildScheduler::trim(JobId id, Window w) const {
+  const u64 limit = 2 * options_.gamma * n_star_;
+  if (static_cast<u64>(w.span()) <= limit) return w;
+  const u64 blocks = static_cast<u64>(w.span()) / limit;
+  const u64 pick = job_hash(id) % blocks;
+  const Time start = w.start + static_cast<Time>(pick * limit);
+  return Window{start, start + static_cast<Time>(limit)};
+}
+
+Window IncrementalRebuildScheduler::to_virtual(const Window& w) {
+  // Outer [a, a+2^k), a multiple of 2^k, k >= 1  →  [a/2, a/2 + 2^{k-1}).
+  // Works for either parity: the outer slots {2v, 2v+1} both lie in the
+  // outer window exactly when v lies in the virtual one.
+  const Time half_start = w.start / 2;
+  return Window{half_start, half_start + w.span() / 2};
+}
+
+Time IncrementalRebuildScheduler::to_outer(Time virtual_slot,
+                                           std::uint8_t generation) const {
+  return 2 * virtual_slot + generation;
+}
+
+void IncrementalRebuildScheduler::begin_migration(std::uint64_t new_n_star,
+                                                  RequestStats& stats) {
+  // If a migration is already running, finish it first (a burst; the
+  // doubling/halving thresholds are spaced so this stays amortized O(1)).
+  if (!pending_.empty()) migrate_some(pending_.size(), stats);
+  n_star_ = new_n_star;
+  current_ = static_cast<std::uint8_t>(1 - current_);
+  for (const auto& [id, info] : jobs_) pending_.insert(id);
+  stats.rebuilt = true;
+}
+
+void IncrementalRebuildScheduler::migrate_some(std::size_t count, RequestStats& stats) {
+  while (count-- > 0 && !pending_.empty()) {
+    const JobId id = *pending_.begin();
+    pending_.erase(pending_.begin());
+    JobInfo& info = jobs_.at(id);
+    RS_CHECK(info.generation != current_, "migrate: job already in current generation");
+    stats += generations_[info.generation]->erase(id);
+    const Window trimmed = trim(id, info.window);
+    stats += generations_[current_]->insert(id, to_virtual(trimmed));
+    info.generation = current_;
+    ++stats.reallocations;  // the migrated job itself moved
+  }
+}
+
+void IncrementalRebuildScheduler::maybe_trigger(RequestStats& stats) {
+  if (jobs_.size() > n_star_) {
+    begin_migration(n_star_ * 2, stats);
+  } else if (n_star_ > kMinNStar && jobs_.size() < n_star_ / 4) {
+    begin_migration(n_star_ / 2, stats);
+  }
+}
+
+RequestStats IncrementalRebuildScheduler::insert(JobId id, Window window) {
+  RS_REQUIRE(window.valid() && window.aligned(),
+             "IncrementalRebuildScheduler::insert: window must be aligned");
+  RS_REQUIRE(window.span() >= 2,
+             "IncrementalRebuildScheduler::insert: span-1 windows cannot "
+             "survive the even/odd split");
+  RS_REQUIRE(!jobs_.contains(id),
+             "IncrementalRebuildScheduler::insert: id already active");
+
+  RequestStats stats;
+  jobs_.emplace(id, JobInfo{window, current_});
+  try {
+    stats += generations_[current_]->insert(id, to_virtual(trim(id, window)));
+  } catch (...) {
+    jobs_.erase(id);
+    throw;
+  }
+  maybe_trigger(stats);
+  migrate_some(2, stats);  // the paper's two-jobs-per-request pace
+  if (options_.audit) audit();
+  return stats;
+}
+
+RequestStats IncrementalRebuildScheduler::erase(JobId id) {
+  const auto it = jobs_.find(id);
+  RS_REQUIRE(it != jobs_.end(), "IncrementalRebuildScheduler::erase: id not active");
+  RequestStats stats = generations_[it->second.generation]->erase(id);
+  pending_.erase(id);
+  jobs_.erase(it);
+  maybe_trigger(stats);
+  migrate_some(2, stats);
+  if (options_.audit) audit();
+  return stats;
+}
+
+Schedule IncrementalRebuildScheduler::snapshot() const {
+  Schedule out(1);
+  for (std::uint8_t generation = 0; generation < 2; ++generation) {
+    const Schedule inner = generations_[generation]->snapshot();
+    for (const auto& [id, placement] : inner.assignments()) {
+      out.assign(id, Placement{0, to_outer(placement.slot, generation)});
+    }
+  }
+  return out;
+}
+
+void IncrementalRebuildScheduler::audit() const {
+  RS_CHECK(generations_[0]->active_jobs() + generations_[1]->active_jobs() ==
+               jobs_.size(),
+           "incremental audit: job count mismatch");
+  for (const auto& id : pending_) {
+    const auto it = jobs_.find(id);
+    RS_CHECK(it != jobs_.end(), "incremental audit: pending ghost");
+    RS_CHECK(it->second.generation != current_,
+             "incremental audit: pending job already migrated");
+  }
+  const Schedule merged = snapshot();
+  RS_CHECK(merged.size() == jobs_.size(), "incremental audit: snapshot size");
+  for (const auto& [id, placement] : merged.assignments()) {
+    const auto it = jobs_.find(id);
+    RS_CHECK(it != jobs_.end(), "incremental audit: ghost placement");
+    RS_CHECK(it->second.window.contains(placement.slot),
+             "incremental audit: placement outside original window");
+    RS_CHECK((placement.slot & 1) == it->second.generation,
+             "incremental audit: parity mismatch");
+  }
+  generations_[0]->audit();
+  generations_[1]->audit();
+}
+
+}  // namespace reasched

@@ -1,0 +1,83 @@
+// De-amortized trimming rebuilds (paper §4, "Trimming Windows to n and
+// Deamortization").
+//
+// The amortized scheduler rebuilds from scratch whenever the n* estimate
+// doubles or halves — O(1) amortized but Θ(n) on the rebuild request. The
+// paper's fix: interleave two schedules on the even and odd timeslots. The
+// old generation lives on one parity, the new generation on the other, and
+// every request moves two jobs from old to new, so a rebuild completes
+// within n/2 requests while each individual request stays O(log*).
+//
+// Window transform: an aligned outer window [a, a+2^k) maps on parity p to
+// the aligned virtual window [a/2, a/2 + 2^{k-1}) (slot v ↔ outer 2v+p).
+// Squeezing into half the slots costs a factor 2 of underallocation — the
+// paper requires the instance to be 2γ-underallocated for the deamortized
+// variant, which is why this is a separate adapter rather than the default.
+//
+// The adapter owns the n*/trimming logic; its inner ReservationSchedulers
+// run with trimming disabled and in best-effort overflow mode (a mid-flight
+// migration must not throw).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/reservation_scheduler.hpp"
+#include "core/scheduler_options.hpp"
+#include "schedule/scheduler_interface.hpp"
+
+namespace reasched {
+
+class IncrementalRebuildScheduler final : public IReallocScheduler {
+ public:
+  explicit IncrementalRebuildScheduler(SchedulerOptions options = {});
+
+  /// Window must be aligned with span >= 2 (a span-1 window cannot survive
+  /// the parity split; γ-underallocated instances never contain one).
+  RequestStats insert(JobId id, Window window) override;
+  RequestStats erase(JobId id) override;
+
+  [[nodiscard]] Schedule snapshot() const override;
+  [[nodiscard]] std::size_t active_jobs() const override { return jobs_.size(); }
+  [[nodiscard]] unsigned machines() const override { return 1; }
+  [[nodiscard]] std::string name() const override {
+    return "reservation-incremental-rebuild";
+  }
+
+  [[nodiscard]] std::uint64_t n_star() const noexcept { return n_star_; }
+  /// True while a generation migration is in flight.
+  [[nodiscard]] bool migrating() const noexcept { return !pending_.empty(); }
+  /// Jobs still awaiting migration to the current generation.
+  [[nodiscard]] std::size_t pending_migrations() const noexcept {
+    return pending_.size();
+  }
+
+  /// Internal consistency audit (tests).
+  void audit() const;
+
+ private:
+  struct JobInfo {
+    Window window;            // original aligned window
+    std::uint8_t generation;  // 0 or 1: which inner scheduler holds it
+  };
+
+  [[nodiscard]] Window trim(JobId id, Window w) const;
+  [[nodiscard]] static Window to_virtual(const Window& w);
+  [[nodiscard]] Time to_outer(Time virtual_slot, std::uint8_t generation) const;
+
+  void begin_migration(std::uint64_t new_n_star, RequestStats& stats);
+  /// Moves up to `count` pending jobs into the current generation.
+  void migrate_some(std::size_t count, RequestStats& stats);
+  void maybe_trigger(RequestStats& stats);
+
+  SchedulerOptions options_;
+  std::unique_ptr<ReservationScheduler> generations_[2];
+  std::uint8_t current_ = 0;  // generation receiving new jobs; parity = current_
+  std::unordered_map<JobId, JobInfo> jobs_;
+  std::unordered_set<JobId> pending_;  // jobs still in the old generation
+  std::uint64_t n_star_ = 8;
+};
+
+}  // namespace reasched

@@ -1,0 +1,60 @@
+#include "core/levels.hpp"
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+LevelTable::LevelTable(std::vector<u64> thresholds) : thresholds_(std::move(thresholds)) {
+  RS_REQUIRE(!thresholds_.empty(), "LevelTable: no thresholds");
+  u64 previous = 0;
+  for (std::size_t i = 0; i < thresholds_.size(); ++i) {
+    const u64 t = thresholds_[i];
+    RS_REQUIRE(is_pow2(t), "LevelTable: thresholds must be powers of two");
+    RS_REQUIRE(t > previous, "LevelTable: thresholds must strictly increase");
+    if (i == 0) {
+      RS_REQUIRE(t >= 32, "LevelTable: L1 must be at least 2^5 (Lemma 8 arithmetic)");
+    } else {
+      // Equation (1): #distinct level-ℓ spans <= lg(L_{ℓ+1}) <= L_ℓ/4.
+      RS_REQUIRE(static_cast<u64>(floor_log2(t)) <= previous / 4,
+                 "LevelTable: lg(L_{l+1}) must be <= L_l/4");
+    }
+    previous = t;
+  }
+}
+
+LevelTable LevelTable::paper() {
+  // L₁ = 2⁵, L₂ = 2^{32/4} = 2⁸, L₃ = 2^{256/4} = 2⁶⁴ — capped at 2⁶² to
+  // stay in signed-Time range. Any span up to 2⁶² lands in level <= 2.
+  return LevelTable({pow2(5), pow2(8), pow2(62)});
+}
+
+LevelTable LevelTable::custom(std::vector<u64> thresholds) {
+  return LevelTable(std::move(thresholds));
+}
+
+unsigned LevelTable::level_of(u64 span) const {
+  RS_REQUIRE(span >= 1, "level_of: span must be positive");
+  RS_REQUIRE(span <= thresholds_.back(), "level_of: span exceeds table limit");
+  for (unsigned level = 0; level < thresholds_.size(); ++level) {
+    if (span <= thresholds_[level]) return level;
+  }
+  RS_CHECK(false, "level_of: unreachable");
+  return 0;
+}
+
+u64 LevelTable::max_span(unsigned level) const {
+  RS_REQUIRE(level < thresholds_.size(), "max_span: level out of range");
+  return thresholds_[level];
+}
+
+u64 LevelTable::interval_size(unsigned level) const {
+  RS_REQUIRE(level >= 1 && level < thresholds_.size(),
+             "interval_size: defined for levels >= 1");
+  return thresholds_[level - 1];
+}
+
+unsigned LevelTable::interval_size_log(unsigned level) const {
+  return floor_log2(interval_size(level));
+}
+
+}  // namespace reasched

@@ -1,0 +1,60 @@
+// Interval decomposition thresholds (paper §4).
+//
+// The scheduler works at levels of geometrically towering granularity:
+//   L₁ = 2⁵,   L_{ℓ+1} = 2^{L_ℓ/4}   (so L₂ = 2⁸, L₃ = 2⁶⁴ — unreachable),
+// equivalently L_ℓ = 4·lg(L_{ℓ+1}). A job/window with span in
+// (L_ℓ, L_{ℓ+1}] belongs to level ℓ; level-ℓ windows are partitioned into
+// aligned *intervals* of L_ℓ slots. Level 0 (spans 1..L₁) is the recursion
+// base and is scheduled by bounded naive pecking order — with at most
+// lg L₁ + 1 distinct spans the displacement cascade is O(1).
+//
+// The number of levels needed for span Δ is Θ(log* Δ): that is the paper's
+// entire point, and why the table below has at most a handful of rows.
+//
+// Custom towers are supported for testing (they make deep levels reachable
+// at laptop scale); validation enforces the arithmetic Lemma 8 relies on:
+// lg(L_{ℓ+1}) <= L_ℓ/4, i.e. Equation (1).
+#pragma once
+
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace reasched {
+
+class LevelTable {
+ public:
+  /// Paper constants: thresholds {2⁵, 2⁸, 2⁶²-cap}. Levels 0..2 reachable.
+  [[nodiscard]] static LevelTable paper();
+
+  /// Custom tower; `thresholds[ℓ]` is the max span of level ℓ (aka L_{ℓ+1}).
+  /// Validated: strictly increasing powers of two, first >= 32, and
+  /// lg(thresholds[ℓ]) <= thresholds[ℓ-1]/4 for ℓ >= 1.
+  [[nodiscard]] static LevelTable custom(std::vector<u64> thresholds);
+
+  /// Level of a window with the given span (power of two not required);
+  /// level 0 holds spans in [1, L₁].
+  [[nodiscard]] unsigned level_of(u64 span) const;
+
+  /// Largest span handled by `level` (L_{ℓ+1}).
+  [[nodiscard]] u64 max_span(unsigned level) const;
+
+  /// Interval size L_ℓ of `level`; defined for level >= 1.
+  [[nodiscard]] u64 interval_size(unsigned level) const;
+  [[nodiscard]] unsigned interval_size_log(unsigned level) const;
+
+  /// Total number of levels in the table.
+  [[nodiscard]] unsigned level_count() const noexcept {
+    return static_cast<unsigned>(thresholds_.size());
+  }
+
+  /// Largest representable span (top threshold).
+  [[nodiscard]] u64 span_limit() const noexcept { return thresholds_.back(); }
+
+ private:
+  explicit LevelTable(std::vector<u64> thresholds);
+
+  std::vector<u64> thresholds_;  // thresholds_[ℓ] = L_{ℓ+1}
+};
+
+}  // namespace reasched

@@ -1,0 +1,115 @@
+#include "core/multi_machine.hpp"
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+MultiMachineScheduler::MultiMachineScheduler(unsigned machines, const Factory& factory) {
+  RS_REQUIRE(machines >= 1, "MultiMachineScheduler: need at least one machine");
+  machines_.reserve(machines);
+  for (unsigned i = 0; i < machines; ++i) {
+    auto scheduler = factory();
+    RS_REQUIRE(scheduler != nullptr, "MultiMachineScheduler: factory returned null");
+    RS_REQUIRE(scheduler->machines() == 1,
+               "MultiMachineScheduler: inner schedulers must be single-machine");
+    machines_.push_back(std::move(scheduler));
+  }
+}
+
+std::string MultiMachineScheduler::name() const {
+  return "multi[" + std::to_string(machines_.size()) + "x " + machines_.front()->name() +
+         "]";
+}
+
+RequestStats MultiMachineScheduler::insert(JobId id, Window window) {
+  RS_REQUIRE(window.valid(), "MultiMachineScheduler::insert: empty window");
+  RS_REQUIRE(!jobs_.contains(id), "MultiMachineScheduler::insert: id already active");
+
+  auto& balance = windows_[window];
+  if (balance.per_machine.empty()) balance.per_machine.resize(machines_.size());
+  const auto machine = static_cast<MachineId>(balance.count % machines_.size());
+
+  RequestStats stats;
+  try {
+    stats = machines_[machine]->insert(id, window);
+  } catch (...) {
+    if (balance.count == 0) windows_.erase(window);
+    throw;
+  }
+  ++balance.count;
+  balance.per_machine[machine].insert(id);
+  jobs_.emplace(id, JobInfo{window, machine});
+  return stats;
+}
+
+RequestStats MultiMachineScheduler::erase(JobId id) {
+  const auto jit = jobs_.find(id);
+  RS_REQUIRE(jit != jobs_.end(), "MultiMachineScheduler::erase: id not active");
+  const Window window = jit->second.window;
+  const MachineId machine = jit->second.machine;
+
+  auto& balance = windows_.at(window);
+  const std::uint64_t n_before = balance.count;
+  RS_CHECK(n_before >= 1, "balance ledger underflow");
+
+  RequestStats stats = machines_[machine]->erase(id);
+  balance.per_machine[machine].erase(id);
+  --balance.count;
+  jobs_.erase(jit);
+
+  // Rebalance: the latest-extra machine donates one W-job to the machine
+  // that lost one — the single migration Theorem 1 allows per request.
+  const auto donor =
+      static_cast<MachineId>((n_before - 1) % machines_.size());
+  if (donor != machine && balance.count > 0) {
+    auto& pool = balance.per_machine[donor];
+    RS_CHECK(!pool.empty(), "rebalance: donor machine has no job of this window");
+    const JobId moved = *pool.begin();
+    stats += machines_[donor]->erase(moved);
+    try {
+      stats += machines_[machine]->insert(moved, window);
+    } catch (...) {
+      // Restore the donor's copy so the schedule stays complete, then
+      // propagate the failure.
+      machines_[donor]->insert(moved, window);
+      throw;
+    }
+    pool.erase(moved);
+    balance.per_machine[machine].insert(moved);
+    jobs_.at(moved).machine = machine;
+    ++stats.reallocations;
+    ++stats.migrations;
+  }
+  if (balance.count == 0) windows_.erase(window);
+  return stats;
+}
+
+Schedule MultiMachineScheduler::snapshot() const {
+  Schedule out(machines());
+  for (unsigned machine = 0; machine < machines_.size(); ++machine) {
+    const Schedule inner = machines_[machine]->snapshot();
+    for (const auto& [job, placement] : inner.assignments()) {
+      out.assign(job, Placement{static_cast<MachineId>(machine), placement.slot});
+    }
+  }
+  return out;
+}
+
+void MultiMachineScheduler::audit_balance() const {
+  for (const auto& [window, balance] : windows_) {
+    const std::uint64_t m = machines_.size();
+    const std::uint64_t floor_share = balance.count / m;
+    const std::uint64_t extras = balance.count % m;
+    std::uint64_t total = 0;
+    for (std::uint64_t i = 0; i < m; ++i) {
+      const std::uint64_t share = balance.per_machine[i].size();
+      const std::uint64_t expected = floor_share + (i < extras ? 1 : 0);
+      RS_CHECK(share == expected,
+               "audit_balance: machine share deviates from round-robin invariant");
+      total += share;
+    }
+    RS_CHECK(total == balance.count, "audit_balance: count mismatch");
+  }
+}
+
+}  // namespace reasched

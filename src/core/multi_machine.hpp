@@ -1,0 +1,64 @@
+// Multi-machine → single-machine reduction (paper §3).
+//
+// For every window W the balancer tracks n_W, the number of active jobs
+// with exactly window W, and keeps every machine's share of them within
+// {⌊n_W/m⌋, ⌈n_W/m⌉}, extras on the earliest machines:
+//   * insert: delegate to machine (n_W mod m) — round robin;
+//   * delete from machine d: the latest-extra machine (n_W - 1 mod m)
+//     donates one W-job to d, a single migration (none if d is the donor).
+// All actual scheduling is performed by per-machine single-machine
+// schedulers (Lemma 3 shows the per-machine instances stay underallocated).
+//
+// The adapter is generic over the single-machine scheduler so the paper's
+// scheduler and the baselines can be compared under the same reduction.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "schedule/scheduler_interface.hpp"
+
+namespace reasched {
+
+class MultiMachineScheduler final : public IReallocScheduler {
+ public:
+  using Factory = std::function<std::unique_ptr<IReallocScheduler>()>;
+
+  /// Creates `machines` single-machine schedulers via `factory`.
+  MultiMachineScheduler(unsigned machines, const Factory& factory);
+
+  RequestStats insert(JobId id, Window window) override;
+  RequestStats erase(JobId id) override;
+
+  [[nodiscard]] Schedule snapshot() const override;
+  [[nodiscard]] std::size_t active_jobs() const override { return jobs_.size(); }
+  [[nodiscard]] unsigned machines() const override {
+    return static_cast<unsigned>(machines_.size());
+  }
+  [[nodiscard]] std::string name() const override;
+
+  /// Balancing invariant check (Lemma 3): every machine holds between
+  /// ⌊n_W/m⌋ and ⌈n_W/m⌉ jobs of each window W, extras on the earliest
+  /// machines. Throws InternalError on violation.
+  void audit_balance() const;
+
+ private:
+  struct BalanceState {
+    std::uint64_t count = 0;                              // n_W
+    std::vector<std::unordered_set<JobId>> per_machine;  // W-jobs per machine
+  };
+  struct JobInfo {
+    Window window;
+    MachineId machine = 0;
+  };
+
+  std::vector<std::unique_ptr<IReallocScheduler>> machines_;
+  std::unordered_map<Window, BalanceState> windows_;
+  std::unordered_map<JobId, JobInfo> jobs_;
+};
+
+}  // namespace reasched

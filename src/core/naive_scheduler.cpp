@@ -1,0 +1,108 @@
+#include "core/naive_scheduler.hpp"
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+NaiveScheduler::NaiveScheduler(SchedulerOptions options, Victim victim)
+    : options_(std::move(options)), victim_policy_(victim) {}
+
+RequestStats NaiveScheduler::insert(JobId id, Window window) {
+  RS_REQUIRE(window.valid(), "NaiveScheduler::insert: empty window");
+  RS_REQUIRE(!jobs_.contains(id), "NaiveScheduler::insert: id already active");
+  jobs_.emplace(id, JobState{window, 0});
+  RequestStats stats;
+  try {
+    place_cascading(id, stats, /*is_reallocation=*/false);
+  } catch (const InfeasibleError&) {
+    jobs_.erase(id);
+    throw;
+  }
+  return stats;
+}
+
+RequestStats NaiveScheduler::erase(JobId id) {
+  const auto it = jobs_.find(id);
+  RS_REQUIRE(it != jobs_.end(), "NaiveScheduler::erase: id not active");
+  occupant_.erase(it->second.slot);
+  runs_.release(it->second.slot);
+  jobs_.erase(it);
+  return RequestStats{};  // deletions never reallocate (Lemma 4)
+}
+
+void NaiveScheduler::place_cascading(JobId id, RequestStats& stats, bool is_reallocation) {
+  // Iterative displacement chain: spans strictly increase along the chain,
+  // so it terminates after at most (#distinct spans) steps. A journal of
+  // (slot, evicted job) lets a dead-ended chain unwind so a failed insert
+  // leaves the schedule exactly as it was (strong exception guarantee).
+  struct Step {
+    JobId placed;
+    Time slot;
+    JobId evicted;
+  };
+  std::vector<Step> journal;
+  JobId current = id;
+  bool counts = is_reallocation;
+  for (;;) {
+    JobState& state = jobs_.at(current);
+    const Window w = state.window;
+
+    // First fit via the run index: O(log n) instead of walking the packed
+    // prefix slot by slot.
+    const Time gap = runs_.next_free(w.start);
+    if (gap < w.end) {
+      state.slot = gap;
+      occupant_[gap] = current;
+      runs_.occupy(gap);
+      if (counts) ++stats.reallocations;
+      return;
+    }
+
+    // Window fully occupied: find a displacement victim (strictly longer
+    // span only — pecking order). kFirst stops at the first candidate.
+    JobId victim{};
+    Time victim_slot = 0;
+    Time victim_span = w.span();
+    for (auto it = occupant_.lower_bound(w.start);
+         it != occupant_.end() && it->first < w.end; ++it) {
+      const Time occupant_span = jobs_.at(it->second).window.span();
+      const bool better = victim_policy_ == Victim::kFirst
+                              ? (victim_span == w.span() && occupant_span > w.span())
+                              : (occupant_span > victim_span);
+      if (better) {
+        victim_span = occupant_span;
+        victim = it->second;
+        victim_slot = it->first;
+        if (victim_policy_ == Victim::kFirst) break;
+      }
+    }
+    if (victim_span == w.span()) {
+      // Dead end: unwind the chain. Each evicted job's original slot is
+      // exactly the slot recorded in its step.
+      for (auto step = journal.rbegin(); step != journal.rend(); ++step) {
+        occupant_[step->slot] = step->evicted;
+        jobs_.at(step->evicted).slot = step->slot;
+      }
+      throw InfeasibleError(
+          "naive scheduler: window is full of equal-or-shorter jobs; instance "
+          "infeasible for pecking-order insertion");
+    }
+    // Displace the longest victim and continue the chain with it.
+    journal.push_back(Step{current, victim_slot, victim});
+    state.slot = victim_slot;
+    occupant_[victim_slot] = current;
+    if (counts) ++stats.reallocations;
+    current = victim;
+    counts = true;  // every displaced job is a pre-existing job: it counts
+  }
+}
+
+Schedule NaiveScheduler::snapshot() const {
+  Schedule out(1);
+  for (const auto& [id, state] : jobs_) {
+    out.assign(id, Placement{0, state.slot});
+  }
+  return out;
+}
+
+}  // namespace reasched

@@ -1,0 +1,64 @@
+// Naive pecking-order scheduling (paper §4, Lemma 4).
+//
+// A job schedules itself with complete deference to shorter-span jobs and
+// no regard for longer ones: insert looks for any empty slot in the window;
+// failing that it displaces a strictly-longer-span occupant and recursively
+// reinserts it. On recursively aligned instances each displacement strictly
+// increases the span, so an insert causes O(min{log n, log Δ}) reallocations.
+// Deletions never move jobs.
+//
+// This is the paper's stepping-stone algorithm and serves as the
+// logarithmic baseline in the E1/E2 benchmarks.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "core/scheduler_options.hpp"
+#include "schedule/scheduler_interface.hpp"
+#include "schedule/slot_runs.hpp"
+
+namespace reasched {
+
+class NaiveScheduler final : public IReallocScheduler {
+ public:
+  /// Which strictly-longer occupant to displace when the window is full.
+  /// Lemma 4 says "select any job ... with span >= 2^{i+1}"; the bound is
+  /// the same for every choice, but the constant differs:
+  enum class Victim : std::uint8_t {
+    kFirst,    ///< first strictly-longer in slot order (the artless choice)
+    kLongest,  ///< most-flexible victim: shortens cascades in practice
+  };
+
+  explicit NaiveScheduler(SchedulerOptions options = {}, Victim victim = Victim::kFirst);
+
+  /// Window must be valid; alignment is recommended (the Lemma 4 bound
+  /// assumes it) but not required for correctness.
+  RequestStats insert(JobId id, Window window) override;
+  RequestStats erase(JobId id) override;
+
+  [[nodiscard]] Schedule snapshot() const override;
+  [[nodiscard]] std::size_t active_jobs() const override { return jobs_.size(); }
+  [[nodiscard]] unsigned machines() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "naive-pecking-order"; }
+
+ private:
+  struct JobState {
+    Window window;
+    Time slot = 0;
+  };
+
+  /// Places `id` (already registered in jobs_) somewhere in its window,
+  /// displacing strictly-longer jobs as needed. Accumulates costs into
+  /// `stats`; `is_reallocation` marks whether placing `id` itself counts.
+  void place_cascading(JobId id, RequestStats& stats, bool is_reallocation);
+
+  SchedulerOptions options_;
+  Victim victim_policy_;
+  std::map<Time, JobId> occupant_;  // ordered: victim scans over window ranges
+  SlotRuns runs_;                   // O(log n) first-gap queries
+  std::unordered_map<JobId, JobState> jobs_;
+};
+
+}  // namespace reasched

@@ -1,0 +1,43 @@
+// The full Theorem-1 pipeline: align (§5) → delegate round-robin (§3) →
+// single-machine pecking-order scheduling with reservations (§4).
+//
+// For any m-machine γ-underallocated request sequence (γ the paper's
+// constant), each request causes O(min{log* n, log* Δ}) reallocations and
+// at most one machine migration.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/multi_machine.hpp"
+#include "core/scheduler_options.hpp"
+#include "schedule/scheduler_interface.hpp"
+
+namespace reasched {
+
+class ReallocatingScheduler final : public IReallocScheduler {
+ public:
+  /// Default pipeline: per-machine ReservationScheduler instances.
+  explicit ReallocatingScheduler(unsigned machines, SchedulerOptions options = {});
+
+  /// Custom inner scheduler (e.g. NaiveScheduler) behind the same
+  /// align-and-delegate front end; used by benchmarks for fair comparison.
+  ReallocatingScheduler(unsigned machines, const MultiMachineScheduler::Factory& factory,
+                        std::string label);
+
+  RequestStats insert(JobId id, Window window) override;
+  RequestStats erase(JobId id) override;
+
+  [[nodiscard]] Schedule snapshot() const override { return inner_.snapshot(); }
+  [[nodiscard]] std::size_t active_jobs() const override { return inner_.active_jobs(); }
+  [[nodiscard]] unsigned machines() const override { return inner_.machines(); }
+  [[nodiscard]] std::string name() const override { return label_; }
+
+  [[nodiscard]] MultiMachineScheduler& balancer() noexcept { return inner_; }
+
+ private:
+  MultiMachineScheduler inner_;
+  std::string label_;
+};
+
+}  // namespace reasched

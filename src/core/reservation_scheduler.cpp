@@ -1,0 +1,990 @@
+#include "core/reservation_scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+#include "feasibility/edf.hpp"
+
+namespace reasched {
+
+namespace {
+
+constexpr u64 kMinNStar = 8;
+
+/// Internal: the request job failed its reservation placement under the
+/// strict overflow policy — distinguish from generic dead ends so the
+/// recovery path rejects outright instead of adopting an EDF fallback.
+class RequestRejectedError : public InfeasibleError {
+ public:
+  using InfeasibleError::InfeasibleError;
+};
+
+u64 job_hash(JobId id) noexcept {
+  std::uint64_t z = id.value + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ReservationScheduler::ReservationScheduler(SchedulerOptions options)
+    : options_(std::move(options)), n_star_(kMinNStar) {
+  RS_REQUIRE(is_pow2(options_.gamma),
+             "SchedulerOptions::gamma must be a power of two (keeps trimmed "
+             "windows aligned)");
+  const unsigned count = options_.levels.level_count();
+  levels_.resize(count);
+  for (unsigned level = 0; level < count; ++level) {
+    auto& ls = levels_[level];
+    ls.max_span = options_.levels.max_span(level);
+    ls.max_span_log = floor_log2(ls.max_span);
+    if (level >= 1) {
+      ls.interval_size = options_.levels.interval_size(level);
+      ls.interval_log = options_.levels.interval_size_log(level);
+      ls.min_span_log = ls.interval_log + 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Geometry
+// ---------------------------------------------------------------------------
+
+Time ReservationScheduler::interval_base_of(unsigned level, Time slot) const {
+  return align_down(slot, levels_[level].interval_size);
+}
+
+Time ReservationScheduler::nth_interval_base(const WindowKey& w, unsigned level,
+                                             u64 index) const {
+  return w.start + static_cast<Time>(index * levels_[level].interval_size);
+}
+
+unsigned ReservationScheduler::block_floor(const JobState& job) const noexcept {
+  // A reserved level-ℓ job makes its slot unavailable to levels > ℓ (it sits
+  // on its own level's fulfilled reservation). A parked job additionally
+  // blocks its own level: it occupies a slot outside the reservation system,
+  // so that slot must not be handed out as anyone's fulfilled reservation.
+  return job.parked ? job.level : job.level + 1;
+}
+
+// ---------------------------------------------------------------------------
+// Interval state
+// ---------------------------------------------------------------------------
+
+ReservationScheduler::Interval& ReservationScheduler::get_or_create_interval(
+    unsigned level, Time base) {
+  auto& ls = levels_[level];
+  RS_CHECK(ls.interval_size > 0, "intervals exist only for levels >= 1");
+  const auto [it, inserted] = ls.intervals.try_emplace(base);
+  Interval& interval = it->second;
+  if (inserted) {
+    interval.base = base;
+    interval.slots.assign(ls.interval_size, SlotInfo{});
+    // Initialize occupancy flags from the live schedule.
+    const Time end = base + static_cast<Time>(ls.interval_size);
+    for (auto oit = occupant_.lower_bound(base); oit != occupant_.end() && oit->first < end;
+         ++oit) {
+      const JobState& job = jobs_.at(oit->second);
+      if (block_floor(job) <= level) {
+        interval.slots[static_cast<std::size_t>(oit->first - base)].lower_occupied = true;
+        ++interval.lower_count;
+      }
+    }
+  }
+  return interval;
+}
+
+ReservationScheduler::Interval* ReservationScheduler::find_interval(unsigned level,
+                                                                    Time base) {
+  auto& intervals = levels_[level].intervals;
+  const auto it = intervals.find(base);
+  return it == intervals.end() ? nullptr : &it->second;
+}
+
+std::vector<ReservationScheduler::FulRow> ReservationScheduler::compute_fulfillment(
+    unsigned level, const Interval& interval) const {
+  const auto& ls = levels_[level];
+  std::vector<FulRow> rows;
+  rows.reserve(ls.max_span_log - ls.min_span_log + 1);
+  RS_CHECK(interval.lower_count <= ls.interval_size, "lower_count overflow");
+  u64 remaining = ls.interval_size - interval.lower_count;
+  // Shortest-window-first greedy over the canonical reservation counts
+  // (Invariant 5). Exactly one aligned window of each span contains this
+  // interval; windows with zero jobs ("virtual") still hold one baseline
+  // reservation per interval and consume priority.
+  for (unsigned span_log = ls.min_span_log; span_log <= ls.max_span_log; ++span_log) {
+    const u64 span = pow2(span_log);
+    WindowKey key;
+    key.start = align_down(interval.base, span);
+    key.span_log = static_cast<std::uint8_t>(span_log);
+    const ActiveWindow* window = nullptr;
+    if (const auto wit = ls.windows.find(key); wit != ls.windows.end()) {
+      window = &wit->second;
+    }
+    const u64 x = window ? window->jobs : 0;
+    const unsigned k_log = span_log - ls.interval_log;
+    const u64 num_intervals = pow2(k_log);
+    const u64 idx = static_cast<u64>(interval.base - key.start) >> ls.interval_log;
+    const u64 quotient = (2 * x) >> k_log;
+    const u64 remainder = (2 * x) & (num_intervals - 1);
+    const u64 reservations = quotient + 1 + (idx < remainder ? 1 : 0);
+    const u64 fulfilled = std::min(reservations, remaining);
+    remaining -= fulfilled;
+    rows.push_back(FulRow{key, window, static_cast<std::uint32_t>(reservations),
+                          static_cast<std::uint32_t>(fulfilled)});
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Reservation machinery
+// ---------------------------------------------------------------------------
+
+void ReservationScheduler::assign_slot(unsigned level, Interval& interval, Time slot,
+                                       const WindowKey& w) {
+  SlotInfo& info = interval.slots[static_cast<std::size_t>(slot - interval.base)];
+  RS_CHECK(!info.assigned && !info.lower_occupied, "assign_slot: slot unavailable");
+  info.assigned = true;
+  info.owner = w;
+  ++interval.assigned_count;
+  auto& window = levels_[level].windows.at(w);
+  window.assigned_slots.insert(slot);
+  // A freshly claimed slot never carries a job of this level (such slots are
+  // either lower-flagged or already assigned), so it is free by definition.
+  window.free_assigned.insert(slot);
+}
+
+void ReservationScheduler::unassign_slot(unsigned level, Interval& interval, Time slot) {
+  SlotInfo& info = interval.slots[static_cast<std::size_t>(slot - interval.base)];
+  RS_CHECK(info.assigned, "unassign_slot: slot not assigned");
+  auto& window = levels_[level].windows.at(info.owner);
+  RS_CHECK(window.assigned_slots.erase(slot) == 1, "unassign_slot: ledger mismatch");
+  window.free_assigned.erase(slot);
+  info.assigned = false;
+  info.owner = WindowKey{};
+  --interval.assigned_count;
+}
+
+void ReservationScheduler::reconcile(unsigned level, Time interval_base,
+                                     std::vector<JobId>& pending) {
+  Interval& interval = get_or_create_interval(level, interval_base);
+  const auto rows = compute_fulfillment(level, interval);
+
+  // Current concrete assignment counts, one pass.
+  std::unordered_map<WindowKey, std::uint32_t> assigned;
+  for (std::size_t off = 0; off < interval.slots.size(); ++off) {
+    const SlotInfo& info = interval.slots[off];
+    if (info.assigned) ++assigned[info.owner];
+  }
+
+  std::vector<JobId> to_move;
+  for (const auto& row : rows) {
+    if (row.window == nullptr) continue;  // virtual windows hold no concrete slots
+    const auto ait = assigned.find(row.key);
+    const std::uint32_t a = ait == assigned.end() ? 0 : ait->second;
+    if (a <= row.fulfilled) continue;  // lazy under-assignment is fine
+    std::uint32_t to_release = a - row.fulfilled;
+
+    // Prefer releasing slots that carry no job of this level (silent); only
+    // move jobs when every over-assigned slot is occupied by one.
+    std::vector<Time> silent;
+    std::vector<Time> occupied;
+    for (std::size_t off = 0; off < interval.slots.size(); ++off) {
+      const SlotInfo& info = interval.slots[off];
+      if (!info.assigned || info.owner != row.key) continue;
+      const Time slot = interval.base + static_cast<Time>(off);
+      const auto oit = occupant_.find(slot);
+      if (oit == occupant_.end() || jobs_.at(oit->second).level != level) {
+        silent.push_back(slot);
+      } else {
+        occupied.push_back(slot);
+      }
+    }
+    for (const Time slot : silent) {
+      if (to_release == 0) break;
+      unassign_slot(level, interval, slot);
+      --to_release;
+    }
+    for (const Time slot : occupied) {
+      if (to_release == 0) break;
+      const JobId job = occupant_.at(slot);
+      unassign_slot(level, interval, slot);
+      to_move.push_back(job);
+      --to_release;
+    }
+    RS_CHECK(to_release == 0, "reconcile: could not release enough slots");
+  }
+  for (const JobId job : to_move) move_job(job, pending);
+}
+
+Time ReservationScheduler::acquire_slot(const WindowKey& w, unsigned level, Time avoid) {
+  auto& ls = levels_[level];
+  auto& window = ls.windows.at(w);
+
+  // Fast path: an already-materialized free fulfilled slot. Prefer a truly
+  // empty one among the first few probes (fewer displacements); any free
+  // fulfilled slot is valid per Figure 1 line 15.
+  Time fallback = kNoSlot;
+  int probes = 0;
+  for (const Time slot : window.free_assigned) {
+    if (slot == avoid) continue;
+    if (!occupant_.contains(slot)) return slot;
+    if (fallback == kNoSlot) fallback = slot;
+    if (++probes >= 4) break;
+  }
+  if (fallback != kNoSlot) return fallback;
+
+  // Slow path: claim a spare fulfilled reservation from some interval of W.
+  // Lemma 8 guarantees that (under 8-underallocation) strictly more than
+  // half of W's intervals fulfil all of W's reservations, so a round-robin
+  // scan terminates quickly in the intended regime.
+  const unsigned k_log = w.span_log - ls.interval_log;
+  const u64 num_intervals = pow2(k_log);
+  for (u64 step = 0; step < num_intervals; ++step) {
+    const u64 idx = (window.claim_cursor + step) % num_intervals;
+    const Time base = nth_interval_base(w, level, idx);
+    Interval& interval = get_or_create_interval(level, base);
+    const auto rows = compute_fulfillment(level, interval);
+    std::uint32_t fulfilled = 0;
+    for (const auto& row : rows) {
+      if (row.key == w) {
+        fulfilled = row.fulfilled;
+        break;
+      }
+    }
+    std::uint32_t assigned_here = 0;
+    Time free_any = kNoSlot;
+    Time free_empty = kNoSlot;
+    for (std::size_t off = 0; off < interval.slots.size(); ++off) {
+      const SlotInfo& info = interval.slots[off];
+      const Time slot = interval.base + static_cast<Time>(off);
+      if (info.assigned && info.owner == w) ++assigned_here;
+      if (!info.assigned && !info.lower_occupied && slot != avoid) {
+        if (free_any == kNoSlot) free_any = slot;
+        if (free_empty == kNoSlot && !occupant_.contains(slot)) free_empty = slot;
+      }
+    }
+    if (fulfilled > assigned_here) {
+      const Time slot = free_empty != kNoSlot ? free_empty : free_any;
+      if (slot == kNoSlot) continue;  // only free slot was `avoid`; try elsewhere
+      assign_slot(level, interval, slot, w);
+      window.claim_cursor = (idx + 1) % num_intervals;
+      return slot;
+    }
+  }
+  return kNoSlot;
+}
+
+// ---------------------------------------------------------------------------
+// Job motion
+// ---------------------------------------------------------------------------
+
+void ReservationScheduler::count_move(const JobState& job) noexcept {
+  ++current_.reallocations;
+  touched_levels_mask_ |= (1u << job.level);
+}
+
+void ReservationScheduler::occupy(JobId id, Time slot, bool parked_placement,
+                                  std::vector<JobId>& pending, bool counts) {
+  JobState& job = jobs_.at(id);
+  RS_CHECK(job.slot == kNoSlot, "occupy: job already placed");
+  RS_CHECK(job.window.contains(slot), "occupy: slot outside window");
+
+  // Displace the current occupant, if any. Pecking order guarantees it has
+  // a strictly longer span.
+  JobId displaced{};
+  bool has_displaced = false;
+  unsigned old_floor = top_level() + 1;  // level from which the slot was already blocked
+  if (const auto oit = occupant_.find(slot); oit != occupant_.end()) {
+    displaced = oit->second;
+    has_displaced = true;
+    JobState& victim = jobs_.at(displaced);
+    RS_CHECK(victim.window.span() > job.window.span(),
+             "occupy: pecking order violated (displacing a non-longer job)");
+    old_floor = block_floor(victim);
+    if (victim.parked) {
+      victim.parked = false;
+      --parked_count_;
+    }
+    victim.slot = kNoSlot;
+  }
+
+  job.parked = parked_placement;
+  if (parked_placement) ++parked_count_;
+  occupant_[slot] = id;
+  if (!has_displaced) runs_.occupy(slot);  // displaced: slot stays occupied
+  job.slot = slot;
+
+  // Own-level ledger: a reserved placement lands on a slot assigned to its
+  // own window; that slot stops being "free".
+  if (!parked_placement && job.level >= 1) {
+    auto& window = levels_[job.level].windows.at(WindowKey(job.window));
+    RS_CHECK(window.assigned_slots.contains(slot),
+             "occupy: reserved placement on a slot not assigned to the window");
+    window.free_assigned.erase(slot);
+  }
+
+  // The slot becomes blocked ("occupied by a lower-level job") for levels in
+  // [new_floor, old_floor); it was already blocked above old_floor. Each
+  // affected interval loses the slot from its allowance (Figure 1 lines
+  // 17-21): void any assignment on it, then reconcile, which may waitlist
+  // the marginal window's reservation and MOVE a job.
+  const unsigned new_floor = block_floor(job);
+  for (unsigned level = std::max(new_floor, 1u);
+       level < old_floor && level <= top_level(); ++level) {
+    Interval* interval = find_interval(level, interval_base_of(level, slot));
+    if (interval == nullptr) continue;  // never materialized: flags set lazily
+    SlotInfo& info = interval->slots[static_cast<std::size_t>(slot - interval->base)];
+    RS_CHECK(!info.lower_occupied, "occupy: stale lower_occupied flag");
+    if (info.assigned) unassign_slot(level, *interval, slot);
+    info.lower_occupied = true;
+    ++interval->lower_count;
+    reconcile(level, interval->base, pending);
+  }
+
+  if (counts) count_move(job);
+  if (has_displaced) pending.push_back(displaced);
+}
+
+void ReservationScheduler::vacate(JobId id) {
+  JobState& job = jobs_.at(id);
+  RS_CHECK(job.slot != kNoSlot, "vacate: job not placed");
+  const Time slot = job.slot;
+  occupant_.erase(slot);
+  runs_.release(slot);
+  job.slot = kNoSlot;
+
+  const unsigned floor = block_floor(job);
+  for (unsigned level = std::max(floor, 1u); level <= top_level(); ++level) {
+    Interval* interval = find_interval(level, interval_base_of(level, slot));
+    if (interval == nullptr) continue;
+    SlotInfo& info = interval->slots[static_cast<std::size_t>(slot - interval->base)];
+    RS_CHECK(info.lower_occupied, "vacate: missing lower_occupied flag");
+    info.lower_occupied = false;
+    --interval->lower_count;
+    // Allowance grew: waitlisted reservations may be promoted, which needs
+    // no job movement and is realized lazily on the next claim.
+  }
+
+  if (job.parked) {
+    job.parked = false;
+    --parked_count_;
+  } else if (job.level >= 1) {
+    // The slot keeps its reservation; it is once again a free fulfilled
+    // slot of the window (if still assigned — a release may have detached
+    // it just before a MOVE).
+    auto& ls = levels_[job.level];
+    if (const auto wit = ls.windows.find(WindowKey(job.window)); wit != ls.windows.end()) {
+      if (wit->second.assigned_slots.contains(slot)) {
+        wit->second.free_assigned.insert(slot);
+      }
+    }
+  }
+}
+
+void ReservationScheduler::swap_ancestor_bookkeeping(Time s1, Time s2,
+                                                     unsigned above_level) {
+  for (unsigned level = above_level + 1; level <= top_level(); ++level) {
+    Interval* interval = find_interval(level, interval_base_of(level, s1));
+    if (interval == nullptr) continue;
+    RS_CHECK(interval_base_of(level, s2) == interval->base,
+             "swap: slots not in the same ancestor interval");
+    SlotInfo& a = interval->slots[static_cast<std::size_t>(s1 - interval->base)];
+    SlotInfo& b = interval->slots[static_cast<std::size_t>(s2 - interval->base)];
+    if (a.assigned && b.assigned && a.owner == b.owner) {
+      // Same owner on both slots: set membership is unchanged; only the
+      // free/occupied status may differ and follows the physical swap.
+      auto& window = levels_[level].windows.at(a.owner);
+      const bool free1 = window.free_assigned.contains(s1);
+      const bool free2 = window.free_assigned.contains(s2);
+      if (free1 != free2) {
+        if (free1) {
+          window.free_assigned.erase(s1);
+          window.free_assigned.insert(s2);
+        } else {
+          window.free_assigned.erase(s2);
+          window.free_assigned.insert(s1);
+        }
+      }
+    } else {
+      const auto transfer = [&](SlotInfo& info, Time from, Time to) {
+        if (!info.assigned) return;
+        auto& window = levels_[level].windows.at(info.owner);
+        RS_CHECK(window.assigned_slots.erase(from) == 1, "swap: ledger mismatch");
+        window.assigned_slots.insert(to);
+        if (window.free_assigned.erase(from) > 0) window.free_assigned.insert(to);
+      };
+      transfer(a, s1, s2);
+      transfer(b, s2, s1);
+    }
+    std::swap(a, b);
+  }
+}
+
+void ReservationScheduler::move_job(JobId id, std::vector<JobId>& pending) {
+  JobState& job = jobs_.at(id);
+  RS_CHECK(!job.parked && job.level >= 1, "move_job: only reserved jobs use MOVE");
+  const Time from = job.slot;
+  RS_CHECK(from != kNoSlot, "move_job: job not placed");
+  const WindowKey w(job.window);
+
+  const Time to = acquire_slot(w, job.level, /*avoid=*/from);
+  if (to == kNoSlot) {
+    // Lemma 8's guarantee failed: the instance is not sufficiently
+    // underallocated. Degrade gracefully — the job leaves the reservation
+    // system and is re-placed best-effort. (Throwing here would leave the
+    // schedule with an unplaced pre-existing job, so even under kThrow we
+    // park and record the degradation.)
+    ++current_.degraded;
+    vacate(id);
+    place_unreserved(id, /*park=*/true, pending, /*counts=*/true);
+    return;
+  }
+
+  // Figure-1 MOVE via the swap trick: `from` and `to` lie inside W, hence in
+  // the same ancestor interval at every level above; swapping the two slots'
+  // bookkeeping wholesale keeps every higher-level allowance unchanged. A
+  // higher-level job h on `to` is rehoused onto the vacated `from` (its
+  // reservation follows the swap) with no further cascading.
+  JobId higher{};
+  bool has_higher = false;
+  if (const auto oit = occupant_.find(to); oit != occupant_.end()) {
+    higher = oit->second;
+    has_higher = true;
+  }
+
+  occupant_.erase(from);
+  swap_ancestor_bookkeeping(from, to, job.level);
+  if (has_higher) {
+    // Occupancy swaps wholesale: both slots stay occupied.
+    JobState& hjob = jobs_.at(higher);
+    RS_CHECK(hjob.level > job.level, "move_job: target slot held a non-higher job");
+    occupant_[from] = higher;
+    hjob.slot = from;
+    count_move(hjob);
+  } else {
+    runs_.release(from);
+    runs_.occupy(to);
+  }
+
+  auto& window = levels_[job.level].windows.at(w);
+  RS_CHECK(window.assigned_slots.contains(to), "move_job: target lost its reservation");
+  window.free_assigned.erase(to);
+  occupant_[to] = id;
+  job.slot = to;
+  count_move(job);
+}
+
+void ReservationScheduler::place_reserved(JobId id, std::vector<JobId>& pending,
+                                          bool is_request_job, bool counts) {
+  JobState& job = jobs_.at(id);
+  const WindowKey w(job.window);
+  const Time slot = acquire_slot(w, job.level, kNoSlot);
+  if (slot == kNoSlot) {
+    if (is_request_job && options_.overflow == OverflowPolicy::kThrow && !in_rebuild_) {
+      // Strict mode: a reservation failure on the request job rejects it.
+      throw RequestRejectedError(
+          "reservation scheduler: no fulfilled slot available for the inserted "
+          "job; the instance is not sufficiently underallocated");
+    }
+    ++current_.degraded;
+    place_unreserved(id, /*park=*/true, pending, counts);
+    return;
+  }
+  occupy(id, slot, /*parked_placement=*/false, pending, counts);
+}
+
+void ReservationScheduler::place_unreserved(JobId id, bool park,
+                                            std::vector<JobId>& pending, bool counts) {
+  JobState& job = jobs_.at(id);
+  const Window w = job.window;
+
+  // First-fit gap collection via the run index, then (only if the window is
+  // fully occupied) a victim walk — pecking order displaces strictly longer
+  // jobs only.
+  std::vector<Time> gaps;
+  const std::size_t max_gaps =
+      options_.placement == PlacementPolicy::kAvoidReserved ? 16 : 1;
+  for (Time t = runs_.next_free(w.start); t < w.end && gaps.size() < max_gaps;
+       t = runs_.next_free(t + 1)) {
+    gaps.push_back(t);
+  }
+  JobId victim{};
+  Time victim_slot = 0;
+  Time victim_span = w.span();
+  bool has_victim = false;
+  if (gaps.empty()) {
+    for (auto it = occupant_.lower_bound(w.start);
+         it != occupant_.end() && it->first < w.end; ++it) {
+      const JobState& other = jobs_.at(it->second);
+      if (other.window.span() > victim_span) {
+        victim_span = other.window.span();
+        victim = it->second;
+        victim_slot = it->first;
+        has_victim = true;
+      }
+    }
+  }
+
+  if (!gaps.empty()) {
+    Time chosen = gaps.front();
+    if (options_.placement == PlacementPolicy::kAvoidReserved) {
+      // Prefer a gap that no materialized higher-level interval has handed
+      // out as a fulfilled reservation (ablation; reduces waitlist churn).
+      for (const Time gap : gaps) {
+        bool reserved = false;
+        for (unsigned level = 1; level <= top_level(); ++level) {
+          const auto& intervals = levels_[level].intervals;
+          const auto iit = intervals.find(align_down(gap, levels_[level].interval_size));
+          if (iit == intervals.end()) continue;
+          if (iit->second.slots[static_cast<std::size_t>(gap - iit->second.base)].assigned) {
+            reserved = true;
+            break;
+          }
+        }
+        if (!reserved) {
+          chosen = gap;
+          break;
+        }
+      }
+    }
+    occupy(id, chosen, park, pending, counts);
+    return;
+  }
+  if (!has_victim) {
+    throw InfeasibleError(
+        "pecking-order placement: window saturated with equal-or-shorter jobs; "
+        "instance infeasible");
+  }
+  occupy(id, victim_slot, park, pending, counts);
+}
+
+void ReservationScheduler::drain(std::vector<JobId>& pending) {
+  while (!pending.empty()) {
+    const JobId id = pending.back();
+    pending.pop_back();
+    JobState& job = jobs_.at(id);
+    RS_CHECK(job.slot == kNoSlot, "drain: pending job already placed");
+    if (job.level == 0) {
+      place_unreserved(id, /*park=*/false, pending, /*counts=*/true);
+    } else {
+      place_reserved(id, pending, /*is_request_job=*/false, /*counts=*/true);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+Window ReservationScheduler::trim(JobId id, Window w) const {
+  // §4 "Trimming Windows to n": windows wider than 2γn* are trimmed to an
+  // aligned sub-window of span exactly 2γn* (both powers of two, so the
+  // block decomposition is exact). The block is picked by job-id hash to
+  // spread trimmed jobs across the original window deterministically.
+  const u64 limit = 2 * options_.gamma * n_star_;
+  if (static_cast<u64>(w.span()) <= limit) return w;
+  const u64 blocks = static_cast<u64>(w.span()) / limit;
+  const u64 pick = job_hash(id) % blocks;
+  const Time start = w.start + static_cast<Time>(pick * limit);
+  return Window{start, start + static_cast<Time>(limit)};
+}
+
+void ReservationScheduler::insert_impl(JobId id, Window original) {
+  const Window trimmed = options_.trimming ? trim(id, original) : original;
+  const unsigned level = options_.levels.level_of(static_cast<u64>(trimmed.span()));
+  jobs_.emplace(id, JobState{original, trimmed, level, kNoSlot, false});
+
+  std::vector<JobId> pending;
+  try {
+    if (level == 0) {
+      place_unreserved(id, /*park=*/false, pending, /*counts=*/false);
+    } else {
+      auto& ls = levels_[level];
+      const WindowKey w(trimmed);
+      auto& window = ls.windows[w];  // activates the window if new
+      const u64 x_old = window.jobs;
+      window.jobs = x_old + 1;
+
+      // Invariant 5: the two new reservations go to the round-robin
+      // positions following the 2x_old + 2^k existing ones.
+      const unsigned k_log = w.span_log - ls.interval_log;
+      const u64 num_intervals = pow2(k_log);
+      const u64 p1 = (2 * x_old) % num_intervals;
+      const u64 p2 = (2 * x_old + 1) % num_intervals;
+      reconcile(level, nth_interval_base(w, level, p1), pending);
+      reconcile(level, nth_interval_base(w, level, p2), pending);
+
+      place_reserved(id, pending, /*is_request_job=*/true, /*counts=*/false);
+    }
+    drain(pending);
+  } catch (const RequestRejectedError&) {
+    // Strict mode: reservation failure on the request job.
+    recover_or_reject(id, /*reject_outright=*/true, pending);
+  } catch (const InfeasibleError&) {
+    // A pecking-order displacement chain dead-ended (insufficient slack).
+    const bool strict = options_.overflow == OverflowPolicy::kThrow && !in_rebuild_;
+    recover_or_reject(id, /*reject_outright=*/strict, pending);
+  }
+}
+
+void ReservationScheduler::erase_impl(JobId id) {
+  try {
+    erase_body(id);
+  } catch (const InfeasibleError&) {
+    // A MOVE triggered by the reservation removal dead-ended. The remaining
+    // set was feasibly scheduled a moment ago, so the EDF fallback always
+    // succeeds here.
+    RS_CHECK(emergency_reschedule(nullptr),
+             "erase recovery: EDF infeasible on a previously feasible set");
+  }
+}
+
+void ReservationScheduler::erase_body(JobId id) {
+  const auto jit = jobs_.find(id);
+  RS_CHECK(jit != jobs_.end(), "erase_impl: unknown job");
+  const JobState state = jit->second;  // copy before mutation
+  std::vector<JobId> pending;
+
+  if (state.slot != kNoSlot) vacate(id);
+  jobs_.erase(id);
+
+  if (state.level >= 1) {
+    auto& ls = levels_[state.level];
+    const WindowKey w(state.window);
+    const auto wit = ls.windows.find(w);
+    RS_CHECK(wit != ls.windows.end(), "erase_impl: window ledger missing");
+    ActiveWindow& window = wit->second;
+    const u64 x_old = window.jobs;
+    RS_CHECK(x_old >= 1, "erase_impl: window job count underflow");
+    window.jobs = x_old - 1;
+
+    if (window.jobs == 0) {
+      // Deactivate: all concrete slots return to the free pool; promotions
+      // of longer windows' waitlisted reservations need no job movement.
+      const std::vector<Time> slots(window.assigned_slots.begin(),
+                                    window.assigned_slots.end());
+      for (const Time slot : slots) {
+        Interval* interval = find_interval(state.level, interval_base_of(state.level, slot));
+        RS_CHECK(interval != nullptr, "erase_impl: assigned slot in missing interval");
+        unassign_slot(state.level, *interval, slot);
+      }
+      ls.windows.erase(wit);
+    } else {
+      // Remove the two most recently added reservations (the "two rightmost
+      // intervals with the most reservations").
+      const unsigned k_log = w.span_log - ls.interval_log;
+      const u64 num_intervals = pow2(k_log);
+      const u64 p1 = (2 * x_old - 1) % num_intervals;
+      const u64 p2 = (2 * x_old - 2) % num_intervals;
+      reconcile(state.level, nth_interval_base(w, state.level, p1), pending);
+      reconcile(state.level, nth_interval_base(w, state.level, p2), pending);
+    }
+  }
+  drain(pending);
+}
+
+bool ReservationScheduler::emergency_reschedule(const JobId* exclude) {
+  std::vector<JobSpec> specs;
+  specs.reserve(jobs_.size());
+  for (const auto& [jid, job] : jobs_) {
+    if (exclude != nullptr && jid == *exclude) continue;
+    specs.push_back(JobSpec{jid, job.window});
+  }
+  const auto schedule = edf_schedule(specs, 1);
+  if (!schedule.has_value()) return false;
+
+  // Adopt the EDF schedule: every job becomes a parked placement. The
+  // window ledgers' job counts survive (they describe the active set, which
+  // is unchanged); concrete reservation assignments reset and will be
+  // re-claimed lazily by future requests.
+  std::unordered_map<JobId, Time> old_slots;
+  old_slots.reserve(jobs_.size());
+  for (const auto& [jid, job] : jobs_) old_slots.emplace(jid, job.slot);
+
+  occupant_.clear();
+  runs_ = SlotRuns{};
+  parked_count_ = 0;
+  for (auto& ls : levels_) {
+    ls.intervals.clear();
+    for (auto& [key, window] : ls.windows) {
+      window.assigned_slots.clear();
+      window.free_assigned.clear();
+      window.claim_cursor = 0;
+    }
+  }
+  for (auto& [jid, job] : jobs_) {
+    job.slot = kNoSlot;
+    job.parked = false;
+  }
+  u64 moved = 0;
+  for (const auto& [jid, placement] : *schedule) {
+    JobState& job = jobs_.at(jid);
+    job.slot = placement.slot;
+    job.parked = job.level >= 1;
+    if (job.parked) ++parked_count_;
+    occupant_[placement.slot] = jid;
+    runs_.occupy(placement.slot);
+    if (old_slots.at(jid) != placement.slot) ++moved;
+  }
+  current_.reallocations += moved;
+  current_.degraded += schedule->size();
+  current_.rebuilt = true;
+  return true;
+}
+
+void ReservationScheduler::recover_or_reject(JobId id, bool reject_outright,
+                                             std::vector<JobId>& pending) {
+  // Try to settle any interrupted cascade cheaply; a nested dead end while
+  // draining falls through to the EDF recovery below.
+  try {
+    drain(pending);
+  } catch (const InfeasibleError&) {
+    pending.clear();
+  }
+  std::size_t stranded = 0;
+  for (const auto& [jid, job] : jobs_) {
+    if (jid != id && job.slot == kNoSlot) ++stranded;
+  }
+
+  if (stranded == 0) {
+    if (!reject_outright) {
+      // Best effort: the pecking order could not place the request, but EDF
+      // (which is complete for unit jobs) might — keep the request if so.
+      if (emergency_reschedule(nullptr)) return;
+    }
+    // Clean rejection: every pre-existing job is placed; just drop the
+    // request's ledger entries. Minimal disturbance.
+    erase_impl(id);
+  } else {
+    // Cascaded jobs were stranded mid-flight: rebuild a feasible schedule
+    // for the whole set, keeping the request if possible and allowed.
+    if (!reject_outright && emergency_reschedule(nullptr)) return;
+    RS_CHECK(emergency_reschedule(&id),
+             "insert recovery: EDF infeasible on the pre-request active set");
+    erase_impl(id);  // removes the unplaced request's ledger entries
+  }
+  throw InfeasibleError(
+      "reservation scheduler: request cannot be scheduled (instance "
+      "infeasible, or reservations exhausted under OverflowPolicy::kThrow)");
+}
+
+void ReservationScheduler::maybe_rebuild_on_insert() {
+  if (!options_.trimming) return;
+  if (jobs_.size() + 1 > n_star_) rebuild(n_star_ * 2);
+}
+
+void ReservationScheduler::maybe_rebuild_on_erase() {
+  if (!options_.trimming) return;
+  if (n_star_ > kMinNStar && jobs_.size() < n_star_ / 4) rebuild(n_star_ / 2);
+}
+
+void ReservationScheduler::rebuild(u64 new_n_star) {
+  n_star_ = new_n_star;
+  in_rebuild_ = true;
+
+  std::vector<std::pair<JobId, JobState>> all(jobs_.begin(), jobs_.end());
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first.value < b.first.value; });
+  std::unordered_map<JobId, Time> old_slots;
+  old_slots.reserve(all.size());
+  for (const auto& [id, job] : all) old_slots.emplace(id, job.slot);
+
+  occupant_.clear();
+  runs_ = SlotRuns{};
+  for (auto& ls : levels_) {
+    ls.intervals.clear();
+    ls.windows.clear();
+  }
+  jobs_.clear();
+  parked_count_ = 0;
+
+  // Reinsert; intermediate shuffles do not count — the honest reallocation
+  // cost of a rebuild is the number of jobs whose placement changed.
+  const RequestStats saved = current_;
+  for (const auto& [id, job] : all) insert_impl(id, job.original);
+  current_ = saved;
+  u64 moved = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (old_slots.at(id) != job.slot) ++moved;
+  }
+  current_.reallocations += moved;
+  current_.rebuilt = true;
+  in_rebuild_ = false;
+}
+
+RequestStats ReservationScheduler::insert(JobId id, Window window) {
+  RS_REQUIRE(window.valid(), "ReservationScheduler::insert: empty window");
+  RS_REQUIRE(window.aligned(),
+             "ReservationScheduler::insert: window must be aligned (use "
+             "ReallocatingScheduler for arbitrary windows)");
+  RS_REQUIRE(static_cast<u64>(window.span()) <= options_.levels.span_limit(),
+             "ReservationScheduler::insert: span exceeds the level table limit");
+  RS_REQUIRE(!jobs_.contains(id), "ReservationScheduler::insert: id already active");
+
+  current_ = RequestStats{};
+  touched_levels_mask_ = 0;
+  maybe_rebuild_on_insert();
+  insert_impl(id, window);
+  current_.levels_touched = static_cast<u64>(std::popcount(touched_levels_mask_));
+  if (options_.audit) audit();
+  return current_;
+}
+
+RequestStats ReservationScheduler::erase(JobId id) {
+  RS_REQUIRE(jobs_.contains(id), "ReservationScheduler::erase: id not active");
+  current_ = RequestStats{};
+  touched_levels_mask_ = 0;
+  erase_impl(id);
+  maybe_rebuild_on_erase();
+  current_.levels_touched = static_cast<u64>(std::popcount(touched_levels_mask_));
+  if (options_.audit) audit();
+  return current_;
+}
+
+Schedule ReservationScheduler::snapshot() const {
+  Schedule out(1);
+  for (const auto& [id, job] : jobs_) {
+    RS_CHECK(job.slot != kNoSlot, "snapshot: job without a slot");
+    out.assign(id, Placement{0, job.slot});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::vector<ReservationScheduler::FulfillmentEntry>
+ReservationScheduler::fulfillment_of_interval(unsigned level, Time interval_base) const {
+  RS_REQUIRE(level >= 1 && level <= top_level(),
+             "fulfillment_of_interval: level out of range");
+  const auto& ls = levels_[level];
+  RS_REQUIRE(align_down(interval_base, ls.interval_size) == interval_base,
+             "fulfillment_of_interval: base not interval-aligned");
+
+  // Use the materialized interval if present; otherwise synthesize one from
+  // the live schedule (fulfillment is a pure function of job counts and
+  // lower-level occupancy — Observation 7).
+  const Interval* interval = nullptr;
+  if (const auto it = ls.intervals.find(interval_base); it != ls.intervals.end()) {
+    interval = &it->second;
+  }
+  Interval scratch;
+  if (interval == nullptr) {
+    scratch.base = interval_base;
+    scratch.slots.assign(ls.interval_size, SlotInfo{});
+    const Time end = interval_base + static_cast<Time>(ls.interval_size);
+    for (auto oit = occupant_.lower_bound(interval_base);
+         oit != occupant_.end() && oit->first < end; ++oit) {
+      if (block_floor(jobs_.at(oit->second)) <= level) {
+        scratch.slots[static_cast<std::size_t>(oit->first - interval_base)].lower_occupied =
+            true;
+        ++scratch.lower_count;
+      }
+    }
+    interval = &scratch;
+  }
+
+  std::vector<FulfillmentEntry> out;
+  for (const auto& row : compute_fulfillment(level, *interval)) {
+    out.push_back(FulfillmentEntry{row.key, row.window != nullptr, row.reservations,
+                                   row.fulfilled});
+  }
+  return out;
+}
+
+void ReservationScheduler::audit() const {
+  // 1. Jobs <-> occupancy consistency.
+  u64 parked_seen = 0;
+  for (const auto& [id, job] : jobs_) {
+    RS_CHECK(job.slot != kNoSlot, "audit: job without slot");
+    RS_CHECK(job.window.contains(job.slot), "audit: job outside trimmed window");
+    RS_CHECK(job.original.contains(job.window), "audit: trim not nested in original");
+    const auto oit = occupant_.find(job.slot);
+    RS_CHECK(oit != occupant_.end() && oit->second == id, "audit: occupant mismatch");
+    RS_CHECK(options_.levels.level_of(static_cast<u64>(job.window.span())) == job.level,
+             "audit: level mismatch");
+    if (job.parked) ++parked_seen;
+    if (!job.parked && job.level >= 1) {
+      const auto& ls = levels_[job.level];
+      const auto wit = ls.windows.find(WindowKey(job.window));
+      RS_CHECK(wit != ls.windows.end(), "audit: reserved job without active window");
+      RS_CHECK(wit->second.assigned_slots.contains(job.slot),
+               "audit: reserved job on unassigned slot");
+      RS_CHECK(!wit->second.free_assigned.contains(job.slot),
+               "audit: occupied slot marked free");
+    }
+  }
+  RS_CHECK(parked_seen == parked_count_, "audit: parked count mismatch");
+  RS_CHECK(occupant_.size() == jobs_.size(), "audit: orphan occupancy entries");
+  for (const auto& [slot, id] : occupant_) {
+    RS_CHECK(runs_.occupied(slot), "audit: run index missing an occupied slot");
+  }
+
+  // 2. Window ledgers.
+  for (unsigned level = 1; level <= top_level(); ++level) {
+    const auto& ls = levels_[level];
+    std::unordered_map<WindowKey, u64> job_counts;
+    for (const auto& [id, job] : jobs_) {
+      // Parked jobs keep their reservations, so they count toward x too.
+      if (job.level == level) ++job_counts[WindowKey(job.window)];
+    }
+    for (const auto& [key, window] : ls.windows) {
+      const auto cit = job_counts.find(key);
+      const u64 actual = cit == job_counts.end() ? 0 : cit->second;
+      RS_CHECK(window.jobs == actual, "audit: window job count mismatch");
+      RS_CHECK(window.jobs > 0, "audit: inactive window retained");
+      for (const Time slot : window.assigned_slots) {
+        RS_CHECK(key.window().contains(slot), "audit: assigned slot outside window");
+      }
+      for (const Time slot : window.free_assigned) {
+        RS_CHECK(window.assigned_slots.contains(slot), "audit: free slot not assigned");
+        const auto oit = occupant_.find(slot);
+        RS_CHECK(oit == occupant_.end() || jobs_.at(oit->second).level != level,
+                 "audit: free_assigned slot holds a same-level job");
+      }
+    }
+  }
+
+  // 3. Interval slot tables against ground truth.
+  for (unsigned level = 1; level <= top_level(); ++level) {
+    const auto& ls = levels_[level];
+    for (const auto& [base, interval] : ls.intervals) {
+      RS_CHECK(interval.base == base, "audit: interval base mismatch");
+      std::uint32_t lower = 0;
+      std::uint32_t assigned = 0;
+      std::unordered_map<WindowKey, std::uint32_t> per_window;
+      for (std::size_t off = 0; off < interval.slots.size(); ++off) {
+        const SlotInfo& info = interval.slots[off];
+        const Time slot = base + static_cast<Time>(off);
+        const auto oit = occupant_.find(slot);
+        const bool expect_lower =
+            oit != occupant_.end() && block_floor(jobs_.at(oit->second)) <= level;
+        RS_CHECK(info.lower_occupied == expect_lower, "audit: lower flag mismatch");
+        if (info.lower_occupied) ++lower;
+        if (info.assigned) {
+          RS_CHECK(!info.lower_occupied, "audit: assigned slot is lower-occupied");
+          const auto wit = ls.windows.find(info.owner);
+          RS_CHECK(wit != ls.windows.end(), "audit: slot owned by inactive window");
+          RS_CHECK(wit->second.assigned_slots.contains(slot),
+                   "audit: owner ledger missing slot");
+          ++assigned;
+          ++per_window[info.owner];
+        }
+      }
+      RS_CHECK(lower == interval.lower_count, "audit: lower_count mismatch");
+      RS_CHECK(assigned == interval.assigned_count, "audit: assigned_count mismatch");
+      // Lazy invariant: concrete assignments never exceed fulfillment.
+      for (const auto& row : compute_fulfillment(level, interval)) {
+        const auto ait = per_window.find(row.key);
+        const std::uint32_t a = ait == per_window.end() ? 0 : ait->second;
+        RS_CHECK(a <= row.fulfilled, "audit: assignment exceeds fulfillment");
+      }
+    }
+  }
+}
+
+}  // namespace reasched

@@ -1,0 +1,243 @@
+// Single-machine pecking-order scheduling with reservations (paper §4,
+// Figure 1) — the paper's main algorithmic contribution.
+//
+// Overview of the implementation strategy (see DESIGN.md §3 for the full
+// rationale):
+//
+//  * Levels. A job with (aligned) window span in (L_ℓ, L_{ℓ+1}] is a
+//    level-ℓ job. Level-ℓ windows are partitioned into aligned *intervals*
+//    of L_ℓ slots. Level 0 (spans ≤ L₁ = 32) is the recursion base and uses
+//    plain pecking order — a constant amount of work.
+//
+//  * Reservations are counted, not stored. Invariant 5 makes the number of
+//    reservations a window W with x jobs holds in each of its 2^k intervals
+//    a closed-form function r(W,I) = ⌊2x/2^k⌋ + 1 + [idx(I) < 2x mod 2^k].
+//    Which reservations an interval *fulfills* is the shortest-window-first
+//    greedy over these counts (Observation 7: history independent), so we
+//    recompute fulfillment on demand instead of mutating reservation
+//    objects. Windows with zero jobs still contribute their baseline one
+//    reservation per interval ("virtual windows") exactly as the paper
+//    requires — they consume fulfillment priority but hold no slots.
+//
+//  * Concrete slot assignment is lazy. A window's *assigned* slots (the
+//    slots backing its fulfilled reservations) are materialized on demand,
+//    maintaining a(W,I) <= f(W,I). Claims always succeed under that
+//    invariant (free allowance >= Σf - Σa). Releases — the "waitlist a
+//    fulfilled reservation" arrow in Figure 1 — happen whenever a
+//    recomputation finds a(W,I) > f(W,I), and may force a MOVE of a job
+//    sitting on a released slot.
+//
+//  * MOVE is a pure swap. When job j moves from slot s to its window's
+//    fulfilled empty slot s', both slots lie in the same ancestor interval
+//    at every higher level (aligned nesting), so all higher-level
+//    bookkeeping for s and s' is swapped wholesale; a higher-level job on
+//    s' is rehoused to s. This is exactly the Figure-1 MOVE including its
+//    "schedule h in s instead of s'" comment, and causes no further
+//    cascading.
+//
+//  * PLACE may displace one higher-level job h; the slot is withdrawn from
+//    every higher-level allowance (lines 17-21), each of which reconciles
+//    (possibly waitlisting the marginal window's reservation → one MOVE per
+//    level), and h re-places at its own level. Displacements strictly
+//    increase span, so the cascade has O(log* Δ) steps.
+//
+//  * Trimming (§4 "Trimming Windows to n"): n* doubles/halves with the
+//    active-job count; windows wider than 2γn* are trimmed to an aligned
+//    sub-window of span 2γn*, and the schedule is rebuilt from scratch on
+//    every n* change (amortized O(1) reallocations per request).
+//
+// Cost accounting: every physical move of a pre-existing job is one
+// reallocation (the request's own insert placement / delete removal is
+// free, matching §2's cost model).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/scheduler_options.hpp"
+#include "core/window_key.hpp"
+#include "schedule/scheduler_interface.hpp"
+#include "schedule/slot_runs.hpp"
+
+namespace reasched {
+
+class ReservationScheduler final : public IReallocScheduler {
+ public:
+  explicit ReservationScheduler(SchedulerOptions options = {});
+
+  /// Window must be aligned (§4 operates post-alignment; the multi-machine
+  /// pipeline in ReallocatingScheduler aligns unrestricted windows first).
+  RequestStats insert(JobId id, Window window) override;
+  RequestStats erase(JobId id) override;
+
+  [[nodiscard]] Schedule snapshot() const override;
+  [[nodiscard]] std::size_t active_jobs() const override { return jobs_.size(); }
+  [[nodiscard]] unsigned machines() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "reservation-pecking-order"; }
+
+  // ---- introspection (tests, benches, EXPERIMENTS.md) ----
+
+  /// Fulfillment table of one interval: the per-window reservation and
+  /// fulfilled counts the greedy derives. Used by the Observation-7
+  /// history-independence tests.
+  struct FulfillmentEntry {
+    WindowKey window;
+    bool active = false;
+    std::uint32_t reservations = 0;
+    std::uint32_t fulfilled = 0;
+  };
+  [[nodiscard]] std::vector<FulfillmentEntry> fulfillment_of_interval(
+      unsigned level, Time interval_base) const;
+
+  [[nodiscard]] std::uint64_t n_star() const noexcept { return n_star_; }
+  [[nodiscard]] std::uint64_t parked_jobs() const noexcept { return parked_count_; }
+  [[nodiscard]] const SchedulerOptions& options() const noexcept { return options_; }
+
+  /// Full internal-invariant audit; throws InternalError on any violation.
+  /// O(total state); runs automatically after each request when
+  /// options.audit is set.
+  void audit() const;
+
+ private:
+  static constexpr Time kNoSlot = std::numeric_limits<Time>::min();
+
+  struct JobState {
+    Window original;  // aligned window as submitted
+    Window window;    // after trimming (== original unless trimmed)
+    unsigned level = 0;
+    Time slot = kNoSlot;
+    bool parked = false;  // placed outside the reservation system
+  };
+
+  struct SlotInfo {
+    bool lower_occupied = false;  // occupied by a job "below" this level
+    bool assigned = false;        // concrete fulfilled reservation
+    WindowKey owner{};            // valid iff assigned
+  };
+
+  struct Interval {
+    Time base = 0;
+    std::vector<SlotInfo> slots;
+    std::uint32_t lower_count = 0;
+    std::uint32_t assigned_count = 0;
+  };
+
+  struct ActiveWindow {
+    std::uint64_t jobs = 0;  // x
+    /// All concrete fulfilled slots of this window (global coordinates).
+    std::unordered_set<Time> assigned_slots;
+    /// Subset of assigned_slots with no job of this level on them — the
+    /// slots Invariant 6 / Lemma 8 hand out. (They may hold a higher-level
+    /// job, which placement will displace.)
+    std::unordered_set<Time> free_assigned;
+    std::uint64_t claim_cursor = 0;  // round-robin claim-scan position
+  };
+
+  struct LevelState {
+    u64 interval_size = 0;
+    unsigned interval_log = 0;
+    u64 max_span = 0;
+    unsigned min_span_log = 0;  // smallest span exponent at this level
+    unsigned max_span_log = 0;
+    std::unordered_map<Time, Interval> intervals;  // key: interval base
+    std::unordered_map<WindowKey, ActiveWindow> windows;
+  };
+
+  struct FulRow {
+    WindowKey key;
+    const ActiveWindow* window = nullptr;  // null for virtual windows
+    std::uint32_t reservations = 0;
+    std::uint32_t fulfilled = 0;
+  };
+
+  // -- geometry helpers --
+  [[nodiscard]] unsigned top_level() const noexcept {
+    return static_cast<unsigned>(levels_.size()) - 1;
+  }
+  [[nodiscard]] Time interval_base_of(unsigned level, Time slot) const;
+  [[nodiscard]] Time nth_interval_base(const WindowKey& w, unsigned level, u64 index) const;
+  /// Levels >= `from_level` at which `job` makes its slot unavailable
+  /// ("lower occupied"): parked jobs block their own level as well.
+  [[nodiscard]] unsigned block_floor(const JobState& job) const noexcept;
+
+  // -- interval state --
+  Interval& get_or_create_interval(unsigned level, Time base);
+  [[nodiscard]] Interval* find_interval(unsigned level, Time base);
+  [[nodiscard]] std::vector<FulRow> compute_fulfillment(unsigned level,
+                                                        const Interval& interval) const;
+
+  // -- reservation machinery --
+  /// Recomputes fulfillment of the interval and releases over-assigned
+  /// slots (the "waitlist a fulfilled reservation" step); jobs sitting on
+  /// released slots are MOVEd.
+  void reconcile(unsigned level, Time interval_base, std::vector<JobId>& pending);
+  void unassign_slot(unsigned level, Interval& interval, Time slot);
+  void assign_slot(unsigned level, Interval& interval, Time slot, const WindowKey& w);
+  /// Finds (claiming lazily if needed) a fulfilled slot of `w` with no
+  /// level-ℓ job on it, excluding `avoid`. Returns kNoSlot on overflow.
+  [[nodiscard]] Time acquire_slot(const WindowKey& w, unsigned level, Time avoid);
+
+  // -- job motion --
+  /// PLACE via the reservation system. On overflow: throws (request job,
+  /// kThrow) or parks. `counts` marks whether landing counts as a
+  /// reallocation (true for every job except the one being inserted).
+  void place_reserved(JobId id, std::vector<JobId>& pending, bool is_request_job,
+                      bool counts);
+  /// Base-case / fallback placement: first empty slot in the window, else
+  /// displace a strictly-longer occupant (naive pecking order). `park`
+  /// marks the job as placed outside the reservation system.
+  void place_unreserved(JobId id, bool park, std::vector<JobId>& pending, bool counts);
+  /// Figure-1 MOVE: precondition — the job's slot has just lost its
+  /// reservation (unassigned). Swap trick, no recursion.
+  void move_job(JobId id, std::vector<JobId>& pending);
+  /// Physically sets the job on the slot and updates all higher-level
+  /// bookkeeping; a displaced longer job (if any) joins `pending`.
+  void occupy(JobId id, Time slot, bool parked_placement, std::vector<JobId>& pending,
+              bool counts);
+  /// Removes the job from its slot, clearing higher-level occupancy flags.
+  void vacate(JobId id);
+  void swap_ancestor_bookkeeping(Time s1, Time s2, unsigned above_level);
+
+  // -- request plumbing --
+  void insert_impl(JobId id, Window original);
+  void erase_impl(JobId id);
+  void erase_body(JobId id);
+  /// Last-resort recovery when a pecking-order displacement chain dead-ends
+  /// (possible only without the guaranteed slack): recompute a feasible
+  /// schedule for the whole active set with EDF and adopt it as parked
+  /// placements. Returns false iff even EDF cannot schedule the set (the
+  /// caller then excludes the request job and rejects it). Reservation
+  /// ledgers survive (job counts), concrete assignments reset.
+  bool emergency_reschedule(const JobId* exclude);
+  /// Handles a mid-request dead end for request `id`: settle interrupted
+  /// work, recover everything (best effort), or reject the request
+  /// (erase + throw InfeasibleError). `pending` is the interrupted cascade.
+  void recover_or_reject(JobId id, bool reject_outright, std::vector<JobId>& pending);
+  [[nodiscard]] Window trim(JobId id, Window w) const;
+  void maybe_rebuild_on_insert();
+  void maybe_rebuild_on_erase();
+  void rebuild(u64 new_n_star);
+  /// Re-places displaced jobs until the cascade settles.
+  void drain(std::vector<JobId>& pending);
+
+  void count_move(const JobState& job) noexcept;
+
+  SchedulerOptions options_;
+  std::vector<LevelState> levels_;
+  std::unordered_map<JobId, JobState> jobs_;
+  std::map<Time, JobId> occupant_;  // slot -> job; ordered for range scans
+  SlotRuns runs_;                   // O(log n) gap queries for pecking order
+  u64 n_star_ = 8;
+  u64 parked_count_ = 0;
+  bool in_rebuild_ = false;
+  RequestStats current_{};
+  std::uint32_t touched_levels_mask_ = 0;
+};
+
+}  // namespace reasched

@@ -1,0 +1,58 @@
+// Configuration for the paper's schedulers. Defaults follow the paper;
+// the knobs exist for the ablation experiments (bench E11) and for tests.
+#pragma once
+
+#include <cstdint>
+
+#include "core/levels.hpp"
+
+namespace reasched {
+
+/// What to do when the reservation machinery cannot find an entitled slot —
+/// i.e. when the instance is not sufficiently underallocated for Lemma 8's
+/// guarantee to hold.
+enum class OverflowPolicy : std::uint8_t {
+  /// Throw InfeasibleError; the request is rejected, state unchanged
+  /// observable behavior-wise (strong guarantee used in tests).
+  kThrow,
+  /// Degrade gracefully: "park" the job on any empty slot of its window
+  /// (falling back to naive pecking order if the window is full of
+  /// longer-span jobs). Parked placements keep the schedule feasible but
+  /// void the O(log*) guarantee until slack returns.
+  kBestEffort,
+};
+
+/// How lower-level schedulers pick among several usable empty slots.
+enum class PlacementPolicy : std::uint8_t {
+  /// Paper-faithful: lower levels ignore higher-level reservations entirely
+  /// ("the recursive scheduler makes decisions without paying attention to
+  /// the higher-level jobs"); first fit.
+  kOblivious,
+  /// Ablation: prefer slots that are not reserved by any materialized
+  /// higher-level window, reducing waitlist churn (bench E11 measures the
+  /// effect).
+  kAvoidReserved,
+};
+
+struct SchedulerOptions {
+  /// Underallocation factor assumed by the trimming rule (§4: windows are
+  /// trimmed to span 2γn*). Only used when trimming is enabled.
+  std::uint64_t gamma = 8;
+
+  /// §4 "Trimming Windows to n": maintain the n* estimate and trim windows,
+  /// making the cost bound O(log* n) rather than O(log* Δ).
+  bool trimming = true;
+
+  OverflowPolicy overflow = OverflowPolicy::kThrow;
+  PlacementPolicy placement = PlacementPolicy::kOblivious;
+
+  /// Interval-decomposition tower; tests substitute custom towers to make
+  /// deeper levels reachable at small spans.
+  LevelTable levels = LevelTable::paper();
+
+  /// When true, run a full internal-invariant audit after every request
+  /// (O(state) per request; tests only).
+  bool audit = false;
+};
+
+}  // namespace reasched

@@ -1,0 +1,44 @@
+// Identity of an *aligned* window, used as the key for reservation ledgers
+// (§4) and for the multi-machine balancing invariant (§3). Aligned windows
+// are uniquely determined by (start, span); span is a power of two so we
+// store its exponent.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "base/window.hpp"
+#include "util/bits.hpp"
+
+namespace reasched {
+
+struct WindowKey {
+  Time start = 0;
+  std::uint8_t span_log = 0;  // span = 2^span_log
+
+  WindowKey() = default;
+  explicit WindowKey(const Window& w)
+      : start(w.start), span_log(static_cast<std::uint8_t>(floor_log2(static_cast<u64>(w.span())))) {
+    RS_REQUIRE(w.aligned(), "WindowKey: window must be aligned");
+  }
+
+  [[nodiscard]] u64 span() const noexcept { return u64{1} << span_log; }
+  [[nodiscard]] Window window() const noexcept {
+    return Window{start, start + static_cast<Time>(span())};
+  }
+
+  friend constexpr auto operator<=>(const WindowKey&, const WindowKey&) = default;
+};
+
+}  // namespace reasched
+
+template <>
+struct std::hash<reasched::WindowKey> {
+  std::size_t operator()(const reasched::WindowKey& key) const noexcept {
+    std::uint64_t z = static_cast<std::uint64_t>(key.start) * 0x9e3779b97f4a7c15ULL;
+    z ^= key.span_log + 0x9e3779b9ULL + (z << 6) + (z >> 2);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return static_cast<std::size_t>(z ^ (z >> 27));
+  }
+};

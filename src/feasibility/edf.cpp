@@ -1,0 +1,66 @@
+#include "feasibility/edf.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+namespace {
+struct ByDeadline {
+  // Min-heap on window end; ties broken by job id for determinism.
+  bool operator()(const JobSpec& a, const JobSpec& b) const noexcept {
+    if (a.window.end != b.window.end) return a.window.end > b.window.end;
+    return a.id.value > b.id.value;
+  }
+};
+}  // namespace
+
+std::optional<std::vector<std::pair<JobId, Placement>>> edf_schedule(
+    std::span<const JobSpec> jobs, unsigned machines) {
+  RS_REQUIRE(machines >= 1, "edf_schedule: need at least one machine");
+  for (const auto& job : jobs) {
+    RS_REQUIRE(job.window.valid(), "edf_schedule: job with empty window");
+  }
+
+  std::vector<JobSpec> by_arrival(jobs.begin(), jobs.end());
+  std::sort(by_arrival.begin(), by_arrival.end(),
+            [](const JobSpec& a, const JobSpec& b) {
+              if (a.window.start != b.window.start) return a.window.start < b.window.start;
+              return a.id.value < b.id.value;
+            });
+
+  std::vector<std::pair<JobId, Placement>> out;
+  out.reserve(by_arrival.size());
+  std::priority_queue<JobSpec, std::vector<JobSpec>, ByDeadline> ready;
+
+  std::size_t next = 0;
+  Time t = by_arrival.empty() ? Time{0} : by_arrival.front().window.start;
+  while (next < by_arrival.size() || !ready.empty()) {
+    if (ready.empty() && by_arrival[next].window.start > t) {
+      t = by_arrival[next].window.start;  // skip idle stretch
+    }
+    while (next < by_arrival.size() && by_arrival[next].window.start <= t) {
+      ready.push(by_arrival[next]);
+      ++next;
+    }
+    for (unsigned machine = 0; machine < machines && !ready.empty(); ++machine) {
+      const JobSpec job = ready.top();
+      if (job.window.end <= t) return std::nullopt;  // deadline passed
+      ready.pop();
+      out.emplace_back(job.id, Placement{machine, t});
+    }
+    if (!ready.empty() && ready.top().window.end <= t + 1) {
+      return std::nullopt;  // the next slot is already too late for someone
+    }
+    ++t;
+  }
+  return out;
+}
+
+bool edf_feasible(std::span<const JobSpec> jobs, unsigned machines) {
+  return edf_schedule(jobs, machines).has_value();
+}
+
+}  // namespace reasched

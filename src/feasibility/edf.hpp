@@ -1,0 +1,33 @@
+// Earliest-deadline-first feasibility and schedule construction for unit
+// jobs with integer windows on m identical machines.
+//
+// For unit jobs EDF is exact: a feasible schedule exists iff the EDF sweep
+// completes without a deadline miss (a classical exchange argument; this is
+// Jackson's rule [18] generalized to m machines and release dates, valid
+// because all processing times are equal to one slot).
+//
+// This module is the offline ground truth used to (a) validate generated
+// workloads, (b) implement the OPT-rebuild baseline, and (c) provide the
+// rebuild fallback for overflow handling.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "base/window.hpp"
+#include "schedule/schedule.hpp"
+
+namespace reasched {
+
+/// Computes an EDF schedule. Returns std::nullopt if the instance is
+/// infeasible. O(n log n) time in the number of jobs (empty stretches of the
+/// timeline are skipped).
+[[nodiscard]] std::optional<std::vector<std::pair<JobId, Placement>>> edf_schedule(
+    std::span<const JobSpec> jobs, unsigned machines);
+
+/// Feasibility-only wrapper around edf_schedule.
+[[nodiscard]] bool edf_feasible(std::span<const JobSpec> jobs, unsigned machines);
+
+}  // namespace reasched

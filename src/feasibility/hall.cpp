@@ -1,0 +1,57 @@
+#include "feasibility/hall.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+std::optional<OverloadedInterval> hall_violation(std::span<const JobSpec> jobs,
+                                                 unsigned machines) {
+  RS_REQUIRE(machines >= 1, "hall_violation: need at least one machine");
+  if (jobs.empty()) return std::nullopt;
+
+  std::vector<Time> starts;
+  std::vector<Time> ends;
+  starts.reserve(jobs.size());
+  ends.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    RS_REQUIRE(job.window.valid(), "hall_violation: job with empty window");
+    starts.push_back(job.window.start);
+    ends.push_back(job.window.end);
+  }
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+  std::sort(ends.begin(), ends.end());
+  ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+
+  // For each candidate left endpoint s, sweep right endpoints t in
+  // increasing order and count jobs with s <= a and d <= t.
+  for (const Time s : starts) {
+    std::vector<Time> contained_ends;  // deadlines of jobs with arrival >= s
+    contained_ends.reserve(jobs.size());
+    for (const auto& job : jobs) {
+      if (job.window.start >= s) contained_ends.push_back(job.window.end);
+    }
+    std::sort(contained_ends.begin(), contained_ends.end());
+    std::size_t index = 0;
+    for (const Time t : ends) {
+      if (t <= s) continue;
+      while (index < contained_ends.size() && contained_ends[index] <= t) ++index;
+      const auto contained = static_cast<std::uint64_t>(index);
+      const auto capacity =
+          static_cast<std::uint64_t>(machines) * static_cast<std::uint64_t>(t - s);
+      if (contained > capacity) {
+        return OverloadedInterval{Window{s, t}, contained, capacity};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool hall_feasible(std::span<const JobSpec> jobs, unsigned machines) {
+  return !hall_violation(jobs, machines).has_value();
+}
+
+}  // namespace reasched

@@ -1,0 +1,35 @@
+// Hall-condition feasibility check for unit jobs on m machines.
+//
+// For unit jobs with integer windows, a feasible schedule exists iff for
+// every time interval [s, t) the number of jobs whose window is contained
+// in [s, t) is at most m * (t - s)  (Hall's theorem on the bipartite graph
+// of jobs vs. slots; interval structure means only intervals delimited by
+// an arrival on the left and a deadline on the right can be critical).
+//
+// O(n^2) over the distinct endpoints; used as an independent cross-check of
+// the EDF and matching checkers in tests, and to locate *which* interval is
+// overloaded when diagnosing infeasible instances.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "base/window.hpp"
+
+namespace reasched {
+
+struct OverloadedInterval {
+  Window interval;          ///< [s, t) with more jobs than m * (t - s)
+  std::uint64_t jobs = 0;   ///< jobs with window inside the interval
+  std::uint64_t slots = 0;  ///< m * (t - s)
+};
+
+/// Returns std::nullopt when Hall's condition holds (instance feasible);
+/// otherwise returns a witness interval violating it.
+[[nodiscard]] std::optional<OverloadedInterval> hall_violation(
+    std::span<const JobSpec> jobs, unsigned machines);
+
+/// Convenience wrapper: true iff no violation exists.
+[[nodiscard]] bool hall_feasible(std::span<const JobSpec> jobs, unsigned machines);
+
+}  // namespace reasched

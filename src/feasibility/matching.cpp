@@ -1,0 +1,113 @@
+#include "feasibility/matching.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+BipartiteMatcher::BipartiteMatcher(std::size_t n_left, std::size_t n_right)
+    : n_left_(n_left),
+      n_right_(n_right),
+      adjacency_(n_left),
+      match_left_(n_left, npos),
+      match_right_(n_right, npos) {}
+
+void BipartiteMatcher::add_edge(std::size_t left, std::size_t right) {
+  RS_REQUIRE(left < n_left_ && right < n_right_, "BipartiteMatcher: edge out of range");
+  adjacency_[left].push_back(right);
+}
+
+bool BipartiteMatcher::bfs_layers() {
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  layer_.assign(n_left_, kInf);
+  std::queue<std::size_t> frontier;
+  for (std::size_t u = 0; u < n_left_; ++u) {
+    if (match_left_[u] == npos) {
+      layer_[u] = 0;
+      frontier.push(u);
+    }
+  }
+  bool found_free_right = false;
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    for (const std::size_t v : adjacency_[u]) {
+      const std::size_t w = match_right_[v];
+      if (w == npos) {
+        found_free_right = true;
+      } else if (layer_[w] == kInf) {
+        layer_[w] = layer_[u] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return found_free_right;
+}
+
+bool BipartiteMatcher::dfs_augment(std::size_t left) {
+  for (std::size_t& i = iter_[left]; i < adjacency_[left].size(); ++i) {
+    const std::size_t v = adjacency_[left][i];
+    const std::size_t w = match_right_[v];
+    if (w == npos || (layer_[w] == layer_[left] + 1 && dfs_augment(w))) {
+      match_left_[left] = v;
+      match_right_[v] = left;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t BipartiteMatcher::max_matching() {
+  std::size_t matched = 0;
+  while (bfs_layers()) {
+    iter_.assign(n_left_, 0);
+    for (std::size_t u = 0; u < n_left_; ++u) {
+      if (match_left_[u] == npos && dfs_augment(u)) ++matched;
+    }
+  }
+  return matched;
+}
+
+std::size_t BipartiteMatcher::match_of_left(std::size_t left) const {
+  RS_REQUIRE(left < n_left_, "match_of_left: out of range");
+  return match_left_[left];
+}
+
+std::optional<bool> matching_feasible(std::span<const JobSpec> jobs, unsigned machines,
+                                      std::size_t budget) {
+  RS_REQUIRE(machines >= 1, "matching_feasible: need at least one machine");
+  if (jobs.empty()) return true;
+
+  // Compress the slot universe to slots covered by at least one window.
+  std::vector<Time> slots;
+  for (const auto& job : jobs) {
+    RS_REQUIRE(job.window.valid(), "matching_feasible: job with empty window");
+    for (Time t = job.window.start; t < job.window.end; ++t) slots.push_back(t);
+    if (slots.size() > budget) return std::nullopt;
+  }
+  std::sort(slots.begin(), slots.end());
+  slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  if (slots.size() * machines > budget) return std::nullopt;
+
+  std::unordered_map<Time, std::size_t> slot_index;
+  slot_index.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) slot_index.emplace(slots[i], i);
+
+  // Right vertices: (slot, machine) pairs, i.e. machine copies of each slot.
+  BipartiteMatcher matcher(jobs.size(), slots.size() * machines);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (Time t = jobs[j].window.start; t < jobs[j].window.end; ++t) {
+      const std::size_t s = slot_index.at(t);
+      for (unsigned machine = 0; machine < machines; ++machine) {
+        matcher.add_edge(j, s * machines + machine);
+      }
+    }
+  }
+  return matcher.max_matching() == jobs.size();
+}
+
+}  // namespace reasched

@@ -1,0 +1,53 @@
+// Hopcroft–Karp maximum bipartite matching, and a matching-based exact
+// feasibility checker for unit jobs (third independent oracle, used to
+// cross-validate the EDF and Hall checkers on small instances).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "base/window.hpp"
+
+namespace reasched {
+
+/// Generic Hopcroft–Karp over an explicit bipartite graph.
+/// Left vertices [0, n_left), right vertices [0, n_right).
+class BipartiteMatcher {
+ public:
+  BipartiteMatcher(std::size_t n_left, std::size_t n_right);
+
+  void add_edge(std::size_t left, std::size_t right);
+
+  /// Runs Hopcroft–Karp; returns the maximum matching size.
+  /// O(E * sqrt(V)).
+  [[nodiscard]] std::size_t max_matching();
+
+  /// After max_matching(): partner of a left vertex, or npos.
+  [[nodiscard]] std::size_t match_of_left(std::size_t left) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  [[nodiscard]] bool bfs_layers();
+  [[nodiscard]] bool dfs_augment(std::size_t left);
+
+  std::size_t n_left_;
+  std::size_t n_right_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::vector<std::size_t> match_left_;
+  std::vector<std::size_t> match_right_;
+  std::vector<std::size_t> layer_;
+  std::vector<std::size_t> iter_;
+};
+
+/// Exact feasibility by matching jobs to (slot, machine) pairs.
+/// The slot universe is the union of all job windows; the check refuses
+/// (returns std::nullopt) when `slots * machines` exceeds `budget` to keep
+/// memory bounded — callers fall back to edf_feasible, which is also exact.
+[[nodiscard]] std::optional<bool> matching_feasible(std::span<const JobSpec> jobs,
+                                                    unsigned machines,
+                                                    std::size_t budget = 1u << 22);
+
+}  // namespace reasched

@@ -1,0 +1,44 @@
+#include "feasibility/underallocation.hpp"
+
+#include "feasibility/edf.hpp"
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace reasched {
+
+namespace {
+// Floor division for possibly-negative numerators.
+constexpr Time floor_div(Time a, Time b) {
+  Time q = a / b;
+  if (a % b != 0 && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+constexpr Time ceil_div(Time a, Time b) { return -floor_div(-a, b); }
+}  // namespace
+
+std::optional<std::vector<JobSpec>> dilate_to_grid(std::span<const JobSpec> jobs,
+                                                   std::uint64_t gamma) {
+  RS_REQUIRE(gamma >= 1, "dilate_to_grid: gamma must be >= 1");
+  const Time g = static_cast<Time>(gamma);
+  std::vector<JobSpec> cells;
+  cells.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    RS_REQUIRE(job.window.valid(), "dilate_to_grid: job with empty window");
+    // A length-γ block starting at grid point c*γ fits iff
+    //   a <= c*γ  and  c*γ + γ <= d.
+    const Time c_min = ceil_div(job.window.start, g);
+    const Time c_max = floor_div(job.window.end - g, g);  // inclusive
+    if (c_min > c_max) return std::nullopt;
+    cells.push_back(JobSpec{job.id, Window{c_min, c_max + 1}});
+  }
+  return cells;
+}
+
+bool gamma_underallocated(std::span<const JobSpec> jobs, unsigned machines,
+                          std::uint64_t gamma) {
+  const auto cells = dilate_to_grid(jobs, gamma);
+  if (!cells.has_value()) return false;
+  return edf_feasible(*cells, machines);
+}
+
+}  // namespace reasched

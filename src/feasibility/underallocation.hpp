@@ -1,0 +1,35 @@
+// γ-underallocation checking (paper §2): an instance is m-machine
+// γ-underallocated if it remains feasible when every job's processing time
+// is dilated from 1 to γ.
+//
+// Checking feasibility of equal-length-γ jobs exactly is possible but
+// intricate (Simons' algorithm); this module uses the *grid* relaxation the
+// paper itself uses inside Lemma 3's inductive argument: dilated jobs are
+// restricted to start at multiples of γ. Grid feasibility implies true
+// feasibility (it is a restriction), so `gamma_underallocated == true` is a
+// sound certificate. On recursively aligned instances with power-of-two γ
+// the grid relaxation is exact (aligned windows decompose into γ-cells).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "base/window.hpp"
+
+namespace reasched {
+
+/// Dilates each unit job to length γ on the γ-grid and converts it to a
+/// unit job over grid cells. Returns std::nullopt if some job's window
+/// cannot hold even one grid-aligned length-γ block (certainly not
+/// γ-underallocated on the grid).
+[[nodiscard]] std::optional<std::vector<JobSpec>> dilate_to_grid(
+    std::span<const JobSpec> jobs, std::uint64_t gamma);
+
+/// True iff the instance is γ-underallocated under the grid relaxation
+/// (sound certificate of the paper's γ-underallocation; exact for
+/// recursively aligned instances with power-of-two γ).
+[[nodiscard]] bool gamma_underallocated(std::span<const JobSpec> jobs,
+                                        unsigned machines, std::uint64_t gamma);
+
+}  // namespace reasched

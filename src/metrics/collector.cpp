@@ -1,0 +1,62 @@
+#include "metrics/collector.hpp"
+
+namespace reasched {
+
+void MetricsCollector::add(RequestKind kind, const RequestStats& stats) {
+  if (kind == RequestKind::kInsert) {
+    ++inserts_;
+  } else {
+    ++deletes_;
+  }
+  reallocs_.add(static_cast<double>(stats.reallocations));
+  migrations_.add(static_cast<double>(stats.migrations));
+  realloc_hist_.add(stats.reallocations);
+  migration_hist_.add(stats.migrations);
+  degraded_ += stats.degraded;
+  if (stats.rebuilt) {
+    ++rebuilds_;
+    rebuild_reallocs_ += stats.reallocations;
+  } else {
+    steady_reallocs_.add(static_cast<double>(stats.reallocations));
+  }
+}
+
+double MetricsCollector::amortized_reallocations() const noexcept {
+  return reallocs_.mean();
+}
+
+double MetricsCollector::steady_reallocations() const noexcept {
+  return steady_reallocs_.mean();
+}
+
+std::uint64_t MetricsCollector::steady_max_reallocations() const noexcept {
+  return static_cast<std::uint64_t>(steady_reallocs_.max());
+}
+
+std::uint64_t MetricsCollector::max_reallocations() const {
+  return realloc_hist_.total() == 0 ? 0 : realloc_hist_.max_value();
+}
+
+std::uint64_t MetricsCollector::p99_reallocations() const {
+  return realloc_hist_.total() == 0 ? 0 : realloc_hist_.percentile(0.99);
+}
+
+std::uint64_t MetricsCollector::max_migrations() const {
+  return migration_hist_.total() == 0 ? 0 : migration_hist_.max_value();
+}
+
+void MetricsCollector::merge(const MetricsCollector& other) {
+  inserts_ += other.inserts_;
+  deletes_ += other.deletes_;
+  rejected_ += other.rejected_;
+  rebuilds_ += other.rebuilds_;
+  degraded_ += other.degraded_;
+  rebuild_reallocs_ += other.rebuild_reallocs_;
+  reallocs_.merge(other.reallocs_);
+  steady_reallocs_.merge(other.steady_reallocs_);
+  migrations_.merge(other.migrations_);
+  realloc_hist_.merge(other.realloc_hist_);
+  migration_hist_.merge(other.migration_hist_);
+}
+
+}  // namespace reasched

@@ -1,0 +1,63 @@
+// Per-run metric aggregation: everything the EXPERIMENTS.md tables report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+#include "util/stats.hpp"
+
+namespace reasched {
+
+class MetricsCollector {
+ public:
+  void add(RequestKind kind, const RequestStats& stats);
+  void add_rejected() noexcept { ++rejected_; }
+
+  [[nodiscard]] std::uint64_t requests() const noexcept { return inserts_ + deletes_; }
+  [[nodiscard]] std::uint64_t inserts() const noexcept { return inserts_; }
+  [[nodiscard]] std::uint64_t deletes() const noexcept { return deletes_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+  [[nodiscard]] std::uint64_t rebuilds() const noexcept { return rebuilds_; }
+  [[nodiscard]] std::uint64_t degraded() const noexcept { return degraded_; }
+
+  [[nodiscard]] const RunningStats& reallocations() const noexcept { return reallocs_; }
+  [[nodiscard]] const RunningStats& migrations() const noexcept { return migrations_; }
+  [[nodiscard]] const IntHistogram& reallocation_hist() const noexcept {
+    return realloc_hist_;
+  }
+  [[nodiscard]] const IntHistogram& migration_hist() const noexcept {
+    return migration_hist_;
+  }
+
+  /// Mean reallocations over non-rebuild requests plus the amortized rebuild
+  /// share — the per-request cost the paper's amortized analysis bounds.
+  [[nodiscard]] double amortized_reallocations() const noexcept;
+  /// Mean over requests that did not trigger a rebuild (the de-amortized
+  /// steady-state cost).
+  [[nodiscard]] double steady_reallocations() const noexcept;
+  /// Max over non-rebuild requests (rebuilds move O(n) jobs by design and
+  /// are amortized; this is the per-request worst case Theorem 1 bounds).
+  [[nodiscard]] std::uint64_t steady_max_reallocations() const noexcept;
+  [[nodiscard]] std::uint64_t max_reallocations() const;
+  [[nodiscard]] std::uint64_t p99_reallocations() const;
+  [[nodiscard]] std::uint64_t max_migrations() const;
+
+  void merge(const MetricsCollector& other);
+
+ private:
+  std::uint64_t inserts_ = 0;
+  std::uint64_t deletes_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t degraded_ = 0;
+  std::uint64_t rebuild_reallocs_ = 0;
+  RunningStats reallocs_;         // all requests
+  RunningStats steady_reallocs_;  // non-rebuild requests only
+  RunningStats migrations_;
+  IntHistogram realloc_hist_;
+  IntHistogram migration_hist_;
+};
+
+}  // namespace reasched

@@ -1,0 +1,53 @@
+// Umbrella header for the reasched library — the public API of the
+// reference implementation of "Reallocation Problems in Scheduling"
+// (Bender, Farach-Colton, Fekete, Fineman, Gilbert; SPAA 2013).
+//
+// Quickstart:
+//   reasched::ReallocatingScheduler scheduler(/*machines=*/4);
+//   scheduler.insert(reasched::JobId{1}, reasched::Window{/*a=*/0, /*d=*/64});
+//   auto stats = scheduler.erase(reasched::JobId{1});
+//   // stats.reallocations, stats.migrations — per-request costs (§2).
+#pragma once
+
+#include "base/types.hpp"
+#include "base/window.hpp"
+
+#include "core/alignment.hpp"
+#include "core/incremental_rebuild.hpp"
+#include "core/levels.hpp"
+#include "core/multi_machine.hpp"
+#include "core/naive_scheduler.hpp"
+#include "core/reallocating_scheduler.hpp"
+#include "core/reservation_scheduler.hpp"
+#include "core/scheduler_options.hpp"
+#include "core/window_key.hpp"
+
+#include "baseline/greedy_repair_scheduler.hpp"
+#include "baseline/opt_rebuild_scheduler.hpp"
+#include "baseline/rigid_block_sim.hpp"
+
+#include "feasibility/edf.hpp"
+#include "feasibility/hall.hpp"
+#include "feasibility/matching.hpp"
+#include "feasibility/underallocation.hpp"
+
+#include "schedule/render.hpp"
+#include "schedule/schedule.hpp"
+#include "schedule/scheduler_interface.hpp"
+#include "schedule/slot_runs.hpp"
+#include "schedule/validator.hpp"
+
+#include "workload/adversary.hpp"
+#include "workload/churn.hpp"
+#include "workload/doctor_office.hpp"
+#include "workload/funnel.hpp"
+#include "workload/trace_io.hpp"
+
+#include "metrics/collector.hpp"
+#include "sim/driver.hpp"
+#include "sim/sweep.hpp"
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"

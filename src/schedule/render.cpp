@@ -1,0 +1,50 @@
+#include "schedule/render.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+namespace {
+constexpr Time kMaxColumns = 512;
+}
+
+std::string render_schedule(const Schedule& schedule, const RenderOptions& options) {
+  RS_REQUIRE(options.to > options.from, "render_schedule: empty range");
+  const Time to = std::min(options.to, options.from + kMaxColumns);
+  std::ostringstream os;
+  for (MachineId machine = 0; machine < schedule.machines(); ++machine) {
+    os << 'm' << machine << " |";
+    for (Time t = options.from; t < to; ++t) {
+      const auto occupant = schedule.occupant(machine, t);
+      if (!occupant.has_value()) {
+        os << '.';
+      } else if (options.highlight.value != 0 && *occupant == options.highlight) {
+        os << '*';
+      } else if (options.digits) {
+        os << static_cast<char>('0' + occupant->value % 10);
+      } else {
+        os << '#';
+      }
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+std::string render_window(const Schedule& schedule, const Window& window,
+                          const RenderOptions& options) {
+  const Time to = std::min(options.to, options.from + kMaxColumns);
+  std::ostringstream os;
+  os << render_schedule(schedule, options);
+  os << "w  |";
+  for (Time t = options.from; t < to; ++t) {
+    os << (window.contains(t) ? '^' : ' ');
+  }
+  os << "|  window " << window << '\n';
+  return os.str();
+}
+
+}  // namespace reasched

@@ -1,0 +1,35 @@
+// ASCII rendering of schedules: one row per machine, one column per slot.
+// Used by the examples and handy in test failure output; intentionally
+// simple (fixed-width glyphs, windowed to a time range).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "base/window.hpp"
+#include "schedule/schedule.hpp"
+
+namespace reasched {
+
+struct RenderOptions {
+  Time from = 0;
+  Time to = 64;  ///< exclusive; at most 512 columns are rendered
+  /// Label occupied slots with the job id's last digit instead of '#'.
+  bool digits = true;
+  /// Mark the slots of this job with '*' (0 = none).
+  JobId highlight{0};
+};
+
+/// Renders machines × slots as text, e.g.
+///   m0 |327.1.#...|
+///   m1 |44......2.|
+/// '.' = free slot, digits/# = occupied, '*' = highlighted job.
+[[nodiscard]] std::string render_schedule(const Schedule& schedule,
+                                          const RenderOptions& options = {});
+
+/// Renders the schedule together with one job's window as a second line of
+/// '^' markers — "where may this job go vs. where is everyone".
+[[nodiscard]] std::string render_window(const Schedule& schedule, const Window& window,
+                                        const RenderOptions& options = {});
+
+}  // namespace reasched

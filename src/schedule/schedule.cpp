@@ -1,0 +1,64 @@
+#include "schedule/schedule.hpp"
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+Schedule::Schedule(unsigned machines) : rows_(machines) {
+  RS_REQUIRE(machines >= 1, "Schedule needs at least one machine");
+}
+
+void Schedule::assign(JobId job, Placement p) {
+  RS_REQUIRE(p.machine < machines(), "Schedule::assign: machine out of range");
+  auto& row = rows_[p.machine];
+  const auto occupied = row.find(p.slot);
+  RS_REQUIRE(occupied == row.end() || occupied->second == job,
+             "Schedule::assign: slot already occupied by another job");
+  if (const auto it = by_job_.find(job); it != by_job_.end()) {
+    rows_[it->second.machine].erase(it->second.slot);
+    it->second = p;
+  } else {
+    by_job_.emplace(job, p);
+  }
+  row[p.slot] = job;
+}
+
+void Schedule::erase(JobId job) {
+  const auto it = by_job_.find(job);
+  RS_REQUIRE(it != by_job_.end(), "Schedule::erase: job not present");
+  rows_[it->second.machine].erase(it->second.slot);
+  by_job_.erase(it);
+}
+
+std::optional<Placement> Schedule::find(JobId job) const {
+  const auto it = by_job_.find(job);
+  if (it == by_job_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<JobId> Schedule::occupant(MachineId machine, Time slot) const {
+  RS_REQUIRE(machine < machines(), "Schedule::occupant: machine out of range");
+  const auto& row = rows_[machine];
+  const auto it = row.find(slot);
+  if (it == row.end()) return std::nullopt;
+  return it->second;
+}
+
+void Schedule::clear() {
+  for (auto& row : rows_) row.clear();
+  by_job_.clear();
+}
+
+DiffCosts diff_costs(const Schedule& before, const Schedule& after, JobId subject) {
+  DiffCosts costs;
+  for (const auto& [job, old_placement] : before.assignments()) {
+    if (job == subject) continue;
+    const auto now = after.find(job);
+    if (!now.has_value()) continue;  // deleted by this request (only `subject` should be)
+    if (*now != old_placement) ++costs.reallocations;
+    if (now->machine != old_placement.machine) ++costs.migrations;
+  }
+  return costs;
+}
+
+}  // namespace reasched

@@ -1,0 +1,70 @@
+// Sparse machine×time assignment container plus diff-based cost accounting.
+//
+// The timeline is unbounded, so each machine's row is a hash map from slot
+// to occupant. `Schedule` is the *output* representation (paper §2: "before
+// each scheduling request, the scheduler must output a feasible schedule");
+// schedulers keep their own richer internal state and materialize snapshots
+// for validation and for independent cost accounting (`diff_costs`), which
+// the test suite compares against the schedulers' self-reported stats.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hpp"
+#include "base/window.hpp"
+
+namespace reasched {
+
+struct Placement {
+  MachineId machine = 0;
+  Time slot = 0;
+  friend constexpr auto operator<=>(const Placement&, const Placement&) = default;
+};
+
+class Schedule {
+ public:
+  explicit Schedule(unsigned machines = 1);
+
+  [[nodiscard]] unsigned machines() const noexcept {
+    return static_cast<unsigned>(rows_.size());
+  }
+
+  /// Places (or re-places) a job. Enforces slot exclusivity.
+  void assign(JobId job, Placement p);
+
+  /// Removes a job; no-op requirement: the job must be present.
+  void erase(JobId job);
+
+  [[nodiscard]] std::optional<Placement> find(JobId job) const;
+  [[nodiscard]] std::optional<JobId> occupant(MachineId machine, Time slot) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return by_job_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return by_job_.empty(); }
+
+  [[nodiscard]] const std::unordered_map<JobId, Placement>& assignments() const noexcept {
+    return by_job_;
+  }
+
+  void clear();
+
+ private:
+  std::vector<std::unordered_map<Time, JobId>> rows_;  // machine -> slot -> job
+  std::unordered_map<JobId, Placement> by_job_;
+};
+
+/// Reallocation/migration costs derived *independently* of any scheduler's
+/// self-reporting, by diffing consecutive snapshots (paper §2 cost model).
+struct DiffCosts {
+  std::uint64_t reallocations = 0;  ///< pre-existing jobs whose placement changed
+  std::uint64_t migrations = 0;     ///< pre-existing jobs whose machine changed
+};
+
+/// Compares `before` and `after`, ignoring `subject` (the job inserted or
+/// deleted by the request being accounted).
+[[nodiscard]] DiffCosts diff_costs(const Schedule& before, const Schedule& after,
+                                   JobId subject);
+
+}  // namespace reasched

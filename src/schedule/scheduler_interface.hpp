@@ -1,0 +1,41 @@
+// Common interface implemented by every reallocating scheduler in this
+// repository (the paper's scheduler and all baselines), so the simulation
+// driver, benchmarks, and tests can drive them interchangeably.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "base/types.hpp"
+#include "base/window.hpp"
+#include "schedule/schedule.hpp"
+
+namespace reasched {
+
+class IReallocScheduler {
+ public:
+  virtual ~IReallocScheduler() = default;
+
+  /// Serves ⟨INSERTJOB, id, window⟩. Throws InfeasibleError if the scheduler
+  /// cannot accommodate the job (policy-dependent). `id` must be fresh.
+  virtual RequestStats insert(JobId id, Window window) = 0;
+
+  /// Serves ⟨DELETEJOB, id⟩. `id` must be active.
+  virtual RequestStats erase(JobId id) = 0;
+
+  /// Materializes the current feasible assignment (paper §2: the scheduler
+  /// must be able to output its schedule at any point).
+  [[nodiscard]] virtual Schedule snapshot() const = 0;
+
+  /// Active job count.
+  [[nodiscard]] virtual std::size_t active_jobs() const = 0;
+
+  /// Number of machines this scheduler schedules onto.
+  [[nodiscard]] virtual unsigned machines() const = 0;
+
+  /// Human-readable identifier for tables and logs.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace reasched

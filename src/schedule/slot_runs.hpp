@@ -1,0 +1,101 @@
+// Coalesced occupied-run index over a sparse timeline.
+//
+// Maintains the set of occupied slots as maximal disjoint runs [start, end),
+// giving O(log n) "first free slot at or after t" / "last free slot at or
+// before t" queries. First-fit schedulers use it to jump over fully packed
+// prefixes instead of walking them slot by slot — the difference between
+// O(log n) and O(n) per insert on contended instances.
+#pragma once
+
+#include <map>
+
+#include "base/types.hpp"
+#include "util/assert.hpp"
+
+namespace reasched {
+
+class SlotRuns {
+ public:
+  /// Marks slot t occupied. Precondition: currently free.
+  void occupy(Time t);
+
+  /// Marks slot t free. Precondition: currently occupied.
+  void release(Time t);
+
+  [[nodiscard]] bool occupied(Time t) const;
+
+  /// Smallest free slot >= t.
+  [[nodiscard]] Time next_free(Time t) const;
+
+  /// Largest free slot <= t.
+  [[nodiscard]] Time prev_free(Time t) const;
+
+  /// True iff every slot of [a, b) is occupied.
+  [[nodiscard]] bool covered(Time a, Time b) const {
+    return next_free(a) >= b;
+  }
+
+  [[nodiscard]] std::size_t run_count() const noexcept { return runs_.size(); }
+
+ private:
+  // Maximal disjoint runs, keyed by start; value = one-past-the-end.
+  std::map<Time, Time> runs_;
+
+  /// Iterator to the run containing t, or end().
+  [[nodiscard]] std::map<Time, Time>::const_iterator find_run(Time t) const;
+};
+
+inline std::map<Time, Time>::const_iterator SlotRuns::find_run(Time t) const {
+  auto it = runs_.upper_bound(t);
+  if (it == runs_.begin()) return runs_.end();
+  --it;
+  return it->second > t ? it : runs_.end();
+}
+
+inline bool SlotRuns::occupied(Time t) const { return find_run(t) != runs_.end(); }
+
+inline Time SlotRuns::next_free(Time t) const {
+  const auto run = find_run(t);
+  // Runs are maximal, so the slot just past a run is free.
+  return run == runs_.end() ? t : run->second;
+}
+
+inline Time SlotRuns::prev_free(Time t) const {
+  const auto run = find_run(t);
+  return run == runs_.end() ? t : run->first - 1;
+}
+
+inline void SlotRuns::occupy(Time t) {
+  RS_CHECK(!occupied(t), "SlotRuns::occupy: slot already occupied");
+  auto succ = runs_.find(t + 1);
+  auto pred = runs_.upper_bound(t);
+  const bool joins_pred =
+      pred != runs_.begin() && (--pred)->second == t;  // pred now valid iff true-ish
+  const bool joins_succ = succ != runs_.end();
+  if (joins_pred && joins_succ) {
+    pred->second = succ->second;
+    runs_.erase(succ);
+  } else if (joins_pred) {
+    pred->second = t + 1;
+  } else if (joins_succ) {
+    const Time end = succ->second;
+    runs_.erase(succ);
+    runs_.emplace(t, end);
+  } else {
+    runs_.emplace(t, t + 1);
+  }
+}
+
+inline void SlotRuns::release(Time t) {
+  auto it = runs_.upper_bound(t);
+  RS_CHECK(it != runs_.begin(), "SlotRuns::release: slot not occupied");
+  --it;
+  RS_CHECK(it->first <= t && t < it->second, "SlotRuns::release: slot not occupied");
+  const Time start = it->first;
+  const Time end = it->second;
+  runs_.erase(it);
+  if (start < t) runs_.emplace(start, t);
+  if (t + 1 < end) runs_.emplace(t + 1, end);
+}
+
+}  // namespace reasched

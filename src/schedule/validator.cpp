@@ -1,0 +1,57 @@
+#include "schedule/validator.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace reasched {
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "schedule valid";
+    return os.str();
+  }
+  os << issues.size() << " issue(s):";
+  for (const auto& issue : issues) {
+    os << "\n  job " << issue.job.value << ": " << issue.description;
+  }
+  return os.str();
+}
+
+ValidationReport validate_schedule(
+    const Schedule& schedule, const std::unordered_map<JobId, Window>& active_jobs) {
+  ValidationReport report;
+  auto flag = [&](JobId job, std::string what) {
+    report.issues.push_back(ValidationIssue{job, std::move(what)});
+  };
+
+  // Every active job is scheduled, inside its window.
+  for (const auto& [job, window] : active_jobs) {
+    const auto placement = schedule.find(job);
+    if (!placement.has_value()) {
+      flag(job, "active but not scheduled");
+      continue;
+    }
+    if (!window.contains(placement->slot)) {
+      std::ostringstream os;
+      os << "scheduled at slot " << placement->slot << " outside window " << window;
+      flag(job, os.str());
+    }
+  }
+
+  // Every scheduled job is active, and slots are exclusive per machine.
+  std::map<std::pair<MachineId, Time>, JobId> seen;
+  for (const auto& [job, placement] : schedule.assignments()) {
+    if (!active_jobs.contains(job)) flag(job, "scheduled but not active");
+    const auto key = std::make_pair(placement.machine, placement.slot);
+    if (const auto [it, inserted] = seen.emplace(key, job); !inserted) {
+      std::ostringstream os;
+      os << "slot collision with job " << it->second.value << " at machine "
+         << placement.machine << " slot " << placement.slot;
+      flag(job, os.str());
+    }
+  }
+  return report;
+}
+
+}  // namespace reasched

@@ -1,0 +1,36 @@
+// Feasibility validator for schedule snapshots (paper §2 definition):
+// every active job sits on exactly one (machine, slot), the slot is inside
+// the job's window, and no two jobs on the same machine share a slot.
+//
+// The validator is intentionally independent of all scheduler code so it can
+// serve as ground truth in integration tests.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/window.hpp"
+#include "schedule/schedule.hpp"
+
+namespace reasched {
+
+struct ValidationIssue {
+  JobId job;
+  std::string description;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  [[nodiscard]] bool ok() const noexcept { return issues.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks `schedule` against the set of active jobs and their windows.
+/// Every active job must be scheduled inside its window; every scheduled job
+/// must be active. (Slot exclusivity is structurally enforced by Schedule,
+/// but is re-checked here by construction of the reverse index.)
+[[nodiscard]] ValidationReport validate_schedule(
+    const Schedule& schedule, const std::unordered_map<JobId, Window>& active_jobs);
+
+}  // namespace reasched

@@ -1,0 +1,119 @@
+#include "sim/driver.hpp"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "schedule/validator.hpp"
+#include "util/assert.hpp"
+
+namespace reasched {
+
+namespace {
+
+class Runner {
+ public:
+  Runner(IReallocScheduler& scheduler, const SimOptions& options)
+      : scheduler_(scheduler), options_(options) {}
+
+  void serve(const Request& request) {
+    ++index_;
+    const bool check_costs =
+        options_.check_costs_every != 0 && index_ % options_.check_costs_every == 0;
+    Schedule before(1);
+    if (check_costs) before = scheduler_.snapshot();
+
+    RequestStats stats;
+    if (request.kind == RequestKind::kInsert) {
+      try {
+        stats = scheduler_.insert(request.job, request.window);
+      } catch (const InfeasibleError&) {
+        if (!options_.tolerate_infeasible) throw;
+        report_.metrics.add_rejected();
+        return;
+      }
+      active_.emplace(request.job, request.window);
+    } else {
+      if (!active_.contains(request.job)) {
+        // The job's insert was rejected earlier (tolerate_infeasible):
+        // nothing to delete.
+        ++report_.skipped_deletes;
+        return;
+      }
+      stats = scheduler_.erase(request.job);
+      active_.erase(request.job);
+    }
+    report_.metrics.add(request.kind, stats);
+    if (options_.on_request) options_.on_request(index_ - 1, request, stats);
+
+    if (check_costs) {
+      const Schedule after = scheduler_.snapshot();
+      const DiffCosts diff = diff_costs(before, after, request.job);
+      // Self-reported counts are move events; the diff counts jobs with a
+      // net placement change, so diff <= reported. Migrations are one-shot
+      // per request and must match exactly.
+      if (diff.reallocations > stats.reallocations ||
+          diff.migrations != stats.migrations) {
+        ++report_.cost_mismatches;
+        if (report_.first_issue.empty()) {
+          report_.first_issue =
+              "cost mismatch at request " + std::to_string(index_ - 1) + ": diff=(" +
+              std::to_string(diff.reallocations) + "," + std::to_string(diff.migrations) +
+              ") reported=(" + std::to_string(stats.reallocations) + "," +
+              std::to_string(stats.migrations) + ")";
+        }
+      }
+    }
+    if (options_.validate_every != 0 && index_ % options_.validate_every == 0) {
+      const auto report = validate_schedule(scheduler_.snapshot(), active_);
+      if (!report.ok()) {
+        ++report_.validation_failures;
+        if (report_.first_issue.empty()) {
+          report_.first_issue = "validation failed at request " +
+                                std::to_string(index_ - 1) + ": " + report.to_string();
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] SimReport finish() && { return std::move(report_); }
+  [[nodiscard]] const std::unordered_map<JobId, Window>& active() const noexcept {
+    return active_;
+  }
+
+ private:
+  IReallocScheduler& scheduler_;
+  const SimOptions& options_;
+  SimReport report_;
+  std::unordered_map<JobId, Window> active_;
+  std::uint64_t index_ = 0;
+};
+
+}  // namespace
+
+SimReport replay_trace(IReallocScheduler& scheduler, std::span<const Request> trace,
+                       const SimOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  Runner runner(scheduler, options);
+  for (const Request& request : trace) runner.serve(request);
+  SimReport report = std::move(runner).finish();
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return report;
+}
+
+SimReport run_adaptive(IReallocScheduler& scheduler, const AdversaryFn& next,
+                       const SimOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  Runner runner(scheduler, options);
+  Schedule current = scheduler.snapshot();
+  while (const auto request = next(current)) {
+    runner.serve(*request);
+    current = scheduler.snapshot();
+  }
+  SimReport report = std::move(runner).finish();
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return report;
+}
+
+}  // namespace reasched

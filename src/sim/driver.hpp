@@ -1,0 +1,58 @@
+// Replay driver: feeds request traces (or adaptive adversaries) to any
+// IReallocScheduler, collecting metrics and — optionally — verifying after
+// every request that (a) the output schedule is feasible for the *original*
+// windows and (b) the scheduler's self-reported costs are consistent with
+// an independent snapshot diff. This is the integration-test backbone and
+// the measurement harness behind every experiment.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "base/window.hpp"
+#include "metrics/collector.hpp"
+#include "schedule/scheduler_interface.hpp"
+
+namespace reasched {
+
+struct SimOptions {
+  /// Validate the snapshot every k requests (0 = never, 1 = always).
+  std::uint64_t validate_every = 0;
+  /// Cross-check self-reported costs against snapshot diffs every k requests
+  /// (0 = never). Expensive: two snapshots per checked request.
+  std::uint64_t check_costs_every = 0;
+  /// Count InfeasibleError on insert as a rejection and continue (true), or
+  /// rethrow (false).
+  bool tolerate_infeasible = true;
+  /// Per-request hook (request index, request, stats) for series plots.
+  std::function<void(std::size_t, const Request&, const RequestStats&)> on_request;
+};
+
+struct SimReport {
+  MetricsCollector metrics;
+  std::uint64_t validation_failures = 0;
+  std::uint64_t cost_mismatches = 0;
+  /// Deletes of jobs whose insert had been rejected (tolerate_infeasible).
+  std::uint64_t skipped_deletes = 0;
+  std::string first_issue;
+  double seconds = 0.0;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return validation_failures == 0 && cost_mismatches == 0;
+  }
+};
+
+/// Replays a static trace.
+[[nodiscard]] SimReport replay_trace(IReallocScheduler& scheduler,
+                                     std::span<const Request> trace,
+                                     const SimOptions& options = {});
+
+/// Drives an adaptive adversary: `next` receives the schedule produced by
+/// the previous request and returns the next request (nullopt = done).
+using AdversaryFn = std::function<std::optional<Request>(const Schedule&)>;
+[[nodiscard]] SimReport run_adaptive(IReallocScheduler& scheduler, const AdversaryFn& next,
+                                     const SimOptions& options = {});
+
+}  // namespace reasched

@@ -1,0 +1,31 @@
+// Parallel sweep runner: replays many independent (scheduler, trace) pairs
+// across a thread pool, preserving submission order in the results. The
+// schedulers themselves are sequential (the model is an online request
+// stream); parameter sweeps across schedulers/sizes/seeds are
+// embarrassingly parallel, and the experiment binaries use this to fill
+// their tables using all cores.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "schedule/scheduler_interface.hpp"
+#include "sim/driver.hpp"
+
+namespace reasched {
+
+struct SweepJob {
+  /// Builds the scheduler for this cell (executed on the worker thread).
+  std::function<std::unique_ptr<IReallocScheduler>()> make_scheduler;
+  /// The request trace to replay; must outlive the sweep.
+  const std::vector<Request>* trace = nullptr;
+  SimOptions options;
+};
+
+/// Runs every job (threads = 0 → hardware concurrency) and returns reports
+/// in job order.
+[[nodiscard]] std::vector<SimReport> replay_sweep(const std::vector<SweepJob>& jobs,
+                                                  unsigned threads = 0);
+
+}  // namespace reasched

@@ -1,0 +1,63 @@
+// Power-of-two arithmetic used throughout the aligned-window machinery.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// True iff x is a power of two (x > 0).
+[[nodiscard]] constexpr bool is_pow2(u64 x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)); requires x > 0.
+[[nodiscard]] constexpr unsigned floor_log2(u64 x) {
+  RS_REQUIRE(x > 0, "floor_log2(0)");
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)); requires x > 0.
+[[nodiscard]] constexpr unsigned ceil_log2(u64 x) {
+  RS_REQUIRE(x > 0, "ceil_log2(0)");
+  return is_pow2(x) ? floor_log2(x) : floor_log2(x) + 1;
+}
+
+/// 2^e as u64; requires e < 64.
+[[nodiscard]] constexpr u64 pow2(unsigned e) {
+  RS_REQUIRE(e < 64, "pow2 exponent out of range");
+  return u64{1} << e;
+}
+
+/// Rounds x down to a multiple of the power-of-two `align`.
+[[nodiscard]] constexpr i64 align_down(i64 x, u64 align) {
+  RS_REQUIRE(is_pow2(align), "align_down: alignment must be a power of two");
+  const i64 a = static_cast<i64>(align);
+  // Floor division semantics for possibly-negative x.
+  i64 q = x / a;
+  if (x % a != 0 && x < 0) --q;
+  return q * a;
+}
+
+/// Rounds x up to a multiple of the power-of-two `align`.
+[[nodiscard]] constexpr i64 align_up(i64 x, u64 align) {
+  RS_REQUIRE(is_pow2(align), "align_up: alignment must be a power of two");
+  const i64 down = align_down(x, align);
+  return down == x ? x : down + static_cast<i64>(align);
+}
+
+/// The iterated logarithm log*(x): number of times lg must be applied
+/// before the value drops to <= 1.
+[[nodiscard]] constexpr unsigned log_star(u64 x) noexcept {
+  unsigned it = 0;
+  while (x > 1) {
+    x = floor_log2(x);
+    ++it;
+  }
+  return it;
+}
+
+}  // namespace reasched

@@ -1,0 +1,97 @@
+// Deterministic, seedable random number generation for workloads and tests.
+//
+// xoshiro256** (Blackman & Vigna) seeded via splitmix64. Deterministic across
+// platforms (unlike std::mt19937 distributions, whose outputs are
+// implementation-defined), which keeps workload traces reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+/// splitmix64 step; used for seeding and as a cheap hash.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1234567890abcdefULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Unbiased (rejection sampling).
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    RS_REQUIRE(lo <= hi, "Rng::uniform: empty range");
+    const std::uint64_t span = hi - lo;
+    if (span == max()) return (*this)();
+    const std::uint64_t bound = span + 1;
+    // Lemire-style rejection to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return lo + r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Log-uniform integer in [lo, hi]: exponent drawn uniformly. Handy for
+  /// window-span sampling across decades.
+  [[nodiscard]] std::uint64_t log_uniform(std::uint64_t lo, std::uint64_t hi) {
+    RS_REQUIRE(lo > 0 && lo <= hi, "Rng::log_uniform: invalid range");
+    // Draw an exponent uniformly, then a value uniformly within the octave.
+    const unsigned elo = floor_log2_local(lo);
+    const unsigned ehi = floor_log2_local(hi);
+    const unsigned e = static_cast<unsigned>(uniform(elo, ehi));
+    const std::uint64_t octave_lo = std::uint64_t{1} << e;
+    const std::uint64_t octave_hi = (e >= 63) ? hi : (std::uint64_t{2} << e) - 1;
+    const std::uint64_t clo = octave_lo < lo ? lo : octave_lo;
+    const std::uint64_t chi = octave_hi > hi ? hi : octave_hi;
+    return uniform(clo, chi);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  static constexpr unsigned floor_log2_local(std::uint64_t x) noexcept {
+    unsigned r = 0;
+    while (x >>= 1) ++r;
+    return r;
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace reasched

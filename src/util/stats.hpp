@@ -1,0 +1,120 @@
+// Streaming statistics and integer histograms for per-request cost metrics.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  void merge(const RunningStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Sparse histogram over non-negative integer values (e.g. reallocations per
+/// request). Exact counts; supports percentile queries.
+class IntHistogram {
+ public:
+  void add(std::uint64_t value) noexcept {
+    ++buckets_[value];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count_of(std::uint64_t value) const noexcept {
+    const auto it = buckets_.find(value);
+    return it == buckets_.end() ? 0 : it->second;
+  }
+
+  /// Smallest value v such that at least q*total() samples are <= v.
+  [[nodiscard]] std::uint64_t percentile(double q) const {
+    RS_REQUIRE(q >= 0.0 && q <= 1.0, "percentile: q outside [0,1]");
+    RS_REQUIRE(total_ > 0, "percentile of empty histogram");
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    std::uint64_t seen = 0;
+    for (const auto& [value, count] : buckets_) {
+      seen += count;
+      if (seen >= target) return value;
+    }
+    return buckets_.rbegin()->first;
+  }
+
+  [[nodiscard]] std::uint64_t max_value() const {
+    RS_REQUIRE(total_ > 0, "max of empty histogram");
+    return buckets_.rbegin()->first;
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    if (total_ == 0) return 0.0;
+    double s = 0.0;
+    for (const auto& [value, count] : buckets_)
+      s += static_cast<double>(value) * static_cast<double>(count);
+    return s / static_cast<double>(total_);
+  }
+
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  void merge(const IntHistogram& other) {
+    for (const auto& [value, count] : other.buckets_) buckets_[value] += count;
+    total_ += other.total_;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace reasched

@@ -1,0 +1,44 @@
+// Paper-style ASCII tables with optional CSV emission.
+//
+// The bench harness prints one table per experiment, mirroring how a paper
+// reports a figure's data series. Cells are strings; numeric helpers format
+// with fixed precision.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace reasched {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with box-drawing alignment to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (header + rows, no title) to `os`.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Fixed-precision float formatting helper.
+  static std::string num(double v, int precision = 2);
+  /// Integer formatting helper.
+  static std::string num(std::uint64_t v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace reasched

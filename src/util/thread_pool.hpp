@@ -1,0 +1,57 @@
+// Minimal fixed-size thread pool used to parallelize benchmark sweeps and
+// batch validation. The schedulers themselves are single-threaded state
+// machines (the model is an online sequential request stream); parallelism
+// in this project lives at the harness level, where it is embarrassingly
+// parallel.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace reasched {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits for all.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace reasched

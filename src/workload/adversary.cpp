@@ -1,0 +1,105 @@
+#include "workload/adversary.hpp"
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+Lemma11Adversary::Lemma11Adversary(unsigned machines, std::uint64_t rounds)
+    : machines_(machines), rounds_(rounds) {
+  RS_REQUIRE(machines > 1 && machines % 2 == 0,
+             "Lemma11Adversary: machines must be even and > 1");
+  RS_REQUIRE(rounds >= 1, "Lemma11Adversary: need at least one round");
+}
+
+std::optional<Request> Lemma11Adversary::next(const Schedule& current) {
+  for (;;) {
+    switch (phase_) {
+      case Phase::kInsertSpan2: {
+        if (step_ < 2 * machines_) {
+          const JobId id{next_id_++};
+          alive_.push_back(id);
+          ++step_;
+          ++emitted_;
+          return Request::insert(id, Window{0, 2});
+        }
+        // All 2m span-2 jobs are placed: two per machine is forced. Mark
+        // the jobs sitting on the first m/2 machines for deletion.
+        to_delete_.clear();
+        for (const JobId id : alive_) {
+          const auto placement = current.find(id);
+          RS_CHECK(placement.has_value(), "lemma11: job vanished from schedule");
+          if (placement->machine < machines_ / 2) to_delete_.push_back(id);
+        }
+        RS_CHECK(to_delete_.size() == machines_,
+                 "lemma11: expected exactly two jobs on each front machine");
+        phase_ = Phase::kDeleteFront;
+        step_ = 0;
+        break;
+      }
+      case Phase::kDeleteFront: {
+        if (step_ < to_delete_.size()) {
+          const JobId id = to_delete_[step_++];
+          std::erase(alive_, id);
+          ++emitted_;
+          return Request::erase(id);
+        }
+        phase_ = Phase::kInsertSpan1;
+        step_ = 0;
+        break;
+      }
+      case Phase::kInsertSpan1: {
+        if (step_ < machines_) {
+          const JobId id{next_id_++};
+          alive_.push_back(id);
+          ++step_;
+          ++emitted_;
+          return Request::insert(id, Window{0, 1});
+        }
+        phase_ = Phase::kDeleteAll;
+        step_ = 0;
+        break;
+      }
+      case Phase::kDeleteAll: {
+        if (!alive_.empty()) {
+          const JobId id = alive_.back();
+          alive_.pop_back();
+          ++emitted_;
+          return Request::erase(id);
+        }
+        ++round_;
+        if (round_ >= rounds_) {
+          phase_ = Phase::kDone;
+          break;
+        }
+        phase_ = Phase::kInsertSpan2;
+        step_ = 0;
+        break;
+      }
+      case Phase::kDone:
+        return std::nullopt;
+    }
+  }
+}
+
+std::vector<Request> make_lemma12_trace(std::uint64_t eta, std::uint64_t toggles) {
+  RS_REQUIRE(eta >= 1, "lemma12: eta must be positive");
+  std::vector<Request> trace;
+  trace.reserve(eta + 4 * toggles);
+  std::uint64_t next_id = 1;
+  for (std::uint64_t j = 0; j < eta; ++j) {
+    trace.push_back(Request::insert(JobId{next_id++},
+                                    Window{static_cast<Time>(j), static_cast<Time>(j + 2)}));
+  }
+  for (std::uint64_t t = 0; t < toggles; ++t) {
+    const JobId low{next_id++};
+    trace.push_back(Request::insert(low, Window{0, 1}));
+    trace.push_back(Request::erase(low));
+    const JobId high{next_id++};
+    trace.push_back(Request::insert(
+        high, Window{static_cast<Time>(eta), static_cast<Time>(eta + 1)}));
+    trace.push_back(Request::erase(high));
+  }
+  return trace;
+}
+
+}  // namespace reasched

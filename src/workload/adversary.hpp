@@ -1,0 +1,64 @@
+// The paper's §6 lower-bound constructions, as executable adversaries.
+//
+//  * Lemma 11 (adaptive): on m > 1 machines, rounds of 6m requests force
+//    any deterministic scheduler to migrate m/2 jobs per round — Ω(s) total
+//    migrations over s requests. Adaptive: the adversary inspects the
+//    current schedule to decide which jobs to delete.
+//  * Lemma 12 (oblivious): η = s/2 jobs with windows [j, j+2] plus a
+//    toggling unit-span job force Ω(η) reallocations per toggle — Ω(s²)
+//    total — for ANY scheduler, because each toggle leaves a unique
+//    feasible assignment. No underallocation, hence no contradiction with
+//    Theorem 1.
+//  * Observation 13 is exercised directly by bench E7 via RigidBlockSim.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/window.hpp"
+#include "schedule/schedule.hpp"
+
+namespace reasched {
+
+/// Adaptive adversary for Lemma 11. Drive it with run_adaptive() from
+/// sim/driver.hpp: call next() with the schedule resulting from the
+/// previous request; it returns the next request or nullopt when done.
+class Lemma11Adversary {
+ public:
+  /// `machines` must be even and > 1 (the construction deletes the jobs on
+  /// the first m/2 machines); `rounds` = number of 6m-request rounds.
+  Lemma11Adversary(unsigned machines, std::uint64_t rounds);
+
+  [[nodiscard]] std::optional<Request> next(const Schedule& current);
+
+  [[nodiscard]] std::uint64_t requests_emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::uint64_t rounds_total() const noexcept { return rounds_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kInsertSpan2,   // 2m inserts of span-2 jobs, window [0, 2)
+    kDeleteFront,   // delete the m jobs on machines 0..m/2-1
+    kInsertSpan1,   // m inserts of span-1 jobs, window [0, 1)
+    kDeleteAll,     // delete the 2m remaining jobs
+    kDone,
+  };
+
+  unsigned machines_;
+  std::uint64_t rounds_;
+  std::uint64_t round_ = 0;
+  Phase phase_ = Phase::kInsertSpan2;
+  unsigned step_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::vector<JobId> alive_;
+  std::vector<JobId> to_delete_;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Oblivious Lemma-12 trace: eta staircase jobs [j, j+2), then `toggles`
+/// rounds of {insert [0,1) filler, delete it, insert [eta, eta+1) filler,
+/// delete it}. Every filler insert forces all eta jobs to shift by one.
+[[nodiscard]] std::vector<Request> make_lemma12_trace(std::uint64_t eta,
+                                                      std::uint64_t toggles);
+
+}  // namespace reasched

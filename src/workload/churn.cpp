@@ -1,0 +1,206 @@
+#include "workload/churn.hpp"
+
+#include <unordered_map>
+
+#include "core/alignment.hpp"
+#include "core/window_key.hpp"
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace reasched {
+
+namespace {
+
+/// Tracks per-aligned-window job counts and admits a window only if all of
+/// its aligned ancestors stay below the density bound m·|A|/γ.
+class DensityLedger {
+ public:
+  DensityLedger(u64 horizon, u64 gamma, unsigned machines)
+      : horizon_log_(floor_log2(horizon)), gamma_(gamma), machines_(machines) {}
+
+  [[nodiscard]] bool admissible(const Window& aligned) const {
+    const WindowKey key(aligned);
+    for (unsigned exp = key.span_log; exp <= horizon_log_; ++exp) {
+      const u64 span = pow2(exp);
+      const Time start = align_down(aligned.start, span);
+      const u64 quota = machines_ * span / gamma_;
+      const auto it = counts_.find(make_key(start, exp));
+      const u64 current = it == counts_.end() ? 0 : it->second;
+      if (current + 1 > quota) return false;
+    }
+    return true;
+  }
+
+  void add(const Window& aligned) { bump(aligned, +1); }
+  void remove(const Window& aligned) { bump(aligned, -1); }
+
+ private:
+  static WindowKey make_key(Time start, unsigned exp) {
+    WindowKey key;
+    key.start = start;
+    key.span_log = static_cast<std::uint8_t>(exp);
+    return key;
+  }
+
+  void bump(const Window& aligned, int delta) {
+    const WindowKey key(aligned);
+    for (unsigned exp = key.span_log; exp <= horizon_log_; ++exp) {
+      const u64 span = pow2(exp);
+      const WindowKey ancestor = make_key(align_down(aligned.start, span), exp);
+      auto& count = counts_[ancestor];
+      if (delta > 0) {
+        ++count;
+      } else {
+        RS_CHECK(count > 0, "DensityLedger underflow");
+        --count;
+        if (count == 0) counts_.erase(ancestor);
+      }
+    }
+  }
+
+  unsigned horizon_log_;
+  u64 gamma_;
+  unsigned machines_;
+  std::unordered_map<WindowKey, u64> counts_;
+};
+
+}  // namespace
+
+std::vector<Request> make_churn_trace(const ChurnParams& params) {
+  RS_REQUIRE(params.requests > 0, "churn: no requests requested");
+  RS_REQUIRE(params.target_active > 0, "churn: target_active must be positive");
+  RS_REQUIRE(params.min_span >= 1 && params.min_span <= params.max_span,
+             "churn: bad span range");
+  RS_REQUIRE(is_pow2(params.gamma), "churn: gamma must be a power of two");
+  RS_REQUIRE(params.min_span >= params.gamma,
+             "churn: min_span must be >= gamma (smaller windows cannot hold "
+             "jobs in a gamma-underallocated instance)");
+  RS_REQUIRE(params.machines >= 1, "churn: need at least one machine");
+  RS_REQUIRE(params.delete_fraction >= 0.0 && params.delete_fraction < 1.0,
+             "churn: delete_fraction out of range");
+
+  // Auto horizon: enough aligned capacity that the density bound admits
+  // ~target_active jobs with comfortable headroom.
+  u64 horizon = params.horizon;
+  if (horizon == 0) {
+    const u64 need =
+        4 * params.gamma * static_cast<u64>(params.target_active) / params.machines +
+        4 * params.max_span;
+    horizon = pow2(ceil_log2(need));
+  }
+  RS_REQUIRE(is_pow2(horizon), "churn: horizon must be a power of two");
+  RS_REQUIRE(horizon >= params.max_span, "churn: horizon smaller than max_span");
+
+  Rng rng(params.seed);
+  DensityLedger ledger(horizon, params.gamma, params.machines);
+
+  // Hotspot positions for nested placement: enough hotspots that the
+  // density cap over all enclosing windows can hold ~2x the target
+  // population, spread evenly over the horizon.
+  std::vector<Time> hotspots;
+  if (params.placement == WindowPlacement::kNestedHotspots) {
+    unsigned count = params.hotspots;
+    if (count == 0) {
+      const u64 capacity_per_hotspot =
+          2 * params.machines * params.max_span / params.gamma;
+      count = static_cast<unsigned>(
+          2 * params.target_active / std::max<u64>(1, capacity_per_hotspot) + 1);
+    }
+    for (unsigned i = 0; i < count; ++i) {
+      // Align each hotspot to a max_span block start: the aligned windows of
+      // every span containing it then share that start, so the chain is
+      // prefix-nested — first-fit schedulers crowd the common prefix and
+      // pecking-order cascades actually fire.
+      const Time raw = static_cast<Time>(u64{i} * horizon / count);
+      hotspots.push_back(align_down(raw, pow2(floor_log2(params.max_span))));
+    }
+  }
+
+  std::vector<Request> trace;
+  trace.reserve(params.requests);
+  struct Active {
+    JobId id;
+    Window aligned_image;
+  };
+  std::vector<Active> active;
+  active.reserve(params.target_active * 2);
+  std::uint64_t next_id = 1;
+
+  auto sample_window = [&]() -> std::pair<Window, Window> {
+    // Returns (window, aligned image used for the density ledger).
+    const u64 span_raw = rng.log_uniform(params.min_span, params.max_span);
+    if (params.placement == WindowPlacement::kNestedHotspots) {
+      const Time hotspot =
+          hotspots[static_cast<std::size_t>(rng.uniform(0, hotspots.size() - 1))];
+      const u64 span = pow2(floor_log2(span_raw));
+      // The aligned window of this span containing the hotspot: windows of
+      // all spans around one hotspot form a nested (laminar) chain.
+      const Time start = align_down(hotspot, span);
+      const Window w{start, start + static_cast<Time>(span)};
+      if (params.aligned) return {w, w};
+      // Unaligned variant: jitter the endpoints outward a little; the
+      // aligned image stays inside the same chain.
+      const Time jitter = static_cast<Time>(rng.uniform(0, span / 4));
+      const Window jittered{std::max<Time>(0, w.start - jitter), w.end + jitter};
+      return {jittered, aligned_shrink(jittered)};
+    }
+    if (params.aligned) {
+      const unsigned exp = floor_log2(span_raw);
+      const u64 span = pow2(exp);
+      const u64 positions = horizon / span;
+      const Time start = static_cast<Time>(span * rng.uniform(0, positions - 1));
+      const Window w{start, start + static_cast<Time>(span)};
+      return {w, w};
+    }
+    const u64 span = span_raw;
+    const Time start = static_cast<Time>(rng.uniform(0, horizon - span));
+    const Window w{start, start + static_cast<Time>(span)};
+    return {w, aligned_shrink(w)};
+  };
+
+  std::size_t emitted = 0;
+  while (emitted < params.requests) {
+    // Warm-up: pure inserts until the target population is reached; after
+    // that, delete with probability delete_fraction (0.5 keeps n steady).
+    const bool warm = active.size() >= params.target_active;
+    const bool do_delete = !active.empty() && warm && rng.chance(params.delete_fraction);
+    if (do_delete) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform(0, active.size() - 1));
+      ledger.remove(active[pick].aligned_image);
+      trace.push_back(Request::erase(active[pick].id));
+      active[pick] = active.back();
+      active.pop_back();
+      ++emitted;
+      continue;
+    }
+    // Insert: rejection-sample an admissible window.
+    bool admitted = false;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto [window, image] = sample_window();
+      if (!ledger.admissible(image)) continue;
+      ledger.add(image);
+      const JobId id{next_id++};
+      trace.push_back(Request::insert(id, window));
+      active.push_back(Active{id, image});
+      admitted = true;
+      ++emitted;
+      break;
+    }
+    if (!admitted) {
+      // Density saturated: force a deletion to make progress.
+      RS_CHECK(!active.empty(), "churn generator deadlocked: nothing to delete");
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform(0, active.size() - 1));
+      ledger.remove(active[pick].aligned_image);
+      trace.push_back(Request::erase(active[pick].id));
+      active[pick] = active.back();
+      active.pop_back();
+      ++emitted;
+    }
+  }
+  return trace;
+}
+
+}  // namespace reasched

@@ -1,0 +1,61 @@
+// Random insert/delete churn with γ-underallocation *by construction*.
+//
+// Candidate jobs are admitted only if every aligned ancestor window A of the
+// job's aligned image keeps at most m·|A|/γ jobs whose (aligned) windows
+// nest inside A. For laminar (recursively aligned) families this density
+// bound is exactly the packing condition behind Lemma 2/Lemma 3, so admitted
+// aligned traces are γ-underallocated at every prefix — the precondition of
+// Theorem 1. Generated traces are deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/window.hpp"
+
+namespace reasched {
+
+/// How window positions are sampled.
+enum class WindowPlacement : std::uint8_t {
+  /// Spread uniformly over the horizon: low contention, jobs rarely
+  /// interact (a sanity regime — nearly every scheduler is cheap here).
+  kUniform,
+  /// Windows nest around a few hotspots, filling every enclosing span class
+  /// to the γ-density cap: maximal contention among *underallocated*
+  /// instances — the regime where pecking-order cascades actually fire and
+  /// the paper's hierarchy (log* vs log vs n) becomes visible.
+  kNestedHotspots,
+};
+
+struct ChurnParams {
+  std::uint64_t seed = 1;
+  /// Ramp up to roughly this many concurrently active jobs, then churn.
+  std::size_t target_active = 1024;
+  /// Total number of requests to emit (inserts + deletes).
+  std::size_t requests = 10'000;
+  /// Window span range; spans are sampled log-uniformly. Must satisfy
+  /// min_span >= gamma (no window smaller than γ can hold a job in a
+  /// γ-underallocated instance).
+  std::uint64_t min_span = 64;
+  std::uint64_t max_span = 4096;
+  /// Emit aligned windows (power-of-two span, aligned start). When false,
+  /// windows are arbitrary and the density bound is enforced on their
+  /// aligned images (what the §5 pipeline will schedule).
+  bool aligned = true;
+  /// Underallocation factor enforced by construction.
+  std::uint64_t gamma = 8;
+  unsigned machines = 1;
+  /// Probability that a post-warmup request is a deletion.
+  double delete_fraction = 0.5;
+  /// Timeline length (power of two). 0 = auto-sized from the parameters.
+  std::uint64_t horizon = 0;
+  WindowPlacement placement = WindowPlacement::kUniform;
+  /// Number of hotspots for kNestedHotspots (0 = auto from capacity).
+  unsigned hotspots = 0;
+};
+
+/// Generates the request trace. Throws ContractViolation on inconsistent
+/// parameters.
+[[nodiscard]] std::vector<Request> make_churn_trace(const ChurnParams& params);
+
+}  // namespace reasched

@@ -1,0 +1,86 @@
+#include "workload/doctor_office.hpp"
+
+#include <unordered_map>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace reasched {
+
+std::vector<Request> make_doctor_office_trace(const DoctorOfficeParams& params) {
+  RS_REQUIRE(params.days >= 1, "doctor office: need at least one day");
+  RS_REQUIRE(is_pow2(params.slots_per_day),
+             "doctor office: slots_per_day must be a power of two");
+  RS_REQUIRE(params.load_factor > 0.0 && params.load_factor <= 0.5,
+             "doctor office: load_factor out of range");
+
+  Rng rng(params.seed);
+  const Time day_span = static_cast<Time>(params.slots_per_day);
+  const Time horizon = static_cast<Time>(params.days) * day_span;
+
+  std::vector<Request> trace;
+  std::vector<std::pair<JobId, Window>> booked;
+  std::unordered_map<Time, std::uint64_t> day_load;  // bookings touching a day
+  std::uint64_t next_id = 1;
+
+  const auto max_per_day = static_cast<std::uint64_t>(
+      params.load_factor * static_cast<double>(params.slots_per_day));
+
+  for (std::uint64_t call_day = 0; call_day < params.days; ++call_day) {
+    // Cancellations first: every booking flips a (cheap) biased coin.
+    for (std::size_t i = 0; i < booked.size();) {
+      if (rng.chance(params.cancel_rate)) {
+        trace.push_back(Request::erase(booked[i].first));
+        for (Time d = booked[i].second.start / day_span;
+             d * day_span < booked[i].second.end; ++d) {
+          --day_load[d];
+        }
+        booked[i] = booked.back();
+        booked.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    // New bookings: Poisson-approximate count via Bernoulli thinning.
+    const auto attempts = static_cast<std::uint64_t>(params.bookings_per_day * 2.0);
+    std::uint64_t made = 0;
+    for (std::uint64_t a = 0; a < attempts && made < params.bookings_per_day * 2; ++a) {
+      if (!rng.chance(0.5)) continue;  // thinning: E[made] = bookings_per_day
+      // Availability: starts within [call_day, days), spans one of
+      // {half day, full day, 2 days, 4 days}.
+      const std::uint64_t kind = rng.uniform(0, 3);
+      const Time span = day_span << (kind == 0 ? 0 : kind - 1);
+      const Time span_final = kind == 0 ? day_span / 2 : span;
+      if (static_cast<Time>(call_day) * day_span + span_final > horizon) continue;
+      const Time latest_start = horizon - span_final;
+      const Time earliest_start = static_cast<Time>(call_day) * day_span;
+      if (earliest_start > latest_start) continue;
+      const Time start = static_cast<Time>(
+          rng.uniform(static_cast<std::uint64_t>(earliest_start),
+                      static_cast<std::uint64_t>(latest_start)));
+      const Window window{start, start + span_final};
+
+      // Capacity admission: every day the window touches stays under quota.
+      bool ok = true;
+      for (Time d = window.start / day_span; d * day_span < window.end; ++d) {
+        if (day_load[d] + 1 > max_per_day) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      for (Time d = window.start / day_span; d * day_span < window.end; ++d) {
+        ++day_load[d];
+      }
+      const JobId id{next_id++};
+      trace.push_back(Request::insert(id, window));
+      booked.emplace_back(id, window);
+      ++made;
+    }
+  }
+  return trace;
+}
+
+}  // namespace reasched

@@ -1,0 +1,37 @@
+// The paper's motivating workload (§1): a doctor's office booking system.
+//
+// Patients call in over a horizon of days; each names an availability
+// window (a stretch of consecutive slots, from a couple of hours to a few
+// days) and must be given one appointment slot inside it. Some patients
+// later cancel. The generator emits the request trace; the scheduler keeps
+// everyone booked while rescheduling ("annoying") as few patients as
+// possible — the quantity Theorem 1 bounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/window.hpp"
+
+namespace reasched {
+
+struct DoctorOfficeParams {
+  std::uint64_t seed = 7;
+  /// Number of clinic days in the booking horizon.
+  std::uint64_t days = 64;
+  /// Appointment slots per day (power of two keeps day windows aligned).
+  std::uint64_t slots_per_day = 32;
+  /// Mean bookings made per simulated call-in day (Poisson-ish arrivals).
+  double bookings_per_day = 12.0;
+  /// Probability that an existing booking cancels per call-in day per job.
+  double cancel_rate = 0.02;
+  /// Fraction of capacity the clinic is willing to book (slack control;
+  /// keep below 1/8 to satisfy the paper's underallocation regime).
+  double load_factor = 0.10;
+};
+
+/// Generates the booking/cancellation request trace.
+[[nodiscard]] std::vector<Request> make_doctor_office_trace(
+    const DoctorOfficeParams& params);
+
+}  // namespace reasched

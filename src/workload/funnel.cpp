@@ -1,0 +1,103 @@
+#include "workload/funnel.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace reasched {
+
+std::vector<Request> make_funnel_trace(const FunnelParams& params) {
+  RS_REQUIRE(params.min_span_log <= params.max_span_log, "funnel: bad span range");
+  RS_REQUIRE(params.max_span_log < 62, "funnel: span exponent too large");
+  RS_REQUIRE(is_pow2(params.gamma), "funnel: gamma must be a power of two");
+  RS_REQUIRE(pow2(params.min_span_log) / 2 >= params.gamma,
+             "funnel: smallest class cannot hold a job at this gamma "
+             "(need 2^(min_span_log-1) >= gamma)");
+  RS_REQUIRE(align_down(params.base, pow2(params.max_span_log)) == params.base,
+             "funnel: base must be aligned to the largest span");
+
+  const unsigned classes = params.max_span_log - params.min_span_log + 1;
+  Rng rng(params.seed);
+
+  // Per-class job quota: half the Lemma-2 cap, so nesting stays legal.
+  std::vector<std::uint64_t> quota(classes);
+  std::size_t budget = params.max_jobs == 0 ? ~std::size_t{0} : params.max_jobs;
+  for (unsigned c = 0; c < classes; ++c) {
+    const unsigned exponent = params.min_span_log + c;
+    const std::uint64_t cap = pow2(exponent - 1) / params.gamma;
+    quota[c] = std::min<std::uint64_t>(cap, budget);
+    budget -= static_cast<std::size_t>(quota[c]);
+  }
+
+  std::vector<Request> trace;
+  std::vector<std::vector<JobId>> members(classes);
+  std::uint64_t next_id = 1;
+
+  auto window_of = [&](unsigned c) {
+    const Time span = static_cast<Time>(pow2(params.min_span_log + c));
+    return Window{params.base, params.base + span};
+  };
+
+  // Warm fill, small classes first (their quotas are the cascade fuel).
+  for (unsigned c = 0; c < classes; ++c) {
+    for (std::uint64_t i = 0; i < quota[c]; ++i) {
+      const JobId id{next_id++};
+      trace.push_back(Request::insert(id, window_of(c)));
+      members[c].push_back(id);
+    }
+  }
+
+  // Steady churn: delete a job from class a, insert one into class b. When
+  // a's span exceeds b's, the hole left by the delete usually lies outside
+  // the inserted window — which is buried in the full prefix — so the
+  // insert must cascade up the span classes until it reaches the hole.
+  // Populations random-walk within [quota/2, 3*quota/2]; since quota is
+  // half the Lemma-2 cap, every prefix stays within the density bound and
+  // the whole trace remains γ-underallocated.
+  bool any = false;
+  for (unsigned c = 0; c < classes; ++c) any = any || !members[c].empty();
+  if (!any) return trace;
+
+  unsigned lowest = 0;
+  unsigned highest = classes - 1;
+  while (quota[lowest] == 0 && lowest < classes - 1) ++lowest;
+  while (quota[highest] == 0 && highest > 0) --highest;
+
+  for (std::size_t pair = 0; pair < params.churn_pairs; ++pair) {
+    unsigned from = 0;
+    unsigned to = 0;
+    if (params.adversarial) {
+      // Even pairs: a hole opens at the top of the prefix while the insert
+      // dives to the bottom — the displacement chain must climb every span
+      // class. Odd pairs undo the population shift (their inserts are
+      // cheap: the low hole is visible from the huge window).
+      from = (pair % 2 == 0) ? highest : lowest;
+      to = (pair % 2 == 0) ? lowest : highest;
+      if (members[from].empty()) std::swap(from, to);
+      if (members[from].empty()) break;
+    } else {
+      do {
+        from = static_cast<unsigned>(rng.uniform(0, classes - 1));
+      } while (members[from].empty() ||
+               members[from].size() * 2 <= quota[from]);  // keep >= quota/2
+      do {
+        to = static_cast<unsigned>(rng.uniform(0, classes - 1));
+      } while (quota[to] == 0 || members[to].size() * 2 >= quota[to] * 3);  // <= 3q/2
+    }
+    auto& from_pool = members[from];
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.uniform(0, from_pool.size() - 1));
+    trace.push_back(Request::erase(from_pool[pick]));
+    from_pool[pick] = from_pool.back();
+    from_pool.pop_back();
+
+    const JobId id{next_id++};
+    trace.push_back(Request::insert(id, window_of(to)));
+    members[to].push_back(id);
+  }
+  return trace;
+}
+
+}  // namespace reasched

@@ -1,0 +1,47 @@
+// The "funnel": maximum reallocation pressure among γ-underallocated
+// instances.
+//
+// All windows share a common start: a nested chain [0, 2^e) for
+// e = min_span_log .. max_span_log. Each span class is filled to half its
+// Lemma-2 density cap (so the whole instance stays γ-underallocated:
+// Σ_{e'<=e} 2^{e'-1}/γ <= 2^e/γ), which makes first-fit schedulers pack a
+// contiguous full prefix. Steady-state churn then deletes a job from one
+// random class and inserts one into another: the insert's window is buried
+// inside the full prefix, so pecking-order displacement chains actually
+// climb the span classes — naive pays Θ(#classes) = Θ(min{log n, log Δ})
+// per request, the reservation scheduler O(log*) (Theorem 1 vs Lemma 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/window.hpp"
+
+namespace reasched {
+
+struct FunnelParams {
+  std::uint64_t seed = 1;
+  /// Smallest/largest span exponents of the chain. min_span_log must give
+  /// each class at least one job: 2^(min_span_log-1) >= gamma.
+  unsigned min_span_log = 6;
+  unsigned max_span_log = 16;
+  std::uint64_t gamma = 8;
+  /// Cap on the warm population (0 = fill every class to its half-cap).
+  /// When the cap binds, large classes are left sparse and cascades stop at
+  /// ~log(8n) — exhibiting the min{log n, log Δ} of Lemma 4.
+  std::size_t max_jobs = 0;
+  /// Number of churn requests after the warm fill (each churn step is one
+  /// delete + one insert).
+  std::size_t churn_pairs = 5'000;
+  /// Chain start (aligned to 2^max_span_log).
+  Time base = 0;
+  /// Random churn (false) picks delete/insert classes uniformly; the
+  /// adversarial variant (true) alternates delete-largest/insert-smallest
+  /// with the reverse, burying every second insert under the full prefix —
+  /// the worst case of Lemma 4, still γ-underallocated.
+  bool adversarial = false;
+};
+
+[[nodiscard]] std::vector<Request> make_funnel_trace(const FunnelParams& params);
+
+}  // namespace reasched

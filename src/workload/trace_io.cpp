@@ -1,0 +1,55 @@
+#include "workload/trace_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+void write_trace(std::ostream& os, const std::vector<Request>& trace) {
+  for (const auto& request : trace) {
+    if (request.kind == RequestKind::kInsert) {
+      os << "I " << request.job.value << ' ' << request.window.start << ' '
+         << request.window.end << '\n';
+    } else {
+      os << "D " << request.job.value << '\n';
+    }
+  }
+  os.flush();
+}
+
+std::vector<Request> read_trace(std::istream& is) {
+  std::vector<Request> trace;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    char kind = 0;
+    tokens >> kind;
+    if (kind == 'I') {
+      std::uint64_t id = 0;
+      Time arrival = 0;
+      Time deadline = 0;
+      tokens >> id >> arrival >> deadline;
+      RS_REQUIRE(static_cast<bool>(tokens) && deadline > arrival,
+                 "trace line " + std::to_string(line_number) + ": bad insert");
+      trace.push_back(Request::insert(JobId{id}, Window{arrival, deadline}));
+    } else if (kind == 'D') {
+      std::uint64_t id = 0;
+      tokens >> id;
+      RS_REQUIRE(static_cast<bool>(tokens),
+                 "trace line " + std::to_string(line_number) + ": bad delete");
+      trace.push_back(Request::erase(JobId{id}));
+    } else {
+      RS_REQUIRE(false, "trace line " + std::to_string(line_number) +
+                            ": unknown record type");
+    }
+  }
+  return trace;
+}
+
+}  // namespace reasched

@@ -1,0 +1,21 @@
+// Request-trace serialization: a minimal line format so traces can be
+// saved, diffed, and replayed across runs (and shared as bug reproducers).
+//
+//   I <id> <arrival> <deadline>
+//   D <id>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/window.hpp"
+
+namespace reasched {
+
+void write_trace(std::ostream& os, const std::vector<Request>& trace);
+
+/// Parses a trace; throws ContractViolation on malformed input.
+[[nodiscard]] std::vector<Request> read_trace(std::istream& is);
+
+}  // namespace reasched

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "baseline/greedy_repair_scheduler.hpp"
+#include "baseline/opt_rebuild_scheduler.hpp"
+#include "baseline/rigid_block_sim.hpp"
+#include "schedule/validator.hpp"
+
+namespace reasched {
+namespace {
+
+TEST(GreedyRepair, EarliestFitPlacesAtStart) {
+  GreedyRepairScheduler s(GreedyRepairScheduler::Fit::kEarliest);
+  s.insert(JobId{1}, Window{0, 8});
+  EXPECT_EQ(s.snapshot().find(JobId{1})->slot, 0);
+  s.insert(JobId{2}, Window{0, 8});
+  EXPECT_EQ(s.snapshot().find(JobId{2})->slot, 1);
+}
+
+TEST(GreedyRepair, LatestFitPlacesAtEnd) {
+  GreedyRepairScheduler s(GreedyRepairScheduler::Fit::kLatest);
+  s.insert(JobId{1}, Window{0, 8});
+  EXPECT_EQ(s.snapshot().find(JobId{1})->slot, 7);
+  s.insert(JobId{2}, Window{0, 8});
+  EXPECT_EQ(s.snapshot().find(JobId{2})->slot, 6);
+}
+
+TEST(GreedyRepair, DisplacesLaterDeadline) {
+  GreedyRepairScheduler s;
+  s.insert(JobId{1}, Window{0, 16});  // deadline 16, sits at slot 0
+  // Tight job needs slot 0..0; job 1 must yield.
+  const auto stats = s.insert(JobId{2}, Window{0, 1});
+  EXPECT_EQ(stats.reallocations, 1u);
+  EXPECT_EQ(s.snapshot().find(JobId{2})->slot, 0);
+  std::unordered_map<JobId, Window> active{{JobId{1}, Window{0, 16}},
+                                           {JobId{2}, Window{0, 1}}};
+  EXPECT_TRUE(validate_schedule(s.snapshot(), active).ok());
+}
+
+TEST(GreedyRepair, CascadeOnStaircase) {
+  GreedyRepairScheduler s;
+  // Staircase [j, j+2): EDF packs job j at slot j. A [0,1) filler then
+  // forces the entire staircase to shift — the Θ(n) brittleness.
+  const unsigned n = 50;
+  for (unsigned j = 0; j < n; ++j) {
+    s.insert(JobId{j + 1}, Window{static_cast<Time>(j), static_cast<Time>(j + 2)});
+  }
+  const auto stats = s.insert(JobId{1000}, Window{0, 1});
+  EXPECT_GE(stats.reallocations, n);  // every staircase job moved
+}
+
+TEST(GreedyRepair, ThrowsWhenNoLaterDeadlineExists) {
+  GreedyRepairScheduler s;
+  s.insert(JobId{1}, Window{0, 1});
+  EXPECT_THROW(s.insert(JobId{2}, Window{0, 1}), InfeasibleError);
+  EXPECT_EQ(s.active_jobs(), 1u);
+}
+
+TEST(GreedyRepair, DeletionsFree) {
+  GreedyRepairScheduler s;
+  s.insert(JobId{1}, Window{0, 4});
+  EXPECT_EQ(s.erase(JobId{1}).reallocations, 0u);
+}
+
+TEST(OptRebuild, MaintainsEdfCanonicalSchedule) {
+  OptRebuildScheduler s(1);
+  s.insert(JobId{1}, Window{0, 4});
+  s.insert(JobId{2}, Window{0, 4});
+  std::unordered_map<JobId, Window> active{{JobId{1}, Window{0, 4}},
+                                           {JobId{2}, Window{0, 4}}};
+  EXPECT_TRUE(validate_schedule(s.snapshot(), active).ok());
+}
+
+TEST(OptRebuild, CountsDiffCosts) {
+  OptRebuildScheduler s(1);
+  // Staircase packed at slots 0..n-1; a [0,1) insert reshuffles everyone.
+  const unsigned n = 30;
+  for (unsigned j = 0; j < n; ++j) {
+    s.insert(JobId{j + 1}, Window{static_cast<Time>(j), static_cast<Time>(j + 2)});
+  }
+  const auto stats = s.insert(JobId{999}, Window{0, 1});
+  EXPECT_GE(stats.reallocations, n - 1);
+}
+
+TEST(OptRebuild, InfeasibleInsertRejectedCleanly) {
+  OptRebuildScheduler s(1);
+  s.insert(JobId{1}, Window{0, 1});
+  EXPECT_THROW(s.insert(JobId{2}, Window{0, 1}), InfeasibleError);
+  EXPECT_EQ(s.active_jobs(), 1u);
+  std::unordered_map<JobId, Window> active{{JobId{1}, Window{0, 1}}};
+  EXPECT_TRUE(validate_schedule(s.snapshot(), active).ok());
+}
+
+TEST(OptRebuild, MultiMachine) {
+  OptRebuildScheduler s(3);
+  for (unsigned i = 0; i < 9; ++i) s.insert(JobId{i + 1}, Window{0, 3});
+  std::unordered_map<JobId, Window> active;
+  for (unsigned i = 0; i < 9; ++i) active.emplace(JobId{i + 1}, Window{0, 3});
+  EXPECT_TRUE(validate_schedule(s.snapshot(), active).ok());
+}
+
+TEST(RigidBlock, PlacesAndEvicts) {
+  RigidBlockSim sim;
+  // Unit jobs across [0, 16).
+  for (unsigned i = 0; i < 4; ++i) {
+    const auto cost = sim.insert(JobId{i + 1}, 1, Window{0, 16});
+    ASSERT_TRUE(cost.has_value());
+    EXPECT_EQ(*cost, 0u);
+  }
+  sim.audit();
+  // A size-4 block with window [0, 4): must evict the unit jobs there.
+  const auto cost = sim.insert(JobId{100}, 4, Window{0, 4});
+  ASSERT_TRUE(cost.has_value());
+  EXPECT_EQ(*cost, 4u);  // all four unit jobs sat in [0,4) (first fit)
+  sim.audit();
+}
+
+TEST(RigidBlock, EraseFreesSlots) {
+  RigidBlockSim sim;
+  ASSERT_TRUE(sim.insert(JobId{1}, 4, Window{0, 4}).has_value());
+  sim.erase(JobId{1});
+  EXPECT_EQ(sim.active_jobs(), 0u);
+  ASSERT_TRUE(sim.insert(JobId{2}, 4, Window{0, 4}).has_value());
+  sim.audit();
+}
+
+TEST(RigidBlock, Observation13CostLinearInK) {
+  // One toggle round of the Observation-13 adversary: k unit jobs with
+  // window [0, m), big job hopping between offsets. Every hop costs ~k.
+  const Time k = 8;
+  const Time m = 2 * 8 * k;  // 2γk with γ=8
+  RigidBlockSim sim;
+  for (Time i = 0; i < k; ++i) {
+    ASSERT_TRUE(sim.insert(JobId{static_cast<std::uint64_t>(i + 1)}, 1, Window{0, m})
+                    .has_value());
+  }
+  std::uint64_t total = 0;
+  JobId big{1000};
+  auto cost = sim.insert(big, k, Window{0, k});
+  ASSERT_TRUE(cost.has_value());
+  total += *cost;
+  for (Time pos = k; pos + k <= m; pos += k) {
+    sim.erase(big);
+    big.value++;
+    cost = sim.insert(big, k, Window{pos, pos + k});
+    ASSERT_TRUE(cost.has_value());
+    total += *cost;
+    sim.audit();
+  }
+  // First-fit packs the unit jobs to the left, so the first hops are the
+  // expensive ones; total forced cost is Θ(k) per sweep of the timeline.
+  EXPECT_GE(total, static_cast<std::uint64_t>(k));
+}
+
+TEST(RigidBlock, RejectsOversizedJob) {
+  RigidBlockSim sim;
+  EXPECT_THROW(sim.insert(JobId{1}, 8, Window{0, 4}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace reasched

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "feasibility/edf.hpp"
+#include "feasibility/hall.hpp"
+#include "feasibility/matching.hpp"
+#include "feasibility/underallocation.hpp"
+#include "util/rng.hpp"
+
+namespace reasched {
+namespace {
+
+std::vector<JobSpec> staircase(std::uint64_t n) {
+  // Jobs [j, j+2): feasible on one machine with zero slack.
+  std::vector<JobSpec> jobs;
+  for (std::uint64_t j = 0; j < n; ++j) {
+    jobs.push_back({JobId{j + 1}, Window{static_cast<Time>(j), static_cast<Time>(j + 2)}});
+  }
+  return jobs;
+}
+
+TEST(Edf, EmptyIsFeasible) { EXPECT_TRUE(edf_feasible({}, 1)); }
+
+TEST(Edf, TightStaircaseFeasible) {
+  const auto jobs = staircase(50);
+  EXPECT_TRUE(edf_feasible(jobs, 1));
+}
+
+TEST(Edf, OverloadedSlotInfeasible) {
+  std::vector<JobSpec> jobs = {
+      {JobId{1}, Window{0, 1}},
+      {JobId{2}, Window{0, 1}},
+  };
+  EXPECT_FALSE(edf_feasible(jobs, 1));
+  EXPECT_TRUE(edf_feasible(jobs, 2));  // two machines fix it
+}
+
+TEST(Edf, PigeonholeInfeasible) {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 5; ++i) jobs.push_back({JobId{(unsigned)i + 1}, Window{0, 4}});
+  EXPECT_FALSE(edf_feasible(jobs, 1));
+  EXPECT_TRUE(edf_feasible(jobs, 2));
+}
+
+TEST(Edf, ScheduleIsValid) {
+  const auto jobs = staircase(20);
+  const auto schedule = edf_schedule(jobs, 1);
+  ASSERT_TRUE(schedule.has_value());
+  ASSERT_EQ(schedule->size(), jobs.size());
+  std::set<Time> used;
+  for (const auto& [id, placement] : *schedule) {
+    const auto& spec = jobs[id.value - 1];
+    EXPECT_TRUE(spec.window.contains(placement.slot));
+    EXPECT_TRUE(used.insert(placement.slot).second) << "slot reuse";
+  }
+}
+
+TEST(Edf, RespectsMachineCount) {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 8; ++i) jobs.push_back({JobId{(unsigned)i + 1}, Window{0, 4}});
+  const auto schedule = edf_schedule(jobs, 2);
+  ASSERT_TRUE(schedule.has_value());
+  std::set<std::pair<MachineId, Time>> used;
+  for (const auto& [id, placement] : *schedule) {
+    EXPECT_LT(placement.machine, 2u);
+    EXPECT_TRUE(used.insert({placement.machine, placement.slot}).second);
+  }
+}
+
+TEST(Edf, GapsAreSkipped) {
+  std::vector<JobSpec> jobs = {
+      {JobId{1}, Window{0, 2}},
+      {JobId{2}, Window{1'000'000, 1'000'002}},
+  };
+  EXPECT_TRUE(edf_feasible(jobs, 1));
+}
+
+TEST(Hall, AgreesWithEdfOnRandomInstances) {
+  Rng rng(123);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::vector<JobSpec> jobs;
+    const auto n = rng.uniform(1, 24);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Time start = static_cast<Time>(rng.uniform(0, 20));
+      const Time span = static_cast<Time>(rng.uniform(1, 6));
+      jobs.push_back({JobId{i + 1}, Window{start, start + span}});
+    }
+    const unsigned machines = static_cast<unsigned>(rng.uniform(1, 3));
+    EXPECT_EQ(edf_feasible(jobs, machines), hall_feasible(jobs, machines))
+        << "instance " << iteration;
+  }
+}
+
+TEST(Hall, WitnessIntervalIsActuallyOverloaded) {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 6; ++i) jobs.push_back({JobId{(unsigned)i + 1}, Window{2, 6}});
+  const auto witness = hall_violation(jobs, 1);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_GT(witness->jobs, witness->slots);
+  EXPECT_LE(witness->interval.start, 2);
+  EXPECT_GE(witness->interval.end, 6);
+}
+
+TEST(Matching, AgreesWithEdfOnRandomInstances) {
+  Rng rng(321);
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    std::vector<JobSpec> jobs;
+    const auto n = rng.uniform(1, 16);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Time start = static_cast<Time>(rng.uniform(0, 12));
+      const Time span = static_cast<Time>(rng.uniform(1, 5));
+      jobs.push_back({JobId{i + 1}, Window{start, start + span}});
+    }
+    const unsigned machines = static_cast<unsigned>(rng.uniform(1, 2));
+    const auto result = matching_feasible(jobs, machines);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(*result, edf_feasible(jobs, machines)) << "instance " << iteration;
+  }
+}
+
+TEST(Matching, BudgetRefusal) {
+  std::vector<JobSpec> jobs = {{JobId{1}, Window{0, 1 << 20}}};
+  EXPECT_EQ(matching_feasible(jobs, 1, /*budget=*/1024), std::nullopt);
+}
+
+TEST(Matching, HopcroftKarpPerfectMatching) {
+  BipartiteMatcher matcher(3, 3);
+  matcher.add_edge(0, 0);
+  matcher.add_edge(0, 1);
+  matcher.add_edge(1, 1);
+  matcher.add_edge(2, 1);
+  matcher.add_edge(2, 2);
+  EXPECT_EQ(matcher.max_matching(), 3u);
+}
+
+TEST(Matching, HopcroftKarpDeficientGraph) {
+  BipartiteMatcher matcher(3, 2);
+  matcher.add_edge(0, 0);
+  matcher.add_edge(1, 0);
+  matcher.add_edge(2, 1);
+  EXPECT_EQ(matcher.max_matching(), 2u);
+}
+
+TEST(Underallocation, DilationShrinksWindows) {
+  const std::vector<JobSpec> jobs = {{JobId{1}, Window{0, 32}}};
+  const auto cells = dilate_to_grid(jobs, 8);
+  ASSERT_TRUE(cells.has_value());
+  EXPECT_EQ((*cells)[0].window, Window(0, 4));  // 32/8 = 4 grid cells
+}
+
+TEST(Underallocation, WindowTooSmallForGamma) {
+  const std::vector<JobSpec> jobs = {{JobId{1}, Window{0, 4}}};
+  EXPECT_FALSE(gamma_underallocated(jobs, 1, 8));
+}
+
+TEST(Underallocation, DensityBoundRespected) {
+  // 4 jobs of window [0, 32) with γ=8: exactly 32/8 = 4 dilated jobs fit.
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back({JobId{(unsigned)i + 1}, Window{0, 32}});
+  EXPECT_TRUE(gamma_underallocated(jobs, 1, 8));
+  jobs.push_back({JobId{5}, Window{0, 32}});
+  EXPECT_FALSE(gamma_underallocated(jobs, 1, 8));
+}
+
+TEST(Underallocation, GammaOneEqualsFeasibility) {
+  const auto jobs = staircase(10);
+  EXPECT_TRUE(gamma_underallocated(jobs, 1, 1));
+}
+
+TEST(Underallocation, MachinesMultiplyCapacity) {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 8; ++i) jobs.push_back({JobId{(unsigned)i + 1}, Window{0, 32}});
+  EXPECT_FALSE(gamma_underallocated(jobs, 1, 8));
+  EXPECT_TRUE(gamma_underallocated(jobs, 2, 8));
+}
+
+}  // namespace
+}  // namespace reasched

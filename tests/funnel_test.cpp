@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "feasibility/underallocation.hpp"
+#include "workload/funnel.hpp"
+
+namespace reasched {
+namespace {
+
+TEST(Funnel, WellFormedTrace) {
+  FunnelParams params;
+  params.min_span_log = 6;
+  params.max_span_log = 12;
+  params.churn_pairs = 200;
+  const auto trace = make_funnel_trace(params);
+  std::unordered_set<std::uint64_t> active;
+  for (const auto& request : trace) {
+    if (request.kind == RequestKind::kInsert) {
+      EXPECT_TRUE(request.window.valid());
+      EXPECT_TRUE(request.window.aligned());
+      EXPECT_TRUE(active.insert(request.job.value).second);
+    } else {
+      EXPECT_EQ(active.erase(request.job.value), 1u);
+    }
+  }
+  EXPECT_FALSE(active.empty());
+}
+
+TEST(Funnel, WarmFillSizes) {
+  // quota(e) = 2^{e-1}/gamma; min 6, max 12, gamma 8:
+  // 4+8+16+32+64+128+256 = 508 warm inserts.
+  FunnelParams params;
+  params.min_span_log = 6;
+  params.max_span_log = 12;
+  params.gamma = 8;
+  params.churn_pairs = 0;
+  const auto trace = make_funnel_trace(params);
+  EXPECT_EQ(trace.size(), 508u);
+  for (const auto& request : trace) {
+    EXPECT_EQ(request.kind, RequestKind::kInsert);
+  }
+}
+
+TEST(Funnel, MaxJobsCapsPopulation) {
+  FunnelParams params;
+  params.min_span_log = 6;
+  params.max_span_log = 16;
+  params.max_jobs = 100;
+  params.churn_pairs = 0;
+  const auto trace = make_funnel_trace(params);
+  EXPECT_EQ(trace.size(), 100u);
+}
+
+TEST(Funnel, EveryPrefixStaysGammaUnderallocated) {
+  FunnelParams params;
+  params.min_span_log = 6;
+  params.max_span_log = 11;
+  params.gamma = 8;
+  params.churn_pairs = 150;
+  params.adversarial = false;
+  const auto trace = make_funnel_trace(params);
+
+  std::unordered_map<std::uint64_t, Window> active;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].kind == RequestKind::kInsert) {
+      active.emplace(trace[i].job.value, trace[i].window);
+    } else {
+      active.erase(trace[i].job.value);
+    }
+    if (i % 53 == 0 && !active.empty()) {
+      std::vector<JobSpec> jobs;
+      for (const auto& [id, w] : active) jobs.push_back({JobId{id}, w});
+      EXPECT_TRUE(gamma_underallocated(jobs, 1, params.gamma)) << "prefix " << i;
+    }
+  }
+}
+
+TEST(Funnel, AdversarialVariantAlsoUnderallocated) {
+  FunnelParams params;
+  params.min_span_log = 6;
+  params.max_span_log = 11;
+  params.gamma = 8;
+  params.churn_pairs = 100;
+  params.adversarial = true;
+  const auto trace = make_funnel_trace(params);
+  std::unordered_map<std::uint64_t, Window> active;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].kind == RequestKind::kInsert) {
+      active.emplace(trace[i].job.value, trace[i].window);
+    } else {
+      active.erase(trace[i].job.value);
+    }
+  }
+  std::vector<JobSpec> jobs;
+  for (const auto& [id, w] : active) jobs.push_back({JobId{id}, w});
+  EXPECT_TRUE(gamma_underallocated(jobs, 1, params.gamma));
+}
+
+TEST(Funnel, DeterministicForSeed) {
+  FunnelParams params;
+  params.churn_pairs = 120;
+  const auto a = make_funnel_trace(params);
+  const auto b = make_funnel_trace(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job, b[i].job);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+  }
+}
+
+TEST(Funnel, ParameterValidation) {
+  FunnelParams params;
+  params.min_span_log = 3;  // 2^2 = 4 < gamma = 8
+  EXPECT_THROW(make_funnel_trace(params), ContractViolation);
+  FunnelParams unaligned;
+  unaligned.base = 3;
+  EXPECT_THROW(make_funnel_trace(unaligned), ContractViolation);
+}
+
+}  // namespace
+}  // namespace reasched

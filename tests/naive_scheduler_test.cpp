@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/naive_scheduler.hpp"
+#include "schedule/validator.hpp"
+#include "util/rng.hpp"
+
+namespace reasched {
+namespace {
+
+TEST(NaiveScheduler, SingleJobPlacedInWindow) {
+  NaiveScheduler s;
+  const auto stats = s.insert(JobId{1}, Window{0, 8});
+  EXPECT_EQ(stats.reallocations, 0u);
+  const auto snap = s.snapshot();
+  const auto p = snap.find(JobId{1});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(Window(0, 8).contains(p->slot));
+}
+
+TEST(NaiveScheduler, FillsWindowExactly) {
+  NaiveScheduler s;
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_NO_THROW(s.insert(JobId{i + 1}, Window{0, 8}));
+  }
+  // Ninth equal job cannot fit.
+  EXPECT_THROW(s.insert(JobId{9}, Window{0, 8}), InfeasibleError);
+  EXPECT_EQ(s.active_jobs(), 8u);
+}
+
+TEST(NaiveScheduler, ShortJobDisplacesLongJob) {
+  NaiveScheduler s;
+  // Long job sits somewhere in [0, 16); then 8 short jobs fill [0, 8).
+  s.insert(JobId{100}, Window{0, 16});
+  std::uint64_t displacements = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    const auto stats = s.insert(JobId{i + 1}, Window{0, 8});
+    displacements += stats.reallocations;
+  }
+  // The long job must have been pushed out of [0, 8) at most once... but at
+  // least everything stays feasible:
+  std::unordered_map<JobId, Window> active{{JobId{100}, Window{0, 16}}};
+  for (unsigned i = 0; i < 8; ++i) active.emplace(JobId{i + 1}, Window{0, 8});
+  EXPECT_TRUE(validate_schedule(s.snapshot(), active).ok());
+  EXPECT_LE(displacements, 8u);
+}
+
+TEST(NaiveScheduler, CascadeStrictlyIncreasesSpan) {
+  NaiveScheduler s;
+  // Nested aligned windows: [0,2) ⊂ [0,4) ⊂ [0,8) ⊂ [0,16). Fill from the
+  // largest down so each insert of a smaller window displaces upward.
+  s.insert(JobId{16}, Window{0, 16});
+  s.insert(JobId{8}, Window{0, 8});
+  s.insert(JobId{4}, Window{0, 4});
+  s.insert(JobId{2}, Window{0, 2});
+  // Window [0,2) has 2 slots; inserting two more span-2 jobs forces the
+  // longer jobs out of [0,2).
+  const auto stats = s.insert(JobId{3}, Window{0, 2});
+  // Cascade length is bounded by the number of distinct spans (Lemma 4).
+  EXPECT_LE(stats.reallocations, 4u);
+  std::unordered_map<JobId, Window> active{
+      {JobId{16}, Window{0, 16}}, {JobId{8}, Window{0, 8}}, {JobId{4}, Window{0, 4}},
+      {JobId{2}, Window{0, 2}},   {JobId{3}, Window{0, 2}},
+  };
+  EXPECT_TRUE(validate_schedule(s.snapshot(), active).ok());
+}
+
+TEST(NaiveScheduler, DeletionIsFree) {
+  NaiveScheduler s;
+  s.insert(JobId{1}, Window{0, 8});
+  s.insert(JobId{2}, Window{0, 8});
+  const auto stats = s.erase(JobId{1});
+  EXPECT_EQ(stats.reallocations, 0u);
+  EXPECT_EQ(s.active_jobs(), 1u);
+}
+
+TEST(NaiveScheduler, InsertRejectsDuplicates) {
+  NaiveScheduler s;
+  s.insert(JobId{1}, Window{0, 8});
+  EXPECT_THROW(s.insert(JobId{1}, Window{0, 8}), ContractViolation);
+}
+
+TEST(NaiveScheduler, EraseRejectsUnknown) {
+  NaiveScheduler s;
+  EXPECT_THROW(s.erase(JobId{42}), ContractViolation);
+}
+
+TEST(NaiveScheduler, FailedInsertRollsBack) {
+  NaiveScheduler s;
+  s.insert(JobId{1}, Window{0, 1});
+  EXPECT_THROW(s.insert(JobId{2}, Window{0, 1}), InfeasibleError);
+  EXPECT_EQ(s.active_jobs(), 1u);
+  // The id can be reused after the failure.
+  EXPECT_NO_THROW(s.insert(JobId{2}, Window{1, 2}));
+}
+
+TEST(NaiveScheduler, RandomChurnStaysFeasible) {
+  NaiveScheduler s;
+  Rng rng(17);
+  std::unordered_map<JobId, Window> active;
+  std::uint64_t next_id = 1;
+  for (int step = 0; step < 2000; ++step) {
+    if (!active.empty() && rng.chance(0.45)) {
+      const auto victim = std::next(active.begin(),
+                                    static_cast<long>(rng.uniform(0, active.size() - 1)));
+      s.erase(victim->first);
+      active.erase(victim);
+    } else {
+      const unsigned exp = static_cast<unsigned>(rng.uniform(2, 8));
+      const Time span = static_cast<Time>(u64{1} << exp);
+      const Time start = static_cast<Time>(span * rng.uniform(0, 512 / (u64{1} << (exp - 2))));
+      const JobId id{next_id++};
+      const Window w{start, start + span};
+      try {
+        s.insert(id, w);
+        active.emplace(id, w);
+      } catch (const InfeasibleError&) {
+        // dense spot; fine
+      }
+    }
+    if (step % 100 == 0) {
+      EXPECT_TRUE(validate_schedule(s.snapshot(), active).ok()) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reasched

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "schedule/render.hpp"
+
+namespace reasched {
+namespace {
+
+TEST(Render, EmptyScheduleAllDots) {
+  Schedule s(2);
+  RenderOptions options;
+  options.from = 0;
+  options.to = 8;
+  const std::string out = render_schedule(s, options);
+  EXPECT_EQ(out, "m0 |........|\nm1 |........|\n");
+}
+
+TEST(Render, DigitsShowJobIds) {
+  Schedule s(1);
+  s.assign(JobId{12}, Placement{0, 0});
+  s.assign(JobId{7}, Placement{0, 3});
+  RenderOptions options;
+  options.to = 5;
+  EXPECT_EQ(render_schedule(s, options), "m0 |2..7.|\n");
+}
+
+TEST(Render, HashMode) {
+  Schedule s(1);
+  s.assign(JobId{12}, Placement{0, 1});
+  RenderOptions options;
+  options.to = 3;
+  options.digits = false;
+  EXPECT_EQ(render_schedule(s, options), "m0 |.#.|\n");
+}
+
+TEST(Render, HighlightMarksJob) {
+  Schedule s(1);
+  s.assign(JobId{5}, Placement{0, 0});
+  s.assign(JobId{6}, Placement{0, 1});
+  RenderOptions options;
+  options.to = 3;
+  options.highlight = JobId{6};
+  EXPECT_EQ(render_schedule(s, options), "m0 |5*.|\n");
+}
+
+TEST(Render, WindowMarkers) {
+  Schedule s(1);
+  RenderOptions options;
+  options.to = 6;
+  const std::string out = render_window(s, Window{2, 5}, options);
+  EXPECT_NE(out.find("|  ^^^ |"), std::string::npos) << out;
+  EXPECT_NE(out.find("window [2,5)"), std::string::npos);
+}
+
+TEST(Render, RangeWindowing) {
+  Schedule s(1);
+  s.assign(JobId{1}, Placement{0, 100});
+  RenderOptions options;
+  options.from = 99;
+  options.to = 102;
+  EXPECT_EQ(render_schedule(s, options), "m0 |.1.|\n");
+}
+
+TEST(Render, EmptyRangeRejected) {
+  Schedule s(1);
+  RenderOptions options;
+  options.from = 5;
+  options.to = 5;
+  EXPECT_THROW((void)render_schedule(s, options), ContractViolation);
+}
+
+TEST(Render, ColumnCap) {
+  Schedule s(1);
+  RenderOptions options;
+  options.from = 0;
+  options.to = 100000;  // capped internally to 512 columns
+  const std::string out = render_schedule(s, options);
+  EXPECT_LT(out.size(), 600u);
+}
+
+}  // namespace
+}  // namespace reasched

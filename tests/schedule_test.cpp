@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "schedule/schedule.hpp"
+#include "schedule/validator.hpp"
+
+namespace reasched {
+namespace {
+
+TEST(Schedule, AssignFindErase) {
+  Schedule s(2);
+  s.assign(JobId{1}, Placement{0, 10});
+  s.assign(JobId{2}, Placement{1, 10});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.find(JobId{1}), (Placement{0, 10}));
+  EXPECT_EQ(s.occupant(1, 10), JobId{2});
+  EXPECT_EQ(s.occupant(0, 11), std::nullopt);
+  s.erase(JobId{1});
+  EXPECT_EQ(s.find(JobId{1}), std::nullopt);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Schedule, ReassignMovesJob) {
+  Schedule s(1);
+  s.assign(JobId{1}, Placement{0, 5});
+  s.assign(JobId{1}, Placement{0, 9});
+  EXPECT_EQ(s.find(JobId{1}), (Placement{0, 9}));
+  EXPECT_EQ(s.occupant(0, 5), std::nullopt);
+}
+
+TEST(Schedule, RejectsDoubleBooking) {
+  Schedule s(1);
+  s.assign(JobId{1}, Placement{0, 5});
+  EXPECT_THROW(s.assign(JobId{2}, Placement{0, 5}), ContractViolation);
+}
+
+TEST(Schedule, RejectsBadMachine) {
+  Schedule s(2);
+  EXPECT_THROW(s.assign(JobId{1}, Placement{2, 0}), ContractViolation);
+  EXPECT_THROW((void)s.occupant(2, 0), ContractViolation);
+}
+
+TEST(Schedule, EraseUnknownRejected) {
+  Schedule s(1);
+  EXPECT_THROW(s.erase(JobId{404}), ContractViolation);
+}
+
+TEST(DiffCosts, CountsMovesAndMigrations) {
+  Schedule before(2);
+  before.assign(JobId{1}, Placement{0, 0});
+  before.assign(JobId{2}, Placement{0, 1});
+  before.assign(JobId{3}, Placement{1, 0});
+
+  Schedule after(2);
+  after.assign(JobId{1}, Placement{0, 5});   // moved, same machine
+  after.assign(JobId{2}, Placement{1, 1});   // migrated
+  after.assign(JobId{3}, Placement{1, 0});   // unchanged
+  after.assign(JobId{4}, Placement{0, 1});   // the inserted subject
+
+  const DiffCosts costs = diff_costs(before, after, JobId{4});
+  EXPECT_EQ(costs.reallocations, 2u);
+  EXPECT_EQ(costs.migrations, 1u);
+}
+
+TEST(DiffCosts, SubjectExcluded) {
+  Schedule before(1);
+  before.assign(JobId{1}, Placement{0, 0});
+  Schedule after(1);
+  after.assign(JobId{1}, Placement{0, 3});
+  const DiffCosts costs = diff_costs(before, after, JobId{1});
+  EXPECT_EQ(costs.reallocations, 0u);
+}
+
+TEST(Validator, AcceptsFeasible) {
+  Schedule s(1);
+  s.assign(JobId{1}, Placement{0, 3});
+  std::unordered_map<JobId, Window> active{{JobId{1}, Window{0, 8}}};
+  EXPECT_TRUE(validate_schedule(s, active).ok());
+}
+
+TEST(Validator, FlagsUnscheduledActiveJob) {
+  Schedule s(1);
+  std::unordered_map<JobId, Window> active{{JobId{1}, Window{0, 8}}};
+  const auto report = validate_schedule(s, active);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("not scheduled"), std::string::npos);
+}
+
+TEST(Validator, FlagsOutOfWindowPlacement) {
+  Schedule s(1);
+  s.assign(JobId{1}, Placement{0, 9});
+  std::unordered_map<JobId, Window> active{{JobId{1}, Window{0, 8}}};
+  EXPECT_FALSE(validate_schedule(s, active).ok());
+}
+
+TEST(Validator, FlagsGhostJob) {
+  Schedule s(1);
+  s.assign(JobId{2}, Placement{0, 1});
+  std::unordered_map<JobId, Window> active;
+  EXPECT_FALSE(validate_schedule(s, active).ok());
+}
+
+}  // namespace
+}  // namespace reasched

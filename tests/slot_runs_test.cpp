@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "schedule/slot_runs.hpp"
+#include "util/rng.hpp"
+
+namespace reasched {
+namespace {
+
+TEST(SlotRuns, EmptyEverythingFree) {
+  SlotRuns runs;
+  EXPECT_FALSE(runs.occupied(0));
+  EXPECT_EQ(runs.next_free(5), 5);
+  EXPECT_EQ(runs.prev_free(5), 5);
+  EXPECT_FALSE(runs.covered(0, 10));
+}
+
+TEST(SlotRuns, SingleSlot) {
+  SlotRuns runs;
+  runs.occupy(7);
+  EXPECT_TRUE(runs.occupied(7));
+  EXPECT_FALSE(runs.occupied(6));
+  EXPECT_EQ(runs.next_free(7), 8);
+  EXPECT_EQ(runs.prev_free(7), 6);
+  EXPECT_EQ(runs.next_free(6), 6);
+  runs.release(7);
+  EXPECT_FALSE(runs.occupied(7));
+}
+
+TEST(SlotRuns, CoalescesAdjacent) {
+  SlotRuns runs;
+  runs.occupy(3);
+  runs.occupy(5);
+  EXPECT_EQ(runs.run_count(), 2u);
+  runs.occupy(4);  // bridges
+  EXPECT_EQ(runs.run_count(), 1u);
+  EXPECT_EQ(runs.next_free(3), 6);
+  EXPECT_TRUE(runs.covered(3, 6));
+}
+
+TEST(SlotRuns, ExtendsLeftAndRight) {
+  SlotRuns runs;
+  runs.occupy(10);
+  runs.occupy(11);  // extend pred
+  EXPECT_EQ(runs.run_count(), 1u);
+  runs.occupy(9);  // extend succ
+  EXPECT_EQ(runs.run_count(), 1u);
+  EXPECT_EQ(runs.next_free(9), 12);
+  EXPECT_EQ(runs.prev_free(11), 8);
+}
+
+TEST(SlotRuns, ReleaseSplitsRun) {
+  SlotRuns runs;
+  for (Time t = 0; t < 5; ++t) runs.occupy(t);
+  EXPECT_EQ(runs.run_count(), 1u);
+  runs.release(2);
+  EXPECT_EQ(runs.run_count(), 2u);
+  EXPECT_EQ(runs.next_free(0), 2);
+  EXPECT_TRUE(runs.occupied(1));
+  EXPECT_TRUE(runs.occupied(3));
+  runs.release(0);  // shrink head
+  runs.release(4);  // shrink tail
+  EXPECT_TRUE(runs.occupied(1));
+  EXPECT_TRUE(runs.occupied(3));
+  EXPECT_EQ(runs.run_count(), 2u);
+}
+
+TEST(SlotRuns, PreconditionsEnforced) {
+  SlotRuns runs;
+  runs.occupy(1);
+  EXPECT_THROW(runs.occupy(1), InternalError);
+  EXPECT_THROW(runs.release(2), InternalError);
+}
+
+TEST(SlotRuns, NegativeTimeline) {
+  SlotRuns runs;
+  runs.occupy(-5);
+  runs.occupy(-4);
+  EXPECT_TRUE(runs.covered(-5, -3));
+  EXPECT_EQ(runs.next_free(-5), -3);
+  EXPECT_EQ(runs.prev_free(-4), -6);
+}
+
+TEST(SlotRuns, RandomizedAgainstReferenceSet) {
+  SlotRuns runs;
+  std::set<Time> reference;
+  Rng rng(77);
+  for (int step = 0; step < 20000; ++step) {
+    const Time t = static_cast<Time>(rng.uniform(0, 199));
+    if (reference.contains(t)) {
+      runs.release(t);
+      reference.erase(t);
+    } else {
+      runs.occupy(t);
+      reference.insert(t);
+    }
+    // Spot-check queries against the reference implementation.
+    const Time q = static_cast<Time>(rng.uniform(0, 199));
+    EXPECT_EQ(runs.occupied(q), reference.contains(q));
+    Time expect_next = q;
+    while (reference.contains(expect_next)) ++expect_next;
+    EXPECT_EQ(runs.next_free(q), expect_next);
+    Time expect_prev = q;
+    while (reference.contains(expect_prev)) --expect_prev;
+    EXPECT_EQ(runs.prev_free(q), expect_prev);
+  }
+}
+
+}  // namespace
+}  // namespace reasched

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "base/window.hpp"
+#include "core/window_key.hpp"
+
+namespace reasched {
+namespace {
+
+TEST(Window, SpanCountsSlots) {
+  const Window w{3, 7};
+  EXPECT_EQ(w.span(), 4);
+  EXPECT_TRUE(w.valid());
+  EXPECT_TRUE(w.contains(3));
+  EXPECT_TRUE(w.contains(6));
+  EXPECT_FALSE(w.contains(7));
+  EXPECT_FALSE(w.contains(2));
+}
+
+TEST(Window, EmptyWindowInvalid) {
+  EXPECT_FALSE(Window(5, 5).valid());
+  EXPECT_FALSE(Window(5, 4).valid());
+}
+
+TEST(Window, ContainmentAndOverlap) {
+  const Window outer{0, 16};
+  const Window inner{4, 8};
+  const Window disjoint{16, 20};
+  const Window straddle{12, 20};
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_FALSE(outer.overlaps(disjoint));
+  EXPECT_TRUE(outer.overlaps(straddle));
+}
+
+TEST(Window, AlignedPredicate) {
+  EXPECT_TRUE(Window(0, 8).aligned());
+  EXPECT_TRUE(Window(8, 16).aligned());
+  EXPECT_TRUE(Window(5, 6).aligned());   // span 1, any start
+  EXPECT_FALSE(Window(4, 12).aligned()); // span 8 but start 4
+  EXPECT_FALSE(Window(0, 6).aligned());  // span 6 not a power of two
+  EXPECT_TRUE(Window(-8, 0).aligned());  // negative aligned start
+  EXPECT_FALSE(Window(-4, 4).aligned());
+}
+
+TEST(Window, AlignedWindowsAreLaminar) {
+  // Two aligned windows are equal, disjoint, or nested (paper §2).
+  const std::vector<Window> aligned = {
+      {0, 32}, {0, 16}, {16, 32}, {0, 8}, {8, 16}, {24, 32}, {28, 30},
+  };
+  for (const auto& a : aligned) {
+    for (const auto& b : aligned) {
+      const bool ok = !a.overlaps(b) || a.contains(b) || b.contains(a);
+      EXPECT_TRUE(ok) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Window, HashDistinguishes) {
+  std::unordered_set<Window> set;
+  set.insert(Window{0, 8});
+  set.insert(Window{0, 16});
+  set.insert(Window{8, 16});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(Window{0, 8}));
+}
+
+TEST(Request, FactoryValidation) {
+  EXPECT_NO_THROW(Request::insert(JobId{1}, 0, 4));
+  EXPECT_THROW(Request::insert(JobId{1}, 4, 4), ContractViolation);
+  const Request erase = Request::erase(JobId{9});
+  EXPECT_EQ(erase.kind, RequestKind::kDelete);
+  EXPECT_EQ(erase.job, JobId{9});
+}
+
+TEST(WindowKey, RoundTrip) {
+  const Window w{32, 64};
+  const WindowKey key(w);
+  EXPECT_EQ(key.span(), 32u);
+  EXPECT_EQ(key.window(), w);
+}
+
+TEST(WindowKey, RejectsUnaligned) {
+  EXPECT_THROW(WindowKey(Window{1, 9}), ContractViolation);
+}
+
+TEST(WindowKey, HashAndEquality) {
+  std::unordered_set<WindowKey> set;
+  set.insert(WindowKey(Window{0, 32}));
+  set.insert(WindowKey(Window{32, 64}));
+  set.insert(WindowKey(Window{0, 64}));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(WindowKey(Window{0, 32})));
+}
+
+TEST(RequestStats, Accumulate) {
+  RequestStats a;
+  a.reallocations = 2;
+  a.migrations = 1;
+  RequestStats b;
+  b.reallocations = 3;
+  b.rebuilt = true;
+  b.degraded = 1;
+  a += b;
+  EXPECT_EQ(a.reallocations, 5u);
+  EXPECT_EQ(a.migrations, 1u);
+  EXPECT_EQ(a.degraded, 1u);
+  EXPECT_TRUE(a.rebuilt);
+}
+
+}  // namespace
+}  // namespace reasched

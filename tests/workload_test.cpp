@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "feasibility/underallocation.hpp"
+#include "workload/adversary.hpp"
+#include "workload/churn.hpp"
+#include "workload/doctor_office.hpp"
+#include "workload/trace_io.hpp"
+
+namespace reasched {
+namespace {
+
+TEST(Churn, DeterministicForSeed) {
+  ChurnParams params;
+  params.requests = 500;
+  params.target_active = 64;
+  const auto a = make_churn_trace(params);
+  const auto b = make_churn_trace(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].job, b[i].job);
+    EXPECT_EQ(a[i].window, b[i].window);
+  }
+}
+
+TEST(Churn, DifferentSeedsDiffer) {
+  ChurnParams params;
+  params.requests = 200;
+  ChurnParams other = params;
+  other.seed = 999;
+  const auto a = make_churn_trace(params);
+  const auto b = make_churn_trace(other);
+  bool differ = a.size() != b.size();
+  for (std::size_t i = 0; !differ && i < a.size(); ++i) {
+    differ = a[i].window != b[i].window || a[i].kind != b[i].kind;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Churn, WellFormedRequests) {
+  ChurnParams params;
+  params.requests = 2000;
+  params.target_active = 128;
+  const auto trace = make_churn_trace(params);
+  EXPECT_EQ(trace.size(), params.requests);
+  std::unordered_set<std::uint64_t> active;
+  for (const auto& request : trace) {
+    if (request.kind == RequestKind::kInsert) {
+      EXPECT_TRUE(request.window.valid());
+      EXPECT_TRUE(active.insert(request.job.value).second) << "duplicate insert";
+    } else {
+      EXPECT_EQ(active.erase(request.job.value), 1u) << "delete of inactive job";
+    }
+  }
+}
+
+TEST(Churn, AlignedModeEmitsAlignedWindows) {
+  ChurnParams params;
+  params.requests = 500;
+  params.aligned = true;
+  for (const auto& request : make_churn_trace(params)) {
+    if (request.kind == RequestKind::kInsert) {
+      EXPECT_TRUE(request.window.aligned()) << request.window;
+    }
+  }
+}
+
+TEST(Churn, EveryPrefixIsGammaUnderallocated) {
+  ChurnParams params;
+  params.requests = 600;
+  params.target_active = 48;
+  params.gamma = 8;
+  params.min_span = 64;
+  params.max_span = 512;
+  const auto trace = make_churn_trace(params);
+
+  std::unordered_map<std::uint64_t, Window> active;
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& request = trace[i];
+    if (request.kind == RequestKind::kInsert) {
+      active.emplace(request.job.value, request.window);
+    } else {
+      active.erase(request.job.value);
+    }
+    if (i % 97 == 0 && !active.empty()) {
+      std::vector<JobSpec> jobs;
+      for (const auto& [id, w] : active) jobs.push_back({JobId{id}, w});
+      EXPECT_TRUE(gamma_underallocated(jobs, params.machines, params.gamma))
+          << "prefix " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Churn, UnalignedModeEnforcesDensityOnAlignedImages) {
+  ChurnParams params;
+  params.requests = 400;
+  params.aligned = false;
+  params.min_span = 64;
+  params.max_span = 512;
+  const auto trace = make_churn_trace(params);
+  std::size_t inserts = 0;
+  for (const auto& request : trace) {
+    if (request.kind == RequestKind::kInsert) ++inserts;
+  }
+  EXPECT_GT(inserts, 0u);
+}
+
+TEST(Churn, ParameterValidation) {
+  ChurnParams params;
+  params.min_span = 4;  // below gamma=8
+  EXPECT_THROW(make_churn_trace(params), ContractViolation);
+  ChurnParams bad_gamma;
+  bad_gamma.gamma = 3;
+  EXPECT_THROW(make_churn_trace(bad_gamma), ContractViolation);
+}
+
+TEST(Lemma12Trace, Shape) {
+  const auto trace = make_lemma12_trace(10, 3);
+  EXPECT_EQ(trace.size(), 10u + 12u);
+  // First eta requests are the staircase inserts.
+  for (std::size_t j = 0; j < 10; ++j) {
+    EXPECT_EQ(trace[j].kind, RequestKind::kInsert);
+    EXPECT_EQ(trace[j].window.span(), 2);
+  }
+  // Then insert/delete toggles of span-1 fillers.
+  EXPECT_EQ(trace[10].kind, RequestKind::kInsert);
+  EXPECT_EQ(trace[10].window.span(), 1);
+  EXPECT_EQ(trace[11].kind, RequestKind::kDelete);
+}
+
+TEST(DoctorOffice, GeneratesBalancedTrace) {
+  DoctorOfficeParams params;
+  params.days = 32;
+  const auto trace = make_doctor_office_trace(params);
+  EXPECT_GT(trace.size(), 50u);
+  std::unordered_set<std::uint64_t> active;
+  for (const auto& request : trace) {
+    if (request.kind == RequestKind::kInsert) {
+      EXPECT_TRUE(active.insert(request.job.value).second);
+      EXPECT_TRUE(request.window.valid());
+    } else {
+      EXPECT_EQ(active.erase(request.job.value), 1u);
+    }
+  }
+}
+
+TEST(TraceIo, RoundTrip) {
+  ChurnParams params;
+  params.requests = 300;
+  const auto trace = make_churn_trace(params);
+  std::stringstream buffer;
+  write_trace(buffer, trace);
+  const auto loaded = read_trace(buffer);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded[i].kind, trace[i].kind);
+    EXPECT_EQ(loaded[i].job, trace[i].job);
+    if (trace[i].kind == RequestKind::kInsert) {
+      EXPECT_EQ(loaded[i].window, trace[i].window);
+    }
+  }
+}
+
+TEST(TraceIo, CommentsAndBlanksIgnored) {
+  std::stringstream buffer("# comment\n\nI 1 0 8\nD 1\n");
+  const auto trace = read_trace(buffer);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].window, Window(0, 8));
+}
+
+TEST(TraceIo, MalformedRejected) {
+  std::stringstream bad1("I 1 8 0\n");  // deadline before arrival
+  EXPECT_THROW(read_trace(bad1), ContractViolation);
+  std::stringstream bad2("X 1\n");
+  EXPECT_THROW(read_trace(bad2), ContractViolation);
+  std::stringstream bad3("D\n");
+  EXPECT_THROW(read_trace(bad3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace reasched
