@@ -1,0 +1,165 @@
+// E12 — hot-path throughput: requests/second of the single-machine
+// ReservationScheduler on steady-state insert/delete churn, optimized
+// (incremental fulfillment caching + flat containers + occupancy index)
+// versus the seed-equivalent --legacy-fulfillment path, in the same binary
+// and on the same trace. The paper bounds *reallocations*; this experiment
+// tracks what the bookkeeping costs in wall-clock terms so every future
+// scaling PR has a machine-readable baseline (BENCH_hotpath.json).
+//
+// Protocol (EXPERIMENTS.md §E12): per configuration one scheduler is warmed
+// to n active jobs audit-free, then three consecutive churn segments are
+// timed and the best is reported (first-segment numbers are dominated by
+// cold caches and CPU clock ramp); the audited segment runs last on the
+// same warm scheduler and is sized inversely to n because the audit is
+// O(total state) per request.
+#include <chrono>
+#include <cstdio>
+
+#include "common.hpp"
+
+namespace reasched::bench {
+namespace {
+
+constexpr std::size_t kChurnReps = 3;
+
+struct SegmentResult {
+  double seconds = 0;
+  std::uint64_t requests = 0;
+  double ops_per_sec = 0;
+  std::uint64_t reallocations = 0;
+  std::uint64_t degraded = 0;
+};
+
+std::vector<Request> trace_for(std::size_t n, WindowPlacement placement,
+                               std::size_t churn, std::size_t audit_churn) {
+  ChurnParams params;
+  params.seed = 42 + n;
+  params.target_active = n;
+  // Warmup ramp (~n requests), kChurnReps timed churn segments, then the
+  // audited tail.
+  params.requests = n + kChurnReps * churn + audit_churn;
+  params.min_span = 64;
+  params.max_span = 4096;
+  params.aligned = true;
+  params.placement = placement;
+  return make_churn_trace(params);
+}
+
+struct ModeResult {
+  SegmentResult churn;  // best of kChurnReps
+  SegmentResult audited;
+};
+
+ModeResult run_mode(const std::vector<Request>& trace, std::size_t warmup,
+                    std::size_t churn, std::size_t audit_churn, bool legacy) {
+  SchedulerOptions options;
+  options.overflow = OverflowPolicy::kBestEffort;
+  options.legacy_fulfillment = legacy;
+  ReservationScheduler scheduler(options);
+
+  std::size_t i = 0;
+  const auto serve = [&](SegmentResult* out) {
+    const Request& request = trace[i++];
+    const RequestStats stats = request.kind == RequestKind::kInsert
+                                   ? scheduler.insert(request.job, request.window)
+                                   : scheduler.erase(request.job);
+    if (out != nullptr) {
+      out->reallocations += stats.reallocations;
+      out->degraded += stats.degraded;
+      ++out->requests;
+    }
+  };
+  const auto timed_segment = [&](std::size_t count) {
+    SegmentResult segment;
+    const auto start = std::chrono::steady_clock::now();
+    while (i < trace.size() && segment.requests < count) serve(&segment);
+    const auto stop = std::chrono::steady_clock::now();
+    segment.seconds = std::chrono::duration<double>(stop - start).count();
+    segment.ops_per_sec =
+        segment.seconds > 0 ? static_cast<double>(segment.requests) / segment.seconds
+                            : 0;
+    return segment;
+  };
+
+  while (i < trace.size() && i < warmup) serve(nullptr);
+
+  ModeResult result;
+  for (std::size_t rep = 0; rep < kChurnReps; ++rep) {
+    const SegmentResult segment = timed_segment(churn);
+    if (segment.ops_per_sec > result.churn.ops_per_sec) result.churn = segment;
+  }
+  scheduler.set_audit(true);
+  result.audited = timed_segment(audit_churn);
+  return result;
+}
+
+int run(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  const std::vector<std::size_t> sizes =
+      args.quick ? std::vector<std::size_t>{1'000, 10'000}
+                 : std::vector<std::size_t>{1'000, 10'000, 100'000};
+  const std::size_t churn = args.quick ? 3'000 : 100'000;
+
+  Table table("E12 hot-path throughput (insert/delete churn)");
+  table.set_header({"n", "placement", "audit", "mode", "requests", "seconds", "ops/sec",
+                    "speedup"});
+  JsonRows json("e12_hotpath");
+
+  const auto emit_row = [&](std::size_t n, const char* placement, bool audit,
+                            const char* mode, const SegmentResult& segment,
+                            double speedup) {
+    char seconds[32];
+    char ops[32];
+    char speedup_str[32];
+    std::snprintf(seconds, sizeof(seconds), "%.3f", segment.seconds);
+    std::snprintf(ops, sizeof(ops), "%.0f", segment.ops_per_sec);
+    std::snprintf(speedup_str, sizeof(speedup_str), "%.2fx", speedup);
+    table.add_row({std::to_string(n), placement, audit ? "on" : "off", mode,
+                   std::to_string(segment.requests), seconds, ops, speedup_str});
+    json.row()
+        .field("n", n)
+        .field("placement", placement)
+        .field("audit", audit)
+        .field("mode", mode)
+        .field("requests", segment.requests)
+        .field("seconds", segment.seconds)
+        .field("ops_per_sec", segment.ops_per_sec)
+        .field("reallocations", segment.reallocations)
+        .field("degraded", segment.degraded)
+        .field("speedup_vs_legacy", speedup);
+  };
+
+  for (const std::size_t n : sizes) {
+    // The audit is O(total state) per request; size its segment inversely to
+    // n so the audited rows cost seconds, not minutes (ops/sec is a rate and
+    // does not need a long segment).
+    const std::size_t audit_churn =
+        args.quick ? 100 : std::max<std::size_t>(20, 1'000'000 / n);
+    for (const auto& [placement, label] :
+         {std::pair{WindowPlacement::kUniform, "uniform"},
+          std::pair{WindowPlacement::kNestedHotspots, "hotspot"}}) {
+      const auto trace = trace_for(n, placement, churn, audit_churn);
+      const ModeResult optimized = run_mode(trace, n, churn, audit_churn, false);
+      const ModeResult legacy = run_mode(trace, n, churn, audit_churn, true);
+      const auto ratio = [](const SegmentResult& a, const SegmentResult& b) {
+        return b.ops_per_sec > 0 ? a.ops_per_sec / b.ops_per_sec : 0;
+      };
+      emit_row(n, label, false, "optimized", optimized.churn,
+               ratio(optimized.churn, legacy.churn));
+      emit_row(n, label, false, "legacy", legacy.churn, 1.0);
+      emit_row(n, label, true, "optimized", optimized.audited,
+               ratio(optimized.audited, legacy.audited));
+      emit_row(n, label, true, "legacy", legacy.audited, 1.0);
+    }
+  }
+
+  emit(table, args);
+  json.emit(args, "BENCH_hotpath.json");
+  return 0;
+}
+
+}  // namespace
+}  // namespace reasched::bench
+
+int main(int argc, char** argv) { return reasched::bench::run(argc, argv); }

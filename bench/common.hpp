@@ -1,13 +1,20 @@
-// Shared helpers for the experiment binaries (bench_e1 .. bench_e11).
+// Shared helpers for the experiment binaries (bench_e1 .. bench_e12).
 //
 // Every binary prints a paper-style table to stdout; pass --csv to emit
-// machine-readable CSV instead. The experiments and their mapping to the
-// paper's claims are indexed in DESIGN.md §2 and EXPERIMENTS.md.
+// machine-readable CSV instead, or --json[=path] to additionally write the
+// results as a machine-readable JSON document (the BENCH_*.json baselines
+// checked into the repo root are produced this way). The experiments and
+// their mapping to the paper's claims are indexed in DESIGN.md §2 and
+// EXPERIMENTS.md.
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "reasched/reasched.hpp"
@@ -17,6 +24,8 @@ namespace reasched::bench {
 struct Args {
   bool csv = false;
   bool quick = false;  // smaller sweeps for smoke-testing
+  bool json = false;   // write a JSON result document
+  std::string json_path;  // destination; empty = binary-specific default
 };
 
 inline Args parse_args(int argc, char** argv) {
@@ -25,9 +34,88 @@ inline Args parse_args(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--csv") args.csv = true;
     if (arg == "--quick") args.quick = true;
+    if (arg == "--json") args.json = true;
+    if (arg.rfind("--json=", 0) == 0) {
+      args.json = true;
+      args.json_path = arg.substr(7);
+    }
   }
   return args;
 }
+
+/// Flat row-oriented JSON document builder:
+///   {"bench": "...", "rows": [{...}, {...}]}
+/// Covers exactly what the BENCH_*.json baselines need — no dependency, no
+/// nesting, insertion order preserved.
+class JsonRows {
+ public:
+  explicit JsonRows(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  JsonRows& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  JsonRows& field(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, quote(value));
+    return *this;
+  }
+  JsonRows& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonRows& field(const std::string& key, bool value) {
+    rows_.back().emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+  JsonRows& field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    rows_.back().emplace_back(key, buf);
+    return *this;
+  }
+  template <class Int>
+    requires std::is_integral_v<Int>
+  JsonRows& field(const std::string& key, Int value) {
+    rows_.back().emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  void write(std::ostream& os) const {
+    os << "{\n  \"bench\": " << quote(bench_) << ",\n  \"rows\": [\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      os << "    {";
+      for (std::size_t f = 0; f < rows_[r].size(); ++f) {
+        if (f > 0) os << ", ";
+        os << quote(rows_[r][f].first) << ": " << rows_[r][f].second;
+      }
+      os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+    }
+    os << "  ]\n}\n";
+  }
+
+  /// Writes to args.json_path (or `default_path`) when --json was passed.
+  void emit(const Args& args, const std::string& default_path) const {
+    if (!args.json) return;
+    const std::string& path = args.json_path.empty() ? default_path : args.json_path;
+    std::ofstream os(path);
+    RS_REQUIRE(os.good(), "JsonRows::emit: cannot open output file");
+    write(os);
+    std::cerr << "wrote " << path << '\n';
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 inline void emit(const Table& table, const Args& args) {
   if (args.csv) {

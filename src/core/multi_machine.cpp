@@ -38,15 +38,15 @@ RequestStats MultiMachineScheduler::insert(JobId id, Window window) {
   }
   ++balance.count;
   balance.per_machine[machine].insert(id);
-  jobs_.emplace(id, JobInfo{window, machine});
+  jobs_[id] = JobInfo{window, machine};
   return stats;
 }
 
 RequestStats MultiMachineScheduler::erase(JobId id) {
-  const auto jit = jobs_.find(id);
-  RS_REQUIRE(jit != jobs_.end(), "MultiMachineScheduler::erase: id not active");
-  const Window window = jit->second.window;
-  const MachineId machine = jit->second.machine;
+  const JobInfo* info = jobs_.find(id);
+  RS_REQUIRE(info != nullptr, "MultiMachineScheduler::erase: id not active");
+  const Window window = info->window;
+  const MachineId machine = info->machine;
 
   auto& balance = windows_.at(window);
   const std::uint64_t n_before = balance.count;
@@ -55,7 +55,7 @@ RequestStats MultiMachineScheduler::erase(JobId id) {
   RequestStats stats = machines_[machine]->erase(id);
   balance.per_machine[machine].erase(id);
   --balance.count;
-  jobs_.erase(jit);
+  jobs_.erase(id);
 
   // Rebalance: the latest-extra machine donates one W-job to the machine
   // that lost one — the single migration Theorem 1 allows per request.
@@ -64,7 +64,7 @@ RequestStats MultiMachineScheduler::erase(JobId id) {
   if (donor != machine && balance.count > 0) {
     auto& pool = balance.per_machine[donor];
     RS_CHECK(!pool.empty(), "rebalance: donor machine has no job of this window");
-    const JobId moved = *pool.begin();
+    const JobId moved = pool.any();
     stats += machines_[donor]->erase(moved);
     try {
       stats += machines_[machine]->insert(moved, window);
@@ -96,7 +96,7 @@ Schedule MultiMachineScheduler::snapshot() const {
 }
 
 void MultiMachineScheduler::audit_balance() const {
-  for (const auto& [window, balance] : windows_) {
+  windows_.for_each([&](const Window&, const BalanceState& balance) {
     const std::uint64_t m = machines_.size();
     const std::uint64_t floor_share = balance.count / m;
     const std::uint64_t extras = balance.count % m;
@@ -109,7 +109,7 @@ void MultiMachineScheduler::audit_balance() const {
       total += share;
     }
     RS_CHECK(total == balance.count, "audit_balance: count mismatch");
-  }
+  });
 }
 
 }  // namespace reasched

@@ -16,11 +16,10 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "schedule/scheduler_interface.hpp"
+#include "util/flat_hash.hpp"
 
 namespace reasched {
 
@@ -48,8 +47,8 @@ class MultiMachineScheduler final : public IReallocScheduler {
 
  private:
   struct BalanceState {
-    std::uint64_t count = 0;                              // n_W
-    std::vector<std::unordered_set<JobId>> per_machine;  // W-jobs per machine
+    std::uint64_t count = 0;                    // n_W
+    std::vector<FlatHashSet<JobId>> per_machine;  // W-jobs per machine
   };
   struct JobInfo {
     Window window;
@@ -57,8 +56,8 @@ class MultiMachineScheduler final : public IReallocScheduler {
   };
 
   std::vector<std::unique_ptr<IReallocScheduler>> machines_;
-  std::unordered_map<Window, BalanceState> windows_;
-  std::unordered_map<JobId, JobInfo> jobs_;
+  FlatHashMap<Window, BalanceState> windows_;
+  FlatHashMap<JobId, JobInfo> jobs_;
 };
 
 }  // namespace reasched

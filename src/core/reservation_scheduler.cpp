@@ -1,6 +1,7 @@
 #include "core/reservation_scheduler.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/assert.hpp"
 
@@ -44,6 +45,9 @@ ReservationScheduler::ReservationScheduler(SchedulerOptions options)
       ls.interval_size = options_.levels.interval_size(level);
       ls.interval_log = options_.levels.interval_size_log(level);
       ls.min_span_log = ls.interval_log + 1;
+      RS_CHECK(ls.class_count() <= 64,
+               "level table has more span classes than the class bitmask holds");
+      ls.active_per_class.assign(ls.class_count(), 0);
     }
   }
 }
@@ -77,37 +81,38 @@ ReservationScheduler::Interval& ReservationScheduler::get_or_create_interval(
     unsigned level, Time base) {
   auto& ls = levels_[level];
   RS_CHECK(ls.interval_size > 0, "intervals exist only for levels >= 1");
-  const auto [it, inserted] = ls.intervals.try_emplace(base);
-  Interval& interval = it->second;
+  const auto [interval, inserted] = ls.intervals.try_emplace(base);
   if (inserted) {
-    interval.base = base;
-    interval.slots.assign(ls.interval_size, SlotInfo{});
-    // Initialize occupancy flags from the live schedule.
+    interval->base = base;
+    interval->slots.assign(ls.interval_size, SlotInfo{});
+    interval->assigned_by_class.assign(ls.class_count(), 0);
+    // Initialize occupancy flags from the live schedule; the occupancy
+    // bitmap skips free stretches page-at-a-time, so materialization costs
+    // O(interval_size / 64 + occupants). (ROADMAP lists a second-level
+    // summary bitmap to make sparse wide scans proportional to populated
+    // pages only.)
     const Time end = base + static_cast<Time>(ls.interval_size);
-    for (auto oit = occupant_.lower_bound(base); oit != occupant_.end() && oit->first < end;
-         ++oit) {
-      const JobState& job = jobs_.at(oit->second);
-      if (block_floor(job) <= level) {
-        interval.slots[static_cast<std::size_t>(oit->first - base)].lower_occupied = true;
-        ++interval.lower_count;
+    occ_.for_each_in(base, end, [&](Time slot, JobId id) {
+      if (block_floor(jobs_.at(id)) <= level) {
+        interval->slots[static_cast<std::size_t>(slot - base)].lower_occupied = true;
+        ++interval->lower_count;
       }
-    }
+    });
   }
-  return interval;
+  return *interval;
 }
 
 ReservationScheduler::Interval* ReservationScheduler::find_interval(unsigned level,
                                                                     Time base) {
-  auto& intervals = levels_[level].intervals;
-  const auto it = intervals.find(base);
-  return it == intervals.end() ? nullptr : &it->second;
+  return levels_[level].intervals.find(base);
 }
 
-std::vector<ReservationScheduler::FulRow> ReservationScheduler::compute_fulfillment(
-    unsigned level, const Interval& interval) const {
+void ReservationScheduler::compute_fulfillment_into(unsigned level,
+                                                    const Interval& interval,
+                                                    std::vector<FulRow>& rows) const {
   const auto& ls = levels_[level];
-  std::vector<FulRow> rows;
-  rows.reserve(ls.max_span_log - ls.min_span_log + 1);
+  rows.clear();
+  rows.reserve(ls.class_count());
   RS_CHECK(interval.lower_count <= ls.interval_size, "lower_count overflow");
   u64 remaining = ls.interval_size - interval.lower_count;
   // Shortest-window-first greedy over the canonical reservation counts
@@ -119,10 +124,7 @@ std::vector<ReservationScheduler::FulRow> ReservationScheduler::compute_fulfillm
     WindowKey key;
     key.start = align_down(interval.base, span);
     key.span_log = static_cast<std::uint8_t>(span_log);
-    const ActiveWindow* window = nullptr;
-    if (const auto wit = ls.windows.find(key); wit != ls.windows.end()) {
-      window = &wit->second;
-    }
+    const ActiveWindow* window = ls.windows.find(key);
     const u64 x = window ? window->jobs : 0;
     const unsigned k_log = span_log - ls.interval_log;
     const u64 num_intervals = pow2(k_log);
@@ -132,10 +134,92 @@ std::vector<ReservationScheduler::FulRow> ReservationScheduler::compute_fulfillm
     const u64 reservations = quotient + 1 + (idx < remainder ? 1 : 0);
     const u64 fulfilled = std::min(reservations, remaining);
     remaining -= fulfilled;
-    rows.push_back(FulRow{key, window, static_cast<std::uint32_t>(reservations),
+    rows.push_back(FulRow{key, static_cast<std::uint32_t>(reservations),
                           static_cast<std::uint32_t>(fulfilled)});
   }
+}
+
+std::vector<ReservationScheduler::FulRow> ReservationScheduler::compute_fulfillment(
+    unsigned level, const Interval& interval) const {
+  std::vector<FulRow> rows;
+  compute_fulfillment_into(level, interval, rows);
   return rows;
+}
+
+const std::vector<ReservationScheduler::FulRow>& ReservationScheduler::fulfillment(
+    unsigned level, const Interval& interval) const {
+  const auto& ls = levels_[level];
+  if (interval.ful_state == FulState::kValid && interval.ful_bound >= ls.active_bound) {
+    return interval.ful_cache;
+  }
+
+  if (interval.ful_state == FulState::kInvalid) {
+    // Rebuild the reservation column off the ledgers into the cached
+    // vector, reusing its capacity — and looking a window up only for the
+    // (few) classes that hold any active window at all; every other row is
+    // a virtual baseline of exactly one reservation.
+    auto& rows = interval.ful_cache;
+    rows.clear();
+    rows.reserve(ls.class_count());
+    for (unsigned cls = 0; cls < ls.class_count(); ++cls) {
+      const unsigned span_log = ls.min_span_log + cls;
+      WindowKey key;
+      key.start = align_down(interval.base, pow2(span_log));
+      key.span_log = static_cast<std::uint8_t>(span_log);
+      u64 x = 0;
+      if (ls.active_per_class[cls] > 0) {
+        if (const ActiveWindow* window = ls.windows.find(key)) x = window->jobs;
+      }
+      const unsigned k_log = span_log - ls.interval_log;
+      const u64 num_intervals = pow2(k_log);
+      const u64 idx = static_cast<u64>(interval.base - key.start) >> ls.interval_log;
+      const u64 quotient = (2 * x) >> k_log;
+      const u64 remainder = (2 * x) & (num_intervals - 1);
+      const u64 reservations = quotient + 1 + (idx < remainder ? 1 : 0);
+      rows.push_back(FulRow{key, static_cast<std::uint32_t>(reservations), 0});
+    }
+  }
+
+  // Re-derive fulfilled with the greedy cascade over the (exact) cached
+  // reservations — pure arithmetic, no hashing, no allocation — stopping at
+  // the active bound past which no hot-path reader looks.
+  RS_CHECK(interval.lower_count <= ls.interval_size, "lower_count overflow");
+  u64 remaining = ls.interval_size - interval.lower_count;
+  for (unsigned cls = 0; cls < ls.active_bound; ++cls) {
+    FulRow& row = interval.ful_cache[cls];
+    const u64 fulfilled = std::min<u64>(row.reservations, remaining);
+    remaining -= fulfilled;
+    row.fulfilled = static_cast<std::uint32_t>(fulfilled);
+  }
+  interval.ful_bound = ls.active_bound;
+  interval.ful_state = FulState::kValid;
+  return interval.ful_cache;
+}
+
+void ReservationScheduler::note_window_activated(unsigned level, unsigned cls) {
+  auto& ls = levels_[level];
+  ++ls.active_per_class[cls];
+  if (cls + 1 > ls.active_bound) ls.active_bound = cls + 1;
+}
+
+void ReservationScheduler::note_window_deactivated(unsigned level, unsigned cls) {
+  auto& ls = levels_[level];
+  RS_CHECK(ls.active_per_class[cls] > 0, "window census underflow");
+  --ls.active_per_class[cls];
+  while (ls.active_bound > 0 && ls.active_per_class[ls.active_bound - 1] == 0) {
+    --ls.active_bound;
+  }
+}
+
+void ReservationScheduler::adjust_cached_reservation(unsigned level, const WindowKey& w,
+                                                     Time base, std::int32_t delta) {
+  Interval* interval = find_interval(level, base);
+  if (interval == nullptr || interval->ful_state == FulState::kInvalid) return;
+  FulRow& row = interval->ful_cache[levels_[level].class_of(w)];
+  RS_ASSERT(row.key == w, "adjust_cached_reservation: class row mismatch");
+  row.reservations = static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(row.reservations) + delta);
+  interval->ful_state = FulState::kFulfilledStale;
 }
 
 // ---------------------------------------------------------------------------
@@ -149,6 +233,9 @@ void ReservationScheduler::assign_slot(unsigned level, Interval& interval, Time 
   info.assigned = true;
   info.owner = w;
   ++interval.assigned_count;
+  const unsigned cls = levels_[level].class_of(w);
+  ++interval.assigned_by_class[cls];
+  interval.assigned_class_mask |= u64{1} << cls;
   auto& window = levels_[level].windows.at(w);
   window.assigned_slots.insert(slot);
   // A freshly claimed slot never carries a job of this level (such slots are
@@ -162,6 +249,10 @@ void ReservationScheduler::unassign_slot(unsigned level, Interval& interval, Tim
   auto& window = levels_[level].windows.at(info.owner);
   RS_CHECK(window.assigned_slots.erase(slot) == 1, "unassign_slot: ledger mismatch");
   window.free_assigned.erase(slot);
+  const unsigned cls = levels_[level].class_of(info.owner);
+  if (--interval.assigned_by_class[cls] == 0) {
+    interval.assigned_class_mask &= ~(u64{1} << cls);
+  }
   info.assigned = false;
   info.owner = WindowKey{};
   --interval.assigned_count;
@@ -169,54 +260,80 @@ void ReservationScheduler::unassign_slot(unsigned level, Interval& interval, Tim
 
 void ReservationScheduler::reconcile(unsigned level, Time interval_base,
                                      std::vector<JobId>& pending) {
-  Interval& interval = get_or_create_interval(level, interval_base);
-  const auto rows = compute_fulfillment(level, interval);
+  reconcile_interval(level, get_or_create_interval(level, interval_base), pending);
+}
 
-  // Current concrete assignment counts, one pass.
-  std::unordered_map<WindowKey, std::uint32_t> assigned;
-  for (std::size_t off = 0; off < interval.slots.size(); ++off) {
-    const SlotInfo& info = interval.slots[off];
-    if (info.assigned) ++assigned[info.owner];
-  }
-
+void ReservationScheduler::reconcile_interval(unsigned level, Interval& interval,
+                                              std::vector<JobId>& pending) {
   std::vector<JobId> to_move;
-  for (const auto& row : rows) {
-    if (row.window == nullptr) continue;  // virtual windows hold no concrete slots
-    const auto ait = assigned.find(row.key);
-    const std::uint32_t a = ait == assigned.end() ? 0 : ait->second;
-    if (a <= row.fulfilled) continue;  // lazy under-assignment is fine
-    std::uint32_t to_release = a - row.fulfilled;
-
-    // Prefer releasing slots that carry no job of this level (silent); only
-    // move jobs when every over-assigned slot is occupied by one.
-    std::vector<Time> silent;
-    std::vector<Time> occupied;
+  if (options_.legacy_fulfillment) {
+    // Seed-equivalent path: cold table, then a full per-slot scan to count
+    // concrete assignments, then another scan per over-assigned window.
+    const auto rows = compute_fulfillment(level, interval);
+    std::unordered_map<WindowKey, std::uint32_t> assigned;
     for (std::size_t off = 0; off < interval.slots.size(); ++off) {
       const SlotInfo& info = interval.slots[off];
-      if (!info.assigned || info.owner != row.key) continue;
-      const Time slot = interval.base + static_cast<Time>(off);
-      const auto oit = occupant_.find(slot);
-      if (oit == occupant_.end() || jobs_.at(oit->second).level != level) {
-        silent.push_back(slot);
-      } else {
-        occupied.push_back(slot);
-      }
+      if (info.assigned) ++assigned[info.owner];
     }
-    for (const Time slot : silent) {
-      if (to_release == 0) break;
-      unassign_slot(level, interval, slot);
-      --to_release;
+    for (const auto& row : rows) {
+      // Virtual (inactive) windows hold no concrete slots, so a == 0 skips
+      // them implicitly.
+      const auto ait = assigned.find(row.key);
+      const std::uint32_t a = ait == assigned.end() ? 0 : ait->second;
+      if (a <= row.fulfilled) continue;  // lazy under-assignment is fine
+      release_over_assignment(level, interval, row.key, a - row.fulfilled, to_move);
     }
-    for (const Time slot : occupied) {
-      if (to_release == 0) break;
-      const JobId job = occupant_.at(slot);
-      unassign_slot(level, interval, slot);
-      to_move.push_back(job);
-      --to_release;
+  } else {
+    // Cached table (refreshed only if an input changed) + incrementally
+    // tracked assignment counts: detecting over-assignment visits only the
+    // classes that hold assignments at all — no per-slot scan. Note the
+    // a <= f comparison must run even on a cache hit: acquire_slot may have
+    // refreshed the cache after the mutation that scheduled this reconcile,
+    // observing (but not releasing) an over-assignment.
+    const auto& rows = fulfillment(level, interval);
+    for (u64 mask = interval.assigned_class_mask; mask != 0; mask &= mask - 1) {
+      const unsigned cls = static_cast<unsigned>(std::countr_zero(mask));
+      const std::uint32_t a = interval.assigned_by_class[cls];
+      if (a <= rows[cls].fulfilled) continue;
+      release_over_assignment(level, interval, rows[cls].key, a - rows[cls].fulfilled,
+                              to_move);
     }
-    RS_CHECK(to_release == 0, "reconcile: could not release enough slots");
   }
   for (const JobId job : to_move) move_job(job, pending);
+}
+
+void ReservationScheduler::release_over_assignment(unsigned level, Interval& interval,
+                                                   const WindowKey& w,
+                                                   std::uint32_t to_release,
+                                                   std::vector<JobId>& to_move) {
+  // Prefer releasing slots that carry no job of this level (silent); only
+  // move jobs when every over-assigned slot is occupied by one.
+  std::vector<Time> silent;
+  std::vector<Time> occupied;
+  for (std::size_t off = 0; off < interval.slots.size(); ++off) {
+    const SlotInfo& info = interval.slots[off];
+    if (!info.assigned || info.owner != w) continue;
+    const Time slot = interval.base + static_cast<Time>(off);
+    const JobId* occupant = occ_.find(slot);
+    if (occupant == nullptr || jobs_.at(*occupant).level != level) {
+      silent.push_back(slot);
+    } else {
+      occupied.push_back(slot);
+    }
+  }
+  for (const Time slot : silent) {
+    if (to_release == 0) break;
+    unassign_slot(level, interval, slot);
+    --to_release;
+  }
+  for (const Time slot : occupied) {
+    if (to_release == 0) break;
+    const JobId job = occ_.at(slot);
+    unassign_slot(level, interval, slot);
+    to_move.push_back(job);
+    --to_release;
+  }
+  RS_CHECK(to_release == 0, "reconcile: could not release enough slots");
 }
 
 Time ReservationScheduler::acquire_slot(const WindowKey& w, unsigned level, Time avoid) {
@@ -226,14 +343,19 @@ Time ReservationScheduler::acquire_slot(const WindowKey& w, unsigned level, Time
   // Fast path: an already-materialized free fulfilled slot. Prefer a truly
   // empty one among the first few probes (fewer displacements); any free
   // fulfilled slot is valid per Figure 1 line 15.
+  Time empty_hit = kNoSlot;
   Time fallback = kNoSlot;
   int probes = 0;
-  for (const Time slot : window.free_assigned) {
-    if (slot == avoid) continue;
-    if (!occupant_.contains(slot)) return slot;
+  window.free_assigned.for_each_until([&](Time slot) {
+    if (slot == avoid) return false;
+    if (!occ_.occupied(slot)) {
+      empty_hit = slot;
+      return true;
+    }
     if (fallback == kNoSlot) fallback = slot;
-    if (++probes >= 4) break;
-  }
+    return ++probes >= 4;
+  });
+  if (empty_hit != kNoSlot) return empty_hit;
   if (fallback != kNoSlot) return fallback;
 
   // Slow path: claim a spare fulfilled reservation from some interval of W.
@@ -242,30 +364,51 @@ Time ReservationScheduler::acquire_slot(const WindowKey& w, unsigned level, Time
   // scan terminates quickly in the intended regime.
   const unsigned k_log = w.span_log - ls.interval_log;
   const u64 num_intervals = pow2(k_log);
+  const unsigned cls = ls.class_of(w);
   for (u64 step = 0; step < num_intervals; ++step) {
     const u64 idx = (window.claim_cursor + step) % num_intervals;
     const Time base = nth_interval_base(w, level, idx);
     Interval& interval = get_or_create_interval(level, base);
-    const auto rows = compute_fulfillment(level, interval);
+
     std::uint32_t fulfilled = 0;
-    for (const auto& row : rows) {
-      if (row.key == w) {
-        fulfilled = row.fulfilled;
-        break;
-      }
-    }
     std::uint32_t assigned_here = 0;
     Time free_any = kNoSlot;
     Time free_empty = kNoSlot;
-    for (std::size_t off = 0; off < interval.slots.size(); ++off) {
-      const SlotInfo& info = interval.slots[off];
-      const Time slot = interval.base + static_cast<Time>(off);
-      if (info.assigned && info.owner == w) ++assigned_here;
-      if (!info.assigned && !info.lower_occupied && slot != avoid) {
-        if (free_any == kNoSlot) free_any = slot;
-        if (free_empty == kNoSlot && !occupant_.contains(slot)) free_empty = slot;
+    if (options_.legacy_fulfillment) {
+      // Seed-equivalent: cold table plus a full slot scan that both counts
+      // assignments and hunts for free slots.
+      const auto rows = compute_fulfillment(level, interval);
+      fulfilled = rows[cls].fulfilled;
+      for (std::size_t off = 0; off < interval.slots.size(); ++off) {
+        const SlotInfo& info = interval.slots[off];
+        const Time slot = interval.base + static_cast<Time>(off);
+        if (info.assigned && info.owner == w) ++assigned_here;
+        if (!info.assigned && !info.lower_occupied && slot != avoid) {
+          if (free_any == kNoSlot) free_any = slot;
+          if (free_empty == kNoSlot && !occ_.occupied(slot)) free_empty = slot;
+        }
+      }
+    } else {
+      // Cached table + incrementally tracked assignment count: the spare
+      // check costs O(1); slots are scanned only when a claim will succeed.
+      const auto& rows = fulfillment(level, interval);
+      RS_ASSERT(rows[cls].key == w, "acquire_slot: class row mismatch");
+      fulfilled = rows[cls].fulfilled;
+      assigned_here = interval.assigned_by_class[cls];
+      if (fulfilled > assigned_here) {
+        for (std::size_t off = 0; off < interval.slots.size(); ++off) {
+          const SlotInfo& info = interval.slots[off];
+          const Time slot = interval.base + static_cast<Time>(off);
+          if (info.assigned || info.lower_occupied || slot == avoid) continue;
+          if (free_any == kNoSlot) free_any = slot;
+          if (!occ_.occupied(slot)) {
+            free_empty = slot;
+            break;  // first free slot already recorded; nothing better exists
+          }
+        }
       }
     }
+
     if (fulfilled > assigned_here) {
       const Time slot = free_empty != kNoSlot ? free_empty : free_any;
       if (slot == kNoSlot) continue;  // only free slot was `avoid`; try elsewhere
@@ -297,8 +440,8 @@ void ReservationScheduler::occupy(JobId id, Time slot, bool parked_placement,
   JobId displaced{};
   bool has_displaced = false;
   unsigned old_floor = top_level() + 1;  // level from which the slot was already blocked
-  if (const auto oit = occupant_.find(slot); oit != occupant_.end()) {
-    displaced = oit->second;
+  if (const JobId* occupant = occ_.find(slot); occupant != nullptr) {
+    displaced = *occupant;
     has_displaced = true;
     JobState& victim = jobs_.at(displaced);
     RS_CHECK(victim.window.span() > job.window.span(),
@@ -313,8 +456,11 @@ void ReservationScheduler::occupy(JobId id, Time slot, bool parked_placement,
 
   job.parked = parked_placement;
   if (parked_placement) ++parked_count_;
-  occupant_[slot] = id;
-  if (!has_displaced) runs_.occupy(slot);  // displaced: slot stays occupied
+  if (has_displaced) {
+    occ_.displace(slot, id);  // slot stays occupied; run index untouched
+  } else {
+    occ_.place(slot, id);
+  }
   job.slot = slot;
 
   // Own-level ledger: a reserved placement lands on a slot assigned to its
@@ -341,7 +487,8 @@ void ReservationScheduler::occupy(JobId id, Time slot, bool parked_placement,
     if (info.assigned) unassign_slot(level, *interval, slot);
     info.lower_occupied = true;
     ++interval->lower_count;
-    reconcile(level, interval->base, pending);
+    soften_fulfillment(*interval);  // lower occupancy is a fulfillment input
+    reconcile_interval(level, *interval, pending);
   }
 
   if (counts) count_move(job);
@@ -352,8 +499,7 @@ void ReservationScheduler::vacate(JobId id) {
   JobState& job = jobs_.at(id);
   RS_CHECK(job.slot != kNoSlot, "vacate: job not placed");
   const Time slot = job.slot;
-  occupant_.erase(slot);
-  runs_.release(slot);
+  occ_.remove(slot);
   job.slot = kNoSlot;
 
   const unsigned floor = block_floor(job);
@@ -364,8 +510,9 @@ void ReservationScheduler::vacate(JobId id) {
     RS_CHECK(info.lower_occupied, "vacate: missing lower_occupied flag");
     info.lower_occupied = false;
     --interval->lower_count;
-    // Allowance grew: waitlisted reservations may be promoted, which needs
-    // no job movement and is realized lazily on the next claim.
+    soften_fulfillment(*interval);  // allowance grew; fulfilled re-cascades
+    // Waitlisted reservations may be promoted, which needs no job movement
+    // and is realized lazily on the next claim.
   }
 
   if (job.parked) {
@@ -376,9 +523,9 @@ void ReservationScheduler::vacate(JobId id) {
     // slot of the window (if still assigned — a release may have detached
     // it just before a MOVE).
     auto& ls = levels_[job.level];
-    if (const auto wit = ls.windows.find(WindowKey(job.window)); wit != ls.windows.end()) {
-      if (wit->second.assigned_slots.contains(slot)) {
-        wit->second.free_assigned.insert(slot);
+    if (ActiveWindow* window = ls.windows.find(WindowKey(job.window)); window != nullptr) {
+      if (window->assigned_slots.contains(slot)) {
+        window->free_assigned.insert(slot);
       }
     }
   }
@@ -419,6 +566,9 @@ void ReservationScheduler::swap_ancestor_bookkeeping(Time s1, Time s2,
       transfer(a, s1, s2);
       transfer(b, s2, s1);
     }
+    // Both slots live in this interval, so lower_count, assigned_count and
+    // the per-class assignment counts are all preserved by the swap — the
+    // fulfillment cache stays valid.
     std::swap(a, b);
   }
 }
@@ -450,29 +600,28 @@ void ReservationScheduler::move_job(JobId id, std::vector<JobId>& pending) {
   // reservation follows the swap) with no further cascading.
   JobId higher{};
   bool has_higher = false;
-  if (const auto oit = occupant_.find(to); oit != occupant_.end()) {
-    higher = oit->second;
+  if (const JobId* occupant = occ_.find(to); occupant != nullptr) {
+    higher = *occupant;
     has_higher = true;
   }
 
-  occupant_.erase(from);
   swap_ancestor_bookkeeping(from, to, job.level);
   if (has_higher) {
     // Occupancy swaps wholesale: both slots stay occupied.
     JobState& hjob = jobs_.at(higher);
     RS_CHECK(hjob.level > job.level, "move_job: target slot held a non-higher job");
-    occupant_[from] = higher;
+    occ_.displace(from, higher);
     hjob.slot = from;
     count_move(hjob);
+    occ_.displace(to, id);
   } else {
-    runs_.release(from);
-    runs_.occupy(to);
+    occ_.remove(from);
+    occ_.place(to, id);
   }
 
   auto& window = levels_[job.level].windows.at(w);
   RS_CHECK(window.assigned_slots.contains(to), "move_job: target lost its reservation");
   window.free_assigned.erase(to);
-  occupant_[to] = id;
   job.slot = to;
   count_move(job);
 }
@@ -507,8 +656,8 @@ void ReservationScheduler::place_unreserved(JobId id, bool park,
   std::vector<Time> gaps;
   const std::size_t max_gaps =
       options_.placement == PlacementPolicy::kAvoidReserved ? 16 : 1;
-  for (Time t = runs_.next_free(w.start); t < w.end && gaps.size() < max_gaps;
-       t = runs_.next_free(t + 1)) {
+  for (Time t = occ_.next_free(w.start); t < w.end && gaps.size() < max_gaps;
+       t = occ_.next_free(t + 1)) {
     gaps.push_back(t);
   }
   JobId victim{};
@@ -516,16 +665,15 @@ void ReservationScheduler::place_unreserved(JobId id, bool park,
   Time victim_span = w.span();
   bool has_victim = false;
   if (gaps.empty()) {
-    for (auto it = occupant_.lower_bound(w.start);
-         it != occupant_.end() && it->first < w.end; ++it) {
-      const JobState& other = jobs_.at(it->second);
+    occ_.for_each_in(w.start, w.end, [&](Time slot, JobId occupant) {
+      const JobState& other = jobs_.at(occupant);
       if (other.window.span() > victim_span) {
         victim_span = other.window.span();
-        victim = it->second;
-        victim_slot = it->first;
+        victim = occupant;
+        victim_slot = slot;
         has_victim = true;
       }
-    }
+    });
   }
 
   if (!gaps.empty()) {
@@ -536,10 +684,11 @@ void ReservationScheduler::place_unreserved(JobId id, bool park,
       for (const Time gap : gaps) {
         bool reserved = false;
         for (unsigned level = 1; level <= top_level(); ++level) {
-          const auto& intervals = levels_[level].intervals;
-          const auto iit = intervals.find(align_down(gap, levels_[level].interval_size));
-          if (iit == intervals.end()) continue;
-          if (iit->second.slots[static_cast<std::size_t>(gap - iit->second.base)].assigned) {
+          const auto& ls = levels_[level];
+          const Interval* interval =
+              ls.intervals.find(align_down(gap, ls.interval_size));
+          if (interval == nullptr) continue;
+          if (interval->slots[static_cast<std::size_t>(gap - interval->base)].assigned) {
             reserved = true;
             break;
           }
@@ -595,7 +744,7 @@ Window ReservationScheduler::trim(JobId id, Window w) const {
 void ReservationScheduler::insert_impl(JobId id, Window original) {
   const Window trimmed = options_.trimming ? trim(id, original) : original;
   const unsigned level = options_.levels.level_of(static_cast<u64>(trimmed.span()));
-  jobs_.emplace(id, JobState{original, trimmed, level, kNoSlot, false});
+  jobs_[id] = JobState{original, trimmed, level, kNoSlot, false};
 
   std::vector<JobId> pending;
   try {
@@ -604,18 +753,26 @@ void ReservationScheduler::insert_impl(JobId id, Window original) {
     } else {
       auto& ls = levels_[level];
       const WindowKey w(trimmed);
-      auto& window = ls.windows[w];  // activates the window if new
+      const auto [window_slot, activated] = ls.windows.try_emplace(w);
+      ActiveWindow& window = *window_slot;
+      if (activated) note_window_activated(level, ls.class_of(w));
       const u64 x_old = window.jobs;
       window.jobs = x_old + 1;
 
       // Invariant 5: the two new reservations go to the round-robin
-      // positions following the 2x_old + 2^k existing ones.
+      // positions following the 2x_old + 2^k existing ones — and the
+      // closed-form r(W,·) changes in exactly those two intervals, so they
+      // are the only fulfillment caches the count change can stale.
       const unsigned k_log = w.span_log - ls.interval_log;
       const u64 num_intervals = pow2(k_log);
       const u64 p1 = (2 * x_old) % num_intervals;
       const u64 p2 = (2 * x_old + 1) % num_intervals;
-      reconcile(level, nth_interval_base(w, level, p1), pending);
-      reconcile(level, nth_interval_base(w, level, p2), pending);
+      const Time b1 = nth_interval_base(w, level, p1);
+      const Time b2 = nth_interval_base(w, level, p2);
+      adjust_cached_reservation(level, w, b1, +1);
+      adjust_cached_reservation(level, w, b2, +1);
+      reconcile(level, b1, pending);
+      reconcile(level, b2, pending);
 
       place_reserved(id, pending, /*is_request_job=*/true, /*counts=*/false);
     }
@@ -643,9 +800,9 @@ void ReservationScheduler::erase_impl(JobId id) {
 }
 
 void ReservationScheduler::erase_body(JobId id) {
-  const auto jit = jobs_.find(id);
-  RS_CHECK(jit != jobs_.end(), "erase_impl: unknown job");
-  const JobState state = jit->second;  // copy before mutation
+  JobState* jit = jobs_.find(id);
+  RS_CHECK(jit != nullptr, "erase_impl: unknown job");
+  const JobState state = *jit;  // copy before mutation
   std::vector<JobId> pending;
 
   if (state.slot != kNoSlot) vacate(id);
@@ -654,33 +811,42 @@ void ReservationScheduler::erase_body(JobId id) {
   if (state.level >= 1) {
     auto& ls = levels_[state.level];
     const WindowKey w(state.window);
-    const auto wit = ls.windows.find(w);
-    RS_CHECK(wit != ls.windows.end(), "erase_impl: window ledger missing");
-    ActiveWindow& window = wit->second;
-    const u64 x_old = window.jobs;
+    ActiveWindow* window = ls.windows.find(w);
+    RS_CHECK(window != nullptr, "erase_impl: window ledger missing");
+    const u64 x_old = window->jobs;
     RS_CHECK(x_old >= 1, "erase_impl: window job count underflow");
-    window.jobs = x_old - 1;
+    window->jobs = x_old - 1;
+    // The two removed reservations sat at the round-robin positions below;
+    // r(W,·) — and therefore fulfillment — changes in exactly those two
+    // intervals, in the deactivation case as well (x: 1 -> 0 reduces the
+    // window to its virtual baseline at positions {0, 1} = {p1, p2}).
+    const unsigned k_log = w.span_log - ls.interval_log;
+    const u64 num_intervals = pow2(k_log);
+    const u64 p1 = (2 * x_old - 1) % num_intervals;
+    const u64 p2 = (2 * x_old - 2) % num_intervals;
+    const Time b1 = nth_interval_base(w, state.level, p1);
+    const Time b2 = nth_interval_base(w, state.level, p2);
+    adjust_cached_reservation(state.level, w, b1, -1);
+    adjust_cached_reservation(state.level, w, b2, -1);
 
-    if (window.jobs == 0) {
+    if (window->jobs == 0) {
       // Deactivate: all concrete slots return to the free pool; promotions
       // of longer windows' waitlisted reservations need no job movement.
-      const std::vector<Time> slots(window.assigned_slots.begin(),
-                                    window.assigned_slots.end());
+      std::vector<Time> slots;
+      slots.reserve(window->assigned_slots.size());
+      window->assigned_slots.for_each([&](Time slot) { slots.push_back(slot); });
       for (const Time slot : slots) {
         Interval* interval = find_interval(state.level, interval_base_of(state.level, slot));
         RS_CHECK(interval != nullptr, "erase_impl: assigned slot in missing interval");
         unassign_slot(state.level, *interval, slot);
       }
-      ls.windows.erase(wit);
+      ls.windows.erase(w);
+      note_window_deactivated(state.level, ls.class_of(w));
     } else {
       // Remove the two most recently added reservations (the "two rightmost
       // intervals with the most reservations").
-      const unsigned k_log = w.span_log - ls.interval_log;
-      const u64 num_intervals = pow2(k_log);
-      const u64 p1 = (2 * x_old - 1) % num_intervals;
-      const u64 p2 = (2 * x_old - 2) % num_intervals;
-      reconcile(state.level, nth_interval_base(w, state.level, p1), pending);
-      reconcile(state.level, nth_interval_base(w, state.level, p2), pending);
+      reconcile(state.level, b1, pending);
+      reconcile(state.level, b2, pending);
     }
   }
   drain(pending);
@@ -689,10 +855,10 @@ void ReservationScheduler::erase_body(JobId id) {
 bool ReservationScheduler::emergency_reschedule(const JobId* exclude) {
   std::vector<JobSpec> specs;
   specs.reserve(jobs_.size());
-  for (const auto& [jid, job] : jobs_) {
-    if (exclude != nullptr && jid == *exclude) continue;
+  jobs_.for_each([&](const JobId& jid, const JobState& job) {
+    if (exclude != nullptr && jid == *exclude) return;
     specs.push_back(JobSpec{jid, job.window});
-  }
+  });
   const auto schedule = edf_schedule(specs, 1);
   if (!schedule.has_value()) return false;
 
@@ -700,33 +866,31 @@ bool ReservationScheduler::emergency_reschedule(const JobId* exclude) {
   // window ledgers' job counts survive (they describe the active set, which
   // is unchanged); concrete reservation assignments reset and will be
   // re-claimed lazily by future requests.
-  std::unordered_map<JobId, Time> old_slots;
+  FlatHashMap<JobId, Time> old_slots;
   old_slots.reserve(jobs_.size());
-  for (const auto& [jid, job] : jobs_) old_slots.emplace(jid, job.slot);
+  jobs_.for_each([&](const JobId& jid, const JobState& job) { old_slots[jid] = job.slot; });
 
-  occupant_.clear();
-  runs_ = SlotRuns{};
+  occ_.clear();
   parked_count_ = 0;
   for (auto& ls : levels_) {
     ls.intervals.clear();
-    for (auto& [key, window] : ls.windows) {
+    ls.windows.for_each([](const WindowKey&, ActiveWindow& window) {
       window.assigned_slots.clear();
       window.free_assigned.clear();
       window.claim_cursor = 0;
-    }
+    });
   }
-  for (auto& [jid, job] : jobs_) {
+  jobs_.for_each([](const JobId&, JobState& job) {
     job.slot = kNoSlot;
     job.parked = false;
-  }
+  });
   u64 moved = 0;
   for (const auto& [jid, placement] : *schedule) {
     JobState& job = jobs_.at(jid);
     job.slot = placement.slot;
     job.parked = job.level >= 1;
     if (job.parked) ++parked_count_;
-    occupant_[placement.slot] = jid;
-    runs_.occupy(placement.slot);
+    occ_.place(placement.slot, jid);
     if (old_slots.at(jid) != placement.slot) ++moved;
   }
   current_.reallocations += moved;
@@ -745,9 +909,9 @@ void ReservationScheduler::recover_or_reject(JobId id, bool reject_outright,
     pending.clear();
   }
   std::size_t stranded = 0;
-  for (const auto& [jid, job] : jobs_) {
+  jobs_.for_each([&](const JobId& jid, const JobState& job) {
     if (jid != id && job.slot == kNoSlot) ++stranded;
-  }
+  });
 
   if (stranded == 0) {
     if (!reject_outright) {
@@ -785,18 +949,22 @@ void ReservationScheduler::rebuild(u64 new_n_star) {
   n_star_ = new_n_star;
   in_rebuild_ = true;
 
-  std::vector<std::pair<JobId, JobState>> all(jobs_.begin(), jobs_.end());
+  std::vector<std::pair<JobId, JobState>> all;
+  all.reserve(jobs_.size());
+  jobs_.for_each(
+      [&](const JobId& jid, const JobState& job) { all.emplace_back(jid, job); });
   std::sort(all.begin(), all.end(),
             [](const auto& a, const auto& b) { return a.first.value < b.first.value; });
-  std::unordered_map<JobId, Time> old_slots;
+  FlatHashMap<JobId, Time> old_slots;
   old_slots.reserve(all.size());
-  for (const auto& [id, job] : all) old_slots.emplace(id, job.slot);
+  for (const auto& [id, job] : all) old_slots[id] = job.slot;
 
-  occupant_.clear();
-  runs_ = SlotRuns{};
+  occ_.clear();
   for (auto& ls : levels_) {
     ls.intervals.clear();
     ls.windows.clear();
+    ls.active_per_class.assign(ls.active_per_class.size(), 0);
+    ls.active_bound = 0;
   }
   jobs_.clear();
   parked_count_ = 0;
@@ -807,9 +975,9 @@ void ReservationScheduler::rebuild(u64 new_n_star) {
   for (const auto& [id, job] : all) insert_impl(id, job.original);
   current_ = saved;
   u64 moved = 0;
-  for (const auto& [id, job] : jobs_) {
+  jobs_.for_each([&](const JobId& id, const JobState& job) {
     if (old_slots.at(id) != job.slot) ++moved;
-  }
+  });
   current_.reallocations += moved;
   current_.rebuilt = true;
   in_rebuild_ = false;
@@ -846,10 +1014,10 @@ RequestStats ReservationScheduler::erase(JobId id) {
 
 Schedule ReservationScheduler::snapshot() const {
   Schedule out(1);
-  for (const auto& [id, job] : jobs_) {
+  jobs_.for_each([&](const JobId& id, const JobState& job) {
     RS_CHECK(job.slot != kNoSlot, "snapshot: job without a slot");
     out.assign(id, Placement{0, job.slot});
-  }
+  });
   return out;
 }
 
@@ -868,123 +1036,177 @@ ReservationScheduler::fulfillment_of_interval(unsigned level, Time interval_base
   // Use the materialized interval if present; otherwise synthesize one from
   // the live schedule (fulfillment is a pure function of job counts and
   // lower-level occupancy — Observation 7).
-  const Interval* interval = nullptr;
-  if (const auto it = ls.intervals.find(interval_base); it != ls.intervals.end()) {
-    interval = &it->second;
-  }
+  const Interval* interval = ls.intervals.find(interval_base);
   Interval scratch;
   if (interval == nullptr) {
     scratch.base = interval_base;
     scratch.slots.assign(ls.interval_size, SlotInfo{});
     const Time end = interval_base + static_cast<Time>(ls.interval_size);
-    for (auto oit = occupant_.lower_bound(interval_base);
-         oit != occupant_.end() && oit->first < end; ++oit) {
-      if (block_floor(jobs_.at(oit->second)) <= level) {
-        scratch.slots[static_cast<std::size_t>(oit->first - interval_base)].lower_occupied =
+    occ_.for_each_in(interval_base, end, [&](Time slot, JobId id) {
+      if (block_floor(jobs_.at(id)) <= level) {
+        scratch.slots[static_cast<std::size_t>(slot - interval_base)].lower_occupied =
             true;
         ++scratch.lower_count;
       }
-    }
+    });
     interval = &scratch;
   }
 
   std::vector<FulfillmentEntry> out;
-  for (const auto& row : compute_fulfillment(level, *interval)) {
-    out.push_back(FulfillmentEntry{row.key, row.window != nullptr, row.reservations,
-                                   row.fulfilled});
+  // Always recompute cold: the cached table only maintains the fulfilled
+  // column up to the level's active bound, while introspection promises the
+  // full exact table (and must not observe—or be observed to depend
+  // on—cache state).
+  const std::vector<FulRow> rows = compute_fulfillment(level, *interval);
+  for (const auto& row : rows) {
+    out.push_back(FulfillmentEntry{row.key, ls.windows.find(row.key) != nullptr,
+                                   row.reservations, row.fulfilled});
   }
   return out;
+}
+
+std::size_t ReservationScheduler::verify_fulfillment_cache() const {
+  std::size_t verified = 0;
+  for (unsigned level = 1; level <= top_level(); ++level) {
+    const auto& ls = levels_[level];
+    ls.intervals.for_each([&](Time base, const Interval& interval) {
+      if (interval.ful_state == FulState::kInvalid) return;  // recomputed before use
+      const std::vector<FulRow> cold = compute_fulfillment(level, interval);
+      RS_CHECK(cold.size() == interval.ful_cache.size(),
+               "fulfillment cache: row count diverged from cold recomputation");
+      for (std::size_t i = 0; i < cold.size(); ++i) {
+        // The reservation column is promised exact in every non-invalid
+        // state; the fulfilled column only below ful_bound once re-cascaded
+        // (kValid).
+        RS_CHECK(cold[i].key == interval.ful_cache[i].key &&
+                     cold[i].reservations == interval.ful_cache[i].reservations,
+                 "fulfillment cache: cached reservations diverged from cold "
+                 "recomputation");
+        if (interval.ful_state == FulState::kValid && i < interval.ful_bound) {
+          RS_CHECK(cold[i].fulfilled == interval.ful_cache[i].fulfilled,
+                   "fulfillment cache: cached fulfilled diverged from cold "
+                   "recomputation");
+        }
+      }
+      RS_CHECK(interval.base == base, "fulfillment cache: interval base mismatch");
+      ++verified;
+    });
+  }
+  return verified;
 }
 
 void ReservationScheduler::audit() const {
   // 1. Jobs <-> occupancy consistency.
   u64 parked_seen = 0;
-  for (const auto& [id, job] : jobs_) {
+  jobs_.for_each([&](const JobId& id, const JobState& job) {
     RS_CHECK(job.slot != kNoSlot, "audit: job without slot");
     RS_CHECK(job.window.contains(job.slot), "audit: job outside trimmed window");
     RS_CHECK(job.original.contains(job.window), "audit: trim not nested in original");
-    const auto oit = occupant_.find(job.slot);
-    RS_CHECK(oit != occupant_.end() && oit->second == id, "audit: occupant mismatch");
+    const JobId* occupant = occ_.find(job.slot);
+    RS_CHECK(occupant != nullptr && *occupant == id, "audit: occupant mismatch");
     RS_CHECK(options_.levels.level_of(static_cast<u64>(job.window.span())) == job.level,
              "audit: level mismatch");
     if (job.parked) ++parked_seen;
     if (!job.parked && job.level >= 1) {
       const auto& ls = levels_[job.level];
-      const auto wit = ls.windows.find(WindowKey(job.window));
-      RS_CHECK(wit != ls.windows.end(), "audit: reserved job without active window");
-      RS_CHECK(wit->second.assigned_slots.contains(job.slot),
+      const ActiveWindow* window = ls.windows.find(WindowKey(job.window));
+      RS_CHECK(window != nullptr, "audit: reserved job without active window");
+      RS_CHECK(window->assigned_slots.contains(job.slot),
                "audit: reserved job on unassigned slot");
-      RS_CHECK(!wit->second.free_assigned.contains(job.slot),
+      RS_CHECK(!window->free_assigned.contains(job.slot),
                "audit: occupied slot marked free");
     }
-  }
+  });
   RS_CHECK(parked_seen == parked_count_, "audit: parked count mismatch");
-  RS_CHECK(occupant_.size() == jobs_.size(), "audit: orphan occupancy entries");
-  for (const auto& [slot, id] : occupant_) {
-    RS_CHECK(runs_.occupied(slot), "audit: run index missing an occupied slot");
-  }
+  RS_CHECK(occ_.size() == jobs_.size(), "audit: orphan occupancy entries");
+  occ_.for_each([&](Time slot, JobId) {
+    RS_CHECK(occ_.runs().occupied(slot), "audit: run index missing an occupied slot");
+  });
 
   // 2. Window ledgers.
   for (unsigned level = 1; level <= top_level(); ++level) {
     const auto& ls = levels_[level];
     std::unordered_map<WindowKey, u64> job_counts;
-    for (const auto& [id, job] : jobs_) {
+    jobs_.for_each([&](const JobId&, const JobState& job) {
       // Parked jobs keep their reservations, so they count toward x too.
       if (job.level == level) ++job_counts[WindowKey(job.window)];
-    }
-    for (const auto& [key, window] : ls.windows) {
+    });
+    std::vector<std::uint32_t> expected_census(ls.class_count(), 0);
+    ls.windows.for_each([&](const WindowKey& key, const ActiveWindow& window) {
+      ++expected_census[ls.class_of(key)];
       const auto cit = job_counts.find(key);
       const u64 actual = cit == job_counts.end() ? 0 : cit->second;
       RS_CHECK(window.jobs == actual, "audit: window job count mismatch");
       RS_CHECK(window.jobs > 0, "audit: inactive window retained");
-      for (const Time slot : window.assigned_slots) {
+      window.assigned_slots.for_each([&](Time slot) {
         RS_CHECK(key.window().contains(slot), "audit: assigned slot outside window");
-      }
-      for (const Time slot : window.free_assigned) {
+      });
+      window.free_assigned.for_each([&](Time slot) {
         RS_CHECK(window.assigned_slots.contains(slot), "audit: free slot not assigned");
-        const auto oit = occupant_.find(slot);
-        RS_CHECK(oit == occupant_.end() || jobs_.at(oit->second).level != level,
+        const JobId* occupant = occ_.find(slot);
+        RS_CHECK(occupant == nullptr || jobs_.at(*occupant).level != level,
                  "audit: free_assigned slot holds a same-level job");
-      }
+      });
+    });
+    for (unsigned cls = 0; cls < ls.class_count(); ++cls) {
+      RS_CHECK(ls.active_per_class[cls] == expected_census[cls],
+               "audit: active-window census mismatch");
+      RS_CHECK(expected_census[cls] == 0 || cls < ls.active_bound,
+               "audit: active bound below an active class");
     }
+    RS_CHECK(ls.active_bound == 0 || ls.active_per_class[ls.active_bound - 1] > 0,
+             "audit: active bound not tight");
   }
 
   // 3. Interval slot tables against ground truth.
   for (unsigned level = 1; level <= top_level(); ++level) {
     const auto& ls = levels_[level];
-    for (const auto& [base, interval] : ls.intervals) {
+    ls.intervals.for_each([&](Time base, const Interval& interval) {
       RS_CHECK(interval.base == base, "audit: interval base mismatch");
+      RS_CHECK(interval.assigned_by_class.size() == ls.class_count(),
+               "audit: per-class assignment table missized");
       std::uint32_t lower = 0;
       std::uint32_t assigned = 0;
-      std::unordered_map<WindowKey, std::uint32_t> per_window;
+      std::vector<std::uint32_t> per_class(ls.class_count(), 0);
       for (std::size_t off = 0; off < interval.slots.size(); ++off) {
         const SlotInfo& info = interval.slots[off];
         const Time slot = base + static_cast<Time>(off);
-        const auto oit = occupant_.find(slot);
+        const JobId* occupant = occ_.find(slot);
         const bool expect_lower =
-            oit != occupant_.end() && block_floor(jobs_.at(oit->second)) <= level;
+            occupant != nullptr && block_floor(jobs_.at(*occupant)) <= level;
         RS_CHECK(info.lower_occupied == expect_lower, "audit: lower flag mismatch");
         if (info.lower_occupied) ++lower;
         if (info.assigned) {
           RS_CHECK(!info.lower_occupied, "audit: assigned slot is lower-occupied");
-          const auto wit = ls.windows.find(info.owner);
-          RS_CHECK(wit != ls.windows.end(), "audit: slot owned by inactive window");
-          RS_CHECK(wit->second.assigned_slots.contains(slot),
+          const ActiveWindow* window = ls.windows.find(info.owner);
+          RS_CHECK(window != nullptr, "audit: slot owned by inactive window");
+          RS_CHECK(window->assigned_slots.contains(slot),
                    "audit: owner ledger missing slot");
           ++assigned;
-          ++per_window[info.owner];
+          ++per_class[ls.class_of(info.owner)];
         }
       }
       RS_CHECK(lower == interval.lower_count, "audit: lower_count mismatch");
       RS_CHECK(assigned == interval.assigned_count, "audit: assigned_count mismatch");
-      // Lazy invariant: concrete assignments never exceed fulfillment.
-      for (const auto& row : compute_fulfillment(level, interval)) {
-        const auto ait = per_window.find(row.key);
-        const std::uint32_t a = ait == per_window.end() ? 0 : ait->second;
-        RS_CHECK(a <= row.fulfilled, "audit: assignment exceeds fulfillment");
+      for (unsigned cls = 0; cls < ls.class_count(); ++cls) {
+        RS_CHECK(per_class[cls] == interval.assigned_by_class[cls],
+                 "audit: per-class assignment count mismatch");
+        RS_CHECK(((interval.assigned_class_mask >> cls) & 1) == (per_class[cls] > 0),
+                 "audit: assigned class mask mismatch");
       }
-    }
+      // Lazy invariant: concrete assignments never exceed fulfillment.
+      // Checked against a cold recomputation so a stale cache cannot mask a
+      // violation.
+      const auto rows = compute_fulfillment(level, interval);
+      for (unsigned cls = 0; cls < ls.class_count(); ++cls) {
+        RS_CHECK(per_class[cls] <= rows[cls].fulfilled,
+                 "audit: assignment exceeds fulfillment");
+      }
+    });
   }
+
+  // 4. Every cached fulfillment table still matches a cold recomputation.
+  verify_fulfillment_cache();
 }
 
 }  // namespace reasched

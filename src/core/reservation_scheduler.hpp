@@ -13,11 +13,26 @@
 //    reservations a window W with x jobs holds in each of its 2^k intervals
 //    a closed-form function r(W,I) = ⌊2x/2^k⌋ + 1 + [idx(I) < 2x mod 2^k].
 //    Which reservations an interval *fulfills* is the shortest-window-first
-//    greedy over these counts (Observation 7: history independent), so we
-//    recompute fulfillment on demand instead of mutating reservation
-//    objects. Windows with zero jobs still contribute their baseline one
-//    reservation per interval ("virtual windows") exactly as the paper
-//    requires — they consume fulfillment priority but hold no slots.
+//    greedy over these counts (Observation 7: history independent), so the
+//    fulfillment table is a pure function of the ledgers and never needs to
+//    be stored durably. Windows with zero jobs still contribute their
+//    baseline one reservation per interval ("virtual windows") exactly as
+//    the paper requires — they consume fulfillment priority but hold no
+//    slots.
+//
+//  * Fulfillment is incrementally cached (DESIGN.md §4). Each materialized
+//    interval keeps its last-computed table, recomputed in place (no
+//    allocation) only when an input changed. Observation 7 guarantees the
+//    table is exact until one of its two inputs changes, and both mutate in
+//    O(1) known places: the interval's lower-level occupancy (invalidated
+//    point-wise when a lower flag flips) and same-level window job counts —
+//    which, by Invariant 5's closed form, change r(W,·) in *exactly* the
+//    two round-robin intervals p1, p2 that insert/erase already reconcile,
+//    so only those two are invalidated. Together with per-class assignment
+//    counts this makes reconcile O(span classes) when nothing needs
+//    releasing, instead of the seed's cold recompute plus two O(interval)
+//    slot scans on every touch. SchedulerOptions::legacy_fulfillment
+//    preserves the seed path as an in-binary baseline.
 //
 //  * Concrete slot assignment is lazy. A window's *assigned* slots (the
 //    slots backing its fulfilled reservations) are materialized on demand,
@@ -25,7 +40,8 @@
 //    invariant (free allowance >= Σf - Σa). Releases — the "waitlist a
 //    fulfilled reservation" arrow in Figure 1 — happen whenever a
 //    recomputation finds a(W,I) > f(W,I), and may force a MOVE of a job
-//    sitting on a released slot.
+//    sitting on a released slot. Per-interval assignment counts are kept
+//    per span class, so detecting over-assignment needs no slot scan.
 //
 //  * MOVE is a pure swap. When job j moves from slot s to its window's
 //    fulfilled empty slot s', both slots lie in the same ancestor interval
@@ -46,6 +62,11 @@
 //    sub-window of span 2γn*, and the schedule is rebuilt from scratch on
 //    every n* change (amortized O(1) reallocations per request).
 //
+// Containers: every hot lookup runs on open-addressing flat tables
+// (util/flat_hash.hpp) and slot occupancy lives in an OccupancyIndex
+// (point lookups O(~1), range scans gap-skipping via SlotRuns) — see
+// DESIGN.md §4 for the container-by-container rationale.
+//
 // Cost accounting: every physical move of a pre-existing job is one
 // reallocation (the request's own insert placement / delete removal is
 // free, matching §2's cost model).
@@ -53,17 +74,15 @@
 
 #include <cstdint>
 #include <limits>
-#include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/scheduler_options.hpp"
 #include "core/window_key.hpp"
+#include "schedule/occupancy_index.hpp"
 #include "schedule/scheduler_interface.hpp"
-#include "schedule/slot_runs.hpp"
+#include "util/flat_hash.hpp"
 
 namespace reasched {
 
@@ -99,10 +118,21 @@ class ReservationScheduler final : public IReallocScheduler {
   [[nodiscard]] std::uint64_t parked_jobs() const noexcept { return parked_count_; }
   [[nodiscard]] const SchedulerOptions& options() const noexcept { return options_; }
 
+  /// Toggles the per-request audit at runtime. Benches replay a warmup
+  /// prefix audit-free, then audit only the measured segment.
+  void set_audit(bool enabled) noexcept { options_.audit = enabled; }
+
   /// Full internal-invariant audit; throws InternalError on any violation.
   /// O(total state); runs automatically after each request when
   /// options.audit is set.
   void audit() const;
+
+  /// Cache-consistency check: recomputes every *currently valid* cached
+  /// fulfillment table cold and verifies it matches the cache entry-by-entry
+  /// (throws InternalError on any mismatch). Returns the number of cached
+  /// tables verified. Test hook for the stale-cache regression suite; also
+  /// part of audit().
+  std::size_t verify_fulfillment_cache() const;
 
  private:
   static constexpr Time kNoSlot = std::numeric_limits<Time>::min();
@@ -121,21 +151,61 @@ class ReservationScheduler final : public IReallocScheduler {
     WindowKey owner{};            // valid iff assigned
   };
 
+  /// One row of an interval's fulfillment table. Exactly one aligned window
+  /// of each span class contains the interval, so tables are indexed by
+  /// span class (span_log - min_span_log). Deliberately carries no
+  /// activity flag or window pointer: rows must stay a pure function of
+  /// the inputs the cache invalidation tracks (job counts via p1/p2,
+  /// lower occupancy), and activation elsewhere changes neither value.
+  struct FulRow {
+    WindowKey key;
+    std::uint32_t reservations = 0;
+    std::uint32_t fulfilled = 0;
+    friend bool operator==(const FulRow&, const FulRow&) = default;
+  };
+
+  /// Freshness of an interval's cached fulfillment table.
+  ///   kValid          — both reservations and fulfilled columns are exact.
+  ///   kFulfilledStale — reservations are exact (maintained in place by ±1
+  ///                     deltas at the round-robin positions), fulfilled
+  ///                     must be re-derived — a pure arithmetic cascade
+  ///                     over the cached reservations, no hash lookups.
+  ///   kInvalid        — full recomputation off the ledgers required.
+  enum class FulState : std::uint8_t { kInvalid, kFulfilledStale, kValid };
+
   struct Interval {
     Time base = 0;
     std::vector<SlotInfo> slots;
     std::uint32_t lower_count = 0;
     std::uint32_t assigned_count = 0;
+    /// Concrete assignments per span class — the a(W,I) side of the lazy
+    /// invariant, maintained incrementally so reconcile needs no slot scan
+    /// to detect over-assignment.
+    std::vector<std::uint32_t> assigned_by_class;
+    /// Bit c set iff assigned_by_class[c] > 0 — lets reconcile visit only
+    /// the classes that can possibly be over-assigned (class_count is
+    /// checked <= 64 at construction).
+    u64 assigned_class_mask = 0;
+    /// Last-computed fulfillment table. Exactness contract: the
+    /// reservations column is exact for every row whenever ful_state !=
+    /// kInvalid; the fulfilled column is exact only for rows below
+    /// ful_bound when ful_state == kValid. Hot-path readers only consult
+    /// rows of active/assigned classes, which always lie below the level's
+    /// active bound (Observation 7 makes all of it a pure function of the
+    /// tracked inputs).
+    mutable std::vector<FulRow> ful_cache;
+    mutable FulState ful_state = FulState::kInvalid;
+    mutable unsigned ful_bound = 0;
   };
 
   struct ActiveWindow {
     std::uint64_t jobs = 0;  // x
     /// All concrete fulfilled slots of this window (global coordinates).
-    std::unordered_set<Time> assigned_slots;
+    FlatHashSet<Time> assigned_slots;
     /// Subset of assigned_slots with no job of this level on them — the
     /// slots Invariant 6 / Lemma 8 hand out. (They may hold a higher-level
     /// job, which placement will displace.)
-    std::unordered_set<Time> free_assigned;
+    FlatHashSet<Time> free_assigned;
     std::uint64_t claim_cursor = 0;  // round-robin claim-scan position
   };
 
@@ -145,15 +215,24 @@ class ReservationScheduler final : public IReallocScheduler {
     u64 max_span = 0;
     unsigned min_span_log = 0;  // smallest span exponent at this level
     unsigned max_span_log = 0;
-    std::unordered_map<Time, Interval> intervals;  // key: interval base
-    std::unordered_map<WindowKey, ActiveWindow> windows;
-  };
+    FlatHashMap<Time, Interval> intervals;  // key: interval base
+    FlatHashMap<WindowKey, ActiveWindow> windows;
+    /// Active-window count per span class; supports the two hot-path
+    /// shortcuts below.
+    std::vector<std::uint32_t> active_per_class;
+    /// One past the highest class with an active window. Fulfillment
+    /// cascades stop here: every class the hot path consults is active (or
+    /// holds assignments, a subset), and the level table's nominal class
+    /// range is enormous (the top threshold is ~2^62) while the populated
+    /// prefix is tiny.
+    unsigned active_bound = 0;
 
-  struct FulRow {
-    WindowKey key;
-    const ActiveWindow* window = nullptr;  // null for virtual windows
-    std::uint32_t reservations = 0;
-    std::uint32_t fulfilled = 0;
+    [[nodiscard]] unsigned class_count() const noexcept {
+      return max_span_log - min_span_log + 1;
+    }
+    [[nodiscard]] unsigned class_of(const WindowKey& w) const noexcept {
+      return w.span_log - min_span_log;
+    }
   };
 
   // -- geometry helpers --
@@ -169,14 +248,45 @@ class ReservationScheduler final : public IReallocScheduler {
   // -- interval state --
   Interval& get_or_create_interval(unsigned level, Time base);
   [[nodiscard]] Interval* find_interval(unsigned level, Time base);
+  /// Recomputation straight off the ledgers into `out`, reusing its
+  /// capacity (seed behavior when cold; also the reference the cache is
+  /// validated against).
+  void compute_fulfillment_into(unsigned level, const Interval& interval,
+                                std::vector<FulRow>& out) const;
   [[nodiscard]] std::vector<FulRow> compute_fulfillment(unsigned level,
                                                         const Interval& interval) const;
+  /// Cache-aware access: returns the interval's cached table, refreshing in
+  /// place (no allocation, and no hash lookups unless kInvalid) when stale.
+  const std::vector<FulRow>& fulfillment(unsigned level, const Interval& interval) const;
+  /// Lower-occupancy changed: reservations stay exact, fulfilled must be
+  /// re-cascaded. Called on every lower-flag flip of the interval.
+  static void soften_fulfillment(const Interval& interval) noexcept {
+    if (interval.ful_state == FulState::kValid) {
+      interval.ful_state = FulState::kFulfilledStale;
+    }
+  }
+  /// Applies the ±1 reservation delta of a job-count change on `w` to the
+  /// cached table of the round-robin interval at `base` (Invariant 5:
+  /// r(W,·) changes in exactly the two positions insert/erase touch, so
+  /// these point updates keep every other cache exact). No-op if the
+  /// interval is not materialized or its cache is invalid anyway.
+  void adjust_cached_reservation(unsigned level, const WindowKey& w, Time base,
+                                 std::int32_t delta);
+  /// Active-window census maintenance (activation/deactivation only).
+  void note_window_activated(unsigned level, unsigned cls);
+  void note_window_deactivated(unsigned level, unsigned cls);
 
   // -- reservation machinery --
-  /// Recomputes fulfillment of the interval and releases over-assigned
-  /// slots (the "waitlist a fulfilled reservation" step); jobs sitting on
-  /// released slots are MOVEd.
+  /// Refreshes the interval's fulfillment table (cache-aware) and releases
+  /// over-assigned slots (the "waitlist a fulfilled reservation" step); jobs
+  /// sitting on released slots are MOVEd. O(span classes) when nothing needs
+  /// releasing.
   void reconcile(unsigned level, Time interval_base, std::vector<JobId>& pending);
+  void reconcile_interval(unsigned level, Interval& interval, std::vector<JobId>& pending);
+  /// Releases `to_release` of `w`'s concrete slots in the interval (silent
+  /// slots first); jobs on released slots join `to_move`.
+  void release_over_assignment(unsigned level, Interval& interval, const WindowKey& w,
+                               std::uint32_t to_release, std::vector<JobId>& to_move);
   void unassign_slot(unsigned level, Interval& interval, Time slot);
   void assign_slot(unsigned level, Interval& interval, Time slot, const WindowKey& w);
   /// Finds (claiming lazily if needed) a fulfilled slot of `w` with no
@@ -230,9 +340,8 @@ class ReservationScheduler final : public IReallocScheduler {
 
   SchedulerOptions options_;
   std::vector<LevelState> levels_;
-  std::unordered_map<JobId, JobState> jobs_;
-  std::map<Time, JobId> occupant_;  // slot -> job; ordered for range scans
-  SlotRuns runs_;                   // O(log n) gap queries for pecking order
+  FlatHashMap<JobId, JobState> jobs_;
+  OccupancyIndex occ_;  // slot -> job, layered on SlotRuns for range scans
   u64 n_star_ = 8;
   u64 parked_count_ = 0;
   bool in_rebuild_ = false;

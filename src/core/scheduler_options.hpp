@@ -53,6 +53,14 @@ struct SchedulerOptions {
   /// When true, run a full internal-invariant audit after every request
   /// (O(state) per request; tests only).
   bool audit = false;
+
+  /// Seed-equivalent fulfillment path: recompute every fulfillment table
+  /// cold (fresh allocation, full per-slot reconcile scans) instead of
+  /// consuming the incremental per-interval cache. The schedules produced
+  /// are identical — Observation 7 makes fulfillment a pure function of the
+  /// ledgers — so this exists purely as the in-binary baseline for the
+  /// hot-path benchmarks (EXPERIMENTS.md §E12) and for differential tests.
+  bool legacy_fulfillment = false;
 };
 
 }  // namespace reasched

@@ -31,6 +31,7 @@
 #include "feasibility/matching.hpp"
 #include "feasibility/underallocation.hpp"
 
+#include "schedule/occupancy_index.hpp"
 #include "schedule/render.hpp"
 #include "schedule/schedule.hpp"
 #include "schedule/scheduler_interface.hpp"
@@ -47,6 +48,7 @@
 #include "sim/driver.hpp"
 #include "sim/sweep.hpp"
 
+#include "util/flat_hash.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"

@@ -1,0 +1,289 @@
+// Open-addressing hash containers for the scheduler hot path.
+//
+// std::unordered_map pays a heap allocation per node and a pointer chase per
+// probe; the reservation scheduler's inner loops (interval lookup, window
+// ledgers, occupancy) are dominated by exactly those lookups. FlatHashMap /
+// FlatHashSet store slots contiguously (linear probing, power-of-two
+// capacity, tombstone deletion) so a lookup is one hash, one masked index
+// and a short linear scan over adjacent memory.
+//
+// Semantics that differ from the std containers — read before use:
+//   * References/iterators are invalidated by any insertion that rehashes
+//     (erase never moves elements: deletion is by tombstone). Do not hold a
+//     reference across an insert into the same container.
+//   * Keys and values must be default-constructible; erased slots are reset
+//     to a default-constructed state to release owned resources.
+//   * Iteration order is unspecified and changes across rehashes (exactly
+//     like the std containers — nothing in the scheduler may depend on it).
+//
+// The default hasher bit-mixes integral keys (std::hash is the identity for
+// them on common standard libraries, which clusters catastrophically under
+// power-of-two masking for strided keys such as interval bases) and defers
+// to std::hash otherwise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+namespace detail {
+
+/// splitmix64 finalizer: full-avalanche mix so low bits are usable as a
+/// power-of-two bucket index.
+[[nodiscard]] inline std::uint64_t flat_hash_mix(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
+template <class K>
+struct FlatHash {
+  [[nodiscard]] std::size_t operator()(const K& key) const noexcept {
+    if constexpr (std::is_integral_v<K> || std::is_enum_v<K>) {
+      return static_cast<std::size_t>(
+          detail::flat_hash_mix(static_cast<std::uint64_t>(key)));
+    } else {
+      // Project types (JobId, WindowKey, Window) already provide mixing
+      // std::hash specializations.
+      return std::hash<K>{}(key);
+    }
+  }
+};
+
+template <class K, class V, class Hash = FlatHash<K>>
+class FlatHashMap {
+  enum Ctrl : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+
+  struct Slot {
+    K key{};
+    V value{};
+  };
+
+ public:
+  FlatHashMap() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ctrl_.size(); }
+
+  void clear() {
+    // Capacity is retained: rebuild-heavy callers (n* resizing) refill to a
+    // similar size immediately.
+    if (!ctrl_.empty()) {
+      std::fill(ctrl_.begin(), ctrl_.end(), static_cast<std::uint8_t>(kEmpty));
+      for (Slot& slot : slots_) slot = Slot{};
+    }
+    size_ = 0;
+    used_ = 0;
+  }
+
+  void reserve(std::size_t count) {
+    std::size_t want = 16;
+    while (want * 3 < count * 4) want *= 2;
+    if (want > capacity()) rehash(want);
+  }
+
+  [[nodiscard]] V* find(const K& key) noexcept {
+    const std::size_t idx = find_index(key);
+    return idx == kNpos ? nullptr : &slots_[idx].value;
+  }
+  [[nodiscard]] const V* find(const K& key) const noexcept {
+    const std::size_t idx = find_index(key);
+    return idx == kNpos ? nullptr : &slots_[idx].value;
+  }
+  [[nodiscard]] bool contains(const K& key) const noexcept {
+    return find_index(key) != kNpos;
+  }
+
+  [[nodiscard]] V& at(const K& key) {
+    const std::size_t idx = find_index(key);
+    RS_CHECK(idx != kNpos, "FlatHashMap::at: key not found");
+    return slots_[idx].value;
+  }
+  [[nodiscard]] const V& at(const K& key) const {
+    const std::size_t idx = find_index(key);
+    RS_CHECK(idx != kNpos, "FlatHashMap::at: key not found");
+    return slots_[idx].value;
+  }
+
+  /// Returns {value reference, inserted}. The reference is valid until the
+  /// next rehashing insertion. A call that finds an existing key never
+  /// rehashes (upholding the reference-invalidated-only-by-insertion
+  /// contract above), so growth is checked only once the key is known
+  /// absent.
+  std::pair<V*, bool> try_emplace(const K& key) {
+    if (!ctrl_.empty()) {
+      const std::size_t existing = find_index(key);
+      if (existing != kNpos) return {&slots_[existing].value, false};
+    }
+    grow_if_needed();
+    const std::size_t idx = probe_for_insert(key);
+    const bool was_tombstone = ctrl_[idx] == kTombstone;
+    ctrl_[idx] = kFull;
+    slots_[idx].key = key;
+    slots_[idx].value = V{};
+    ++size_;
+    if (!was_tombstone) ++used_;
+    return {&slots_[idx].value, true};
+  }
+
+  V& operator[](const K& key) { return *try_emplace(key).first; }
+
+  bool insert_or_assign(const K& key, V value) {
+    auto [slot, inserted] = try_emplace(key);
+    *slot = std::move(value);
+    return inserted;
+  }
+
+  std::size_t erase(const K& key) {
+    const std::size_t idx = find_index(key);
+    if (idx == kNpos) return 0;
+    ctrl_[idx] = kTombstone;
+    slots_[idx] = Slot{};  // release owned resources eagerly
+    --size_;
+    return 1;
+  }
+
+  /// f(const K&, V&) over every element, unspecified order.
+  template <class F>
+  void for_each(F&& f) {
+    for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] == kFull) f(const_cast<const K&>(slots_[i].key), slots_[i].value);
+    }
+  }
+  template <class F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] == kFull) f(slots_[i].key, slots_[i].value);
+    }
+  }
+
+  /// Like for_each, but stops early when f returns true. Returns whether f
+  /// stopped the scan.
+  template <class F>
+  bool for_each_until(F&& f) const {
+    for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] == kFull && f(slots_[i].key, slots_[i].value)) return true;
+    }
+    return false;
+  }
+
+ private:
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t find_index(const K& key) const noexcept {
+    if (ctrl_.empty()) return kNpos;
+    const std::size_t mask = ctrl_.size() - 1;
+    std::size_t idx = Hash{}(key) & mask;
+    while (ctrl_[idx] != kEmpty) {
+      if (ctrl_[idx] == kFull && slots_[idx].key == key) return idx;
+      idx = (idx + 1) & mask;
+    }
+    return kNpos;
+  }
+
+  /// First slot where `key` lives or may be inserted: an existing full slot
+  /// with the key, else the first tombstone on the probe path, else the
+  /// terminating empty slot.
+  [[nodiscard]] std::size_t probe_for_insert(const K& key) const noexcept {
+    const std::size_t mask = ctrl_.size() - 1;
+    std::size_t idx = Hash{}(key) & mask;
+    std::size_t first_tombstone = kNpos;
+    while (ctrl_[idx] != kEmpty) {
+      if (ctrl_[idx] == kFull && slots_[idx].key == key) return idx;
+      if (ctrl_[idx] == kTombstone && first_tombstone == kNpos) first_tombstone = idx;
+      idx = (idx + 1) & mask;
+    }
+    return first_tombstone != kNpos ? first_tombstone : idx;
+  }
+
+  void grow_if_needed() {
+    // Max load factor 3/4 counting tombstones (they lengthen probe paths
+    // just like live entries).
+    if ((used_ + 1) * 4 > capacity() * 3) {
+      const std::size_t base = capacity() == 0 ? 16 : capacity();
+      // If most of the load is tombstones, rehashing in place is enough.
+      rehash(size_ * 4 > base * 3 ? base * 2 : base);
+    }
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
+    std::vector<Slot> old_slots = std::move(slots_);
+    ctrl_.assign(new_capacity, static_cast<std::uint8_t>(kEmpty));
+    slots_.assign(new_capacity, Slot{});
+    size_ = 0;
+    used_ = 0;
+    const std::size_t mask = new_capacity - 1;
+    for (std::size_t i = 0; i < old_ctrl.size(); ++i) {
+      if (old_ctrl[i] != kFull) continue;
+      std::size_t idx = Hash{}(old_slots[i].key) & mask;
+      while (ctrl_[idx] == kFull) idx = (idx + 1) & mask;
+      ctrl_[idx] = kFull;
+      slots_[idx] = std::move(old_slots[i]);
+      ++size_;
+      ++used_;
+    }
+  }
+
+  std::vector<std::uint8_t> ctrl_;
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;  // live entries
+  std::size_t used_ = 0;  // live entries + tombstones
+};
+
+template <class K, class Hash = FlatHash<K>>
+class FlatHashSet {
+  struct Empty {};
+
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
+
+  void clear() { map_.clear(); }
+  void reserve(std::size_t count) { map_.reserve(count); }
+
+  /// Returns true iff the key was newly inserted.
+  bool insert(const K& key) { return map_.try_emplace(key).second; }
+  std::size_t erase(const K& key) { return map_.erase(key); }
+  [[nodiscard]] bool contains(const K& key) const noexcept { return map_.contains(key); }
+
+  /// f(const K&) over every element, unspecified order.
+  template <class F>
+  void for_each(F&& f) const {
+    map_.for_each([&](const K& key, const Empty&) { f(key); });
+  }
+
+  /// Like for_each, but stops early when f returns true. Returns whether f
+  /// stopped the scan.
+  template <class F>
+  bool for_each_until(F&& f) const {
+    return map_.for_each_until([&](const K& key, const Empty&) { return f(key); });
+  }
+
+  /// Some element (unspecified which); the set must be non-empty.
+  [[nodiscard]] K any() const {
+    RS_CHECK(!map_.empty(), "FlatHashSet::any: empty set");
+    K out{};
+    map_.for_each_until([&](const K& key, const Empty&) {
+      out = key;
+      return true;
+    });
+    return out;
+  }
+
+ private:
+  FlatHashMap<K, Empty, Hash> map_;
+};
+
+}  // namespace reasched

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/types.hpp"
+#include "util/flat_hash.hpp"
+#include "util/rng.hpp"
+
+namespace reasched {
+namespace {
+
+TEST(FlatHashMap, BasicInsertFindErase) {
+  FlatHashMap<Time, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7), nullptr);
+
+  map[7] = 42;
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), 42);
+  EXPECT_EQ(map.at(7), 42);
+  EXPECT_TRUE(map.contains(7));
+
+  EXPECT_EQ(map.erase(7), 1u);
+  EXPECT_EQ(map.erase(7), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_FALSE(map.contains(7));
+}
+
+TEST(FlatHashMap, TryEmplaceReportsInsertion) {
+  FlatHashMap<Time, int> map;
+  auto [first, inserted1] = map.try_emplace(5);
+  EXPECT_TRUE(inserted1);
+  *first = 10;
+  auto [second, inserted2] = map.try_emplace(5);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(*second, 10);
+}
+
+TEST(FlatHashMap, AtThrowsOnMissingKey) {
+  FlatHashMap<Time, int> map;
+  EXPECT_THROW(map.at(3), InternalError);
+}
+
+TEST(FlatHashMap, StridedKeysStaySpread) {
+  // Interval bases are strided (multiples of 32/256); the identity hash of
+  // common standard libraries clusters them catastrophically under
+  // power-of-two masking — the default FlatHash must not.
+  FlatHashMap<Time, int> map;
+  for (Time t = 0; t < 4096 * 256; t += 256) map[t] = 1;
+  EXPECT_EQ(map.size(), 4096u);
+  for (Time t = 0; t < 4096 * 256; t += 256) EXPECT_TRUE(map.contains(t));
+}
+
+TEST(FlatHashMap, NegativeKeys) {
+  FlatHashMap<Time, int> map;
+  map[-1] = 1;
+  map[-64] = 2;
+  map[0] = 3;
+  EXPECT_EQ(map.at(-1), 1);
+  EXPECT_EQ(map.at(-64), 2);
+  EXPECT_EQ(map.at(0), 3);
+}
+
+TEST(FlatHashMap, ErasedSlotsAreReusedAndValuesReset) {
+  FlatHashMap<Time, std::string> map;
+  map[1] = "payload";
+  EXPECT_EQ(map.erase(1), 1u);
+  // Re-inserting the key finds a default-constructed value, not the relic.
+  auto [slot, inserted] = map.try_emplace(1);
+  EXPECT_TRUE(inserted);
+  EXPECT_TRUE(slot->empty());
+}
+
+TEST(FlatHashMap, RandomizedAgainstStdUnorderedMap) {
+  FlatHashMap<Time, std::uint64_t> map;
+  std::unordered_map<Time, std::uint64_t> reference;
+  Rng rng(2024);
+  for (int step = 0; step < 20'000; ++step) {
+    const Time key = static_cast<Time>(rng.uniform(0, 999)) - 500;
+    const auto op = rng.uniform(0, 2);
+    if (op == 0) {
+      const std::uint64_t value = rng();
+      map[key] = value;
+      reference[key] = value;
+    } else if (op == 1) {
+      EXPECT_EQ(map.erase(key), reference.erase(key));
+    } else {
+      const auto it = reference.find(key);
+      const auto* found = map.find(key);
+      ASSERT_EQ(found != nullptr, it != reference.end());
+      if (found != nullptr) EXPECT_EQ(*found, it->second);
+    }
+    if (step % 1000 == 0) {
+      ASSERT_EQ(map.size(), reference.size());
+      std::size_t seen = 0;
+      map.for_each([&](Time k, const std::uint64_t& v) {
+        ++seen;
+        const auto it = reference.find(k);
+        ASSERT_NE(it, reference.end());
+        EXPECT_EQ(v, it->second);
+      });
+      EXPECT_EQ(seen, reference.size());
+    }
+  }
+}
+
+TEST(FlatHashMap, ClearRetainsCapacityAndEmpties) {
+  FlatHashMap<Time, int> map;
+  for (Time t = 0; t < 1000; ++t) map[t] = 1;
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_FALSE(map.contains(5));
+  map[5] = 9;
+  EXPECT_EQ(map.at(5), 9);
+}
+
+TEST(FlatHashSet, BasicOperations) {
+  FlatHashSet<JobId> set;
+  EXPECT_TRUE(set.insert(JobId{1}));
+  EXPECT_FALSE(set.insert(JobId{1}));
+  EXPECT_TRUE(set.contains(JobId{1}));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.any().value, 1u);
+  EXPECT_EQ(set.erase(JobId{1}), 1u);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(FlatHashSet, ForEachUntilStopsEarly) {
+  FlatHashSet<Time> set;
+  for (Time t = 0; t < 100; ++t) set.insert(t);
+  int visited = 0;
+  const bool stopped = set.for_each_until([&](Time) { return ++visited == 5; });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(visited, 5);
+}
+
+TEST(FlatHashSet, RandomizedAgainstStdUnorderedSet) {
+  FlatHashSet<Time> set;
+  std::unordered_set<Time> reference;
+  Rng rng(11);
+  for (int step = 0; step < 10'000; ++step) {
+    const Time key = static_cast<Time>(rng.uniform(0, 499));
+    if (rng.chance(0.5)) {
+      EXPECT_EQ(set.insert(key), reference.insert(key).second);
+    } else {
+      EXPECT_EQ(set.erase(key), reference.erase(key));
+    }
+  }
+  EXPECT_EQ(set.size(), reference.size());
+  std::set<Time> seen;
+  set.for_each([&](Time t) { seen.insert(t); });
+  EXPECT_EQ(seen.size(), reference.size());
+  for (const Time t : seen) EXPECT_TRUE(reference.contains(t));
+}
+
+}  // namespace
+}  // namespace reasched

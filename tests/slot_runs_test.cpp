@@ -107,5 +107,95 @@ TEST(SlotRuns, RandomizedAgainstReferenceSet) {
   }
 }
 
+TEST(SlotRuns, NextOccupied) {
+  SlotRuns runs;
+  EXPECT_EQ(runs.next_occupied(0), SlotRuns::kNone);
+  runs.occupy(5);
+  runs.occupy(200);
+  EXPECT_EQ(runs.next_occupied(0), 5);
+  EXPECT_EQ(runs.next_occupied(5), 5);
+  EXPECT_EQ(runs.next_occupied(6), 200);
+  EXPECT_EQ(runs.next_occupied(201), SlotRuns::kNone);
+}
+
+TEST(SlotRuns, ForEachOccupiedVisitsRangeInOrder) {
+  SlotRuns runs;
+  for (const Time t : {1, 2, 3, 64, 65, 130, 400}) runs.occupy(t);
+  std::vector<Time> seen;
+  runs.for_each_occupied(2, 400, [&](Time t) { seen.push_back(t); });
+  EXPECT_EQ(seen, (std::vector<Time>{2, 3, 64, 65, 130}));
+  seen.clear();
+  runs.for_each_occupied(0, 2, [&](Time t) { seen.push_back(t); });
+  EXPECT_EQ(seen, (std::vector<Time>{1}));
+  seen.clear();
+  runs.for_each_occupied(5, 5, [&](Time t) { seen.push_back(t); });
+  EXPECT_TRUE(seen.empty());
+}
+
+TEST(SlotRuns, ForEachOccupiedNegativeRange) {
+  SlotRuns runs;
+  for (const Time t : {-130, -65, -64, -1, 0}) runs.occupy(t);
+  std::vector<Time> seen;
+  runs.for_each_occupied(-130, 1, [&](Time t) { seen.push_back(t); });
+  EXPECT_EQ(seen, (std::vector<Time>{-130, -65, -64, -1, 0}));
+}
+
+TEST(SlotRuns, FullPageSkipsStayExact) {
+  // Fill several whole 64-slot pages so next_free/prev_free must jump the
+  // full-page run map, then poke holes at page boundaries.
+  SlotRuns runs;
+  for (Time t = 0; t < 4 * 64; ++t) runs.occupy(t);
+  EXPECT_EQ(runs.next_free(0), 4 * 64);
+  EXPECT_EQ(runs.prev_free(4 * 64 - 1), -1);
+  EXPECT_TRUE(runs.covered(0, 4 * 64));
+
+  runs.release(130);  // inside the second page
+  EXPECT_EQ(runs.next_free(0), 130);
+  EXPECT_EQ(runs.next_free(131), 4 * 64);
+  EXPECT_EQ(runs.prev_free(200), 130);
+  runs.occupy(130);
+  EXPECT_EQ(runs.next_free(0), 4 * 64);
+}
+
+TEST(SlotRuns, RandomizedWideKeysAgainstReferenceSet) {
+  // Sparse, strided and negative keys spanning many pages.
+  SlotRuns runs;
+  std::set<Time> reference;
+  Rng rng(1312);
+  for (int step = 0; step < 5000; ++step) {
+    const Time t = (static_cast<Time>(rng.uniform(0, 599)) - 300) * 17;
+    if (reference.contains(t)) {
+      runs.release(t);
+      reference.erase(t);
+    } else {
+      runs.occupy(t);
+      reference.insert(t);
+    }
+    const Time q = (static_cast<Time>(rng.uniform(0, 599)) - 300) * 17;
+    Time expect_next = q;
+    while (reference.contains(expect_next)) ++expect_next;
+    EXPECT_EQ(runs.next_free(q), expect_next);
+    const auto it = reference.lower_bound(q);
+    EXPECT_EQ(runs.next_occupied(q), it == reference.end() ? SlotRuns::kNone : *it);
+  }
+  // Exhaustive range-iteration check against the reference.
+  std::vector<Time> seen;
+  runs.for_each_occupied(-6000, 6000, [&](Time t) { seen.push_back(t); });
+  std::vector<Time> expected;
+  for (const Time t : reference) {
+    if (t >= -6000 && t < 6000) expected.push_back(t);
+  }
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(runs.run_count(), [&] {
+    std::size_t count = 0;
+    Time prev = std::numeric_limits<Time>::min();
+    for (const Time t : reference) {
+      if (t != prev + 1) ++count;
+      prev = t;
+    }
+    return count;
+  }());
+}
+
 }  // namespace
 }  // namespace reasched
