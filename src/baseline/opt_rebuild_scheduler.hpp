@@ -12,7 +12,6 @@
 
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "schedule/scheduler_interface.hpp"
 

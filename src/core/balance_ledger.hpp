@@ -1,0 +1,163 @@
+// Round-robin balance ledger for the multi-machine → single-machine
+// reduction (paper §3), shared by the sequential MultiMachineScheduler and
+// the sharded service layer (src/service/).
+//
+// For every window W the ledger tracks n_W, the number of active jobs with
+// exactly window W, and which machines hold them, keeping every machine's
+// share within {⌊n_W/m⌋, ⌈n_W/m⌉} with extras on the earliest machines:
+//   * insert: delegate to machine (n_W mod m) — round robin;
+//   * delete from machine d: the latest-extra machine ((n_W - 1) mod m)
+//     donates one W-job to d, a single migration (none if d is the donor).
+//
+// The API is split into *plan* (const decision) and *commit* (ledger
+// mutation) so callers can order machine-level operations around the ledger
+// exactly as the paper's sequential reduction does, and so the batched
+// service layer can commit a whole batch of decisions up front and apply
+// the machine operations in parallel afterwards. Every commit has a
+// matching rollback, used by the service layer to unwind an optimistically
+// committed batch when a machine rejects one of its inserts.
+//
+// Determinism: all decisions are pure functions of the per-window operation
+// history (the donor's `any()` pick depends only on the per-window set's
+// own insert/erase sequence), so two ledgers fed the same per-window
+// sequences make identical choices — the property the sharded scheduler's
+// byte-identical guarantee rests on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hpp"
+#include "base/window.hpp"
+#include "util/flat_hash.hpp"
+
+namespace reasched {
+
+/// Directory entry for one active job: its window and the machine the §3
+/// reduction delegated it to.
+struct JobInfo {
+  Window window;
+  MachineId machine = 0;
+};
+
+class BalanceLedger {
+ public:
+  /// `machines` is the total machine count m of the reduction (global even
+  /// when the ledger instance holds only a stripe of the window space).
+  explicit BalanceLedger(unsigned machines = 1) : machines_(machines) {}
+
+  /// The §3 rebalance migration triggered by an erase, if any.
+  struct Migration {
+    bool needed = false;
+    JobId moved{};       ///< the donor's W-job that must move
+    MachineId donor = 0; ///< latest-extra machine, (n_W - 1) mod m
+  };
+
+  /// Round-robin delegation target for inserting a W-job: (n_W mod m).
+  [[nodiscard]] MachineId plan_insert(const Window& w) const {
+    const BalanceState* balance = windows_.find(w);
+    const std::uint64_t count = balance ? balance->count : 0;
+    return static_cast<MachineId>(count % machines_);
+  }
+
+  /// Records a delegated insert after the machine accepted it.
+  void commit_insert(JobId id, const Window& w, MachineId machine) {
+    BalanceState& balance = windows_[w];
+    if (balance.per_machine.empty()) balance.per_machine.resize(machines_);
+    ++balance.count;
+    balance.per_machine[machine].insert(id);
+  }
+
+  /// Unwinds a commit_insert (service-layer batch rollback).
+  void rollback_insert(JobId id, const Window& w, MachineId machine) {
+    BalanceState& balance = windows_.at(w);
+    RS_CHECK(balance.per_machine[machine].erase(id) == 1,
+             "BalanceLedger::rollback_insert: job not on recorded machine");
+    --balance.count;
+    if (balance.count == 0) windows_.erase(w);
+  }
+
+  /// Erase decision for a W-job held by `machine`: whether the §3 rebalance
+  /// migration fires and which job moves. Pure; call before commit_erase.
+  [[nodiscard]] Migration plan_erase(const Window& w, MachineId machine) const {
+    const BalanceState& balance = windows_.at(w);
+    RS_CHECK(balance.count >= 1, "balance ledger underflow");
+    Migration migration;
+    migration.donor = static_cast<MachineId>((balance.count - 1) % machines_);
+    if (migration.donor != machine && balance.count > 1) {
+      const auto& pool = balance.per_machine[migration.donor];
+      RS_CHECK(!pool.empty(), "rebalance: donor machine has no job of this window");
+      migration.needed = true;
+      migration.moved = pool.any();
+    }
+    return migration;
+  }
+
+  /// Records the erase itself (not the migration — see commit_migration).
+  void commit_erase(JobId id, const Window& w, MachineId machine) {
+    BalanceState& balance = windows_.at(w);
+    RS_CHECK(balance.per_machine[machine].erase(id) == 1,
+             "BalanceLedger::commit_erase: job not on recorded machine");
+    --balance.count;
+    if (balance.count == 0) windows_.erase(w);
+  }
+
+  /// Unwinds a commit_erase (service-layer batch rollback).
+  void rollback_erase(JobId id, const Window& w, MachineId machine) {
+    BalanceState& balance = windows_[w];
+    if (balance.per_machine.empty()) balance.per_machine.resize(machines_);
+    ++balance.count;
+    balance.per_machine[machine].insert(id);
+  }
+
+  /// Records a completed rebalance migration: `moved` left the donor for
+  /// `dest` (the machine the erased job vacated).
+  void commit_migration(const Window& w, const Migration& migration, MachineId dest) {
+    BalanceState& balance = windows_.at(w);
+    RS_CHECK(balance.per_machine[migration.donor].erase(migration.moved) == 1,
+             "BalanceLedger::commit_migration: moved job not on donor");
+    balance.per_machine[dest].insert(migration.moved);
+  }
+
+  /// Unwinds a commit_migration (service-layer batch rollback).
+  void rollback_migration(const Window& w, const Migration& migration, MachineId dest) {
+    BalanceState& balance = windows_.at(w);
+    RS_CHECK(balance.per_machine[dest].erase(migration.moved) == 1,
+             "BalanceLedger::rollback_migration: moved job not on dest");
+    balance.per_machine[migration.donor].insert(migration.moved);
+  }
+
+  [[nodiscard]] unsigned machines() const noexcept { return machines_; }
+  [[nodiscard]] std::size_t tracked_windows() const noexcept { return windows_.size(); }
+
+  /// Balancing invariant check (Lemma 3): every machine holds between
+  /// ⌊n_W/m⌋ and ⌈n_W/m⌉ jobs of each window W, extras on the earliest
+  /// machines. Throws InternalError on violation.
+  void audit() const {
+    windows_.for_each([&](const Window&, const BalanceState& balance) {
+      const std::uint64_t m = machines_;
+      const std::uint64_t floor_share = balance.count / m;
+      const std::uint64_t extras = balance.count % m;
+      std::uint64_t total = 0;
+      for (std::uint64_t i = 0; i < m; ++i) {
+        const std::uint64_t share = balance.per_machine[i].size();
+        const std::uint64_t expected = floor_share + (i < extras ? 1 : 0);
+        RS_CHECK(share == expected,
+                 "audit_balance: machine share deviates from round-robin invariant");
+        total += share;
+      }
+      RS_CHECK(total == balance.count, "audit_balance: count mismatch");
+    });
+  }
+
+ private:
+  struct BalanceState {
+    std::uint64_t count = 0;                      // n_W
+    std::vector<FlatHashSet<JobId>> per_machine;  // W-jobs per machine
+  };
+
+  unsigned machines_ = 1;
+  FlatHashMap<Window, BalanceState> windows_;
+};
+
+}  // namespace reasched

@@ -4,7 +4,8 @@
 
 namespace reasched {
 
-MultiMachineScheduler::MultiMachineScheduler(unsigned machines, const Factory& factory) {
+MultiMachineScheduler::MultiMachineScheduler(unsigned machines, const Factory& factory)
+    : ledger_(machines) {
   RS_REQUIRE(machines >= 1, "MultiMachineScheduler: need at least one machine");
   machines_.reserve(machines);
   for (unsigned i = 0; i < machines; ++i) {
@@ -25,19 +26,11 @@ RequestStats MultiMachineScheduler::insert(JobId id, Window window) {
   RS_REQUIRE(window.valid(), "MultiMachineScheduler::insert: empty window");
   RS_REQUIRE(!jobs_.contains(id), "MultiMachineScheduler::insert: id already active");
 
-  auto& balance = windows_[window];
-  if (balance.per_machine.empty()) balance.per_machine.resize(machines_.size());
-  const auto machine = static_cast<MachineId>(balance.count % machines_.size());
-
-  RequestStats stats;
-  try {
-    stats = machines_[machine]->insert(id, window);
-  } catch (...) {
-    if (balance.count == 0) windows_.erase(window);
-    throw;
-  }
-  ++balance.count;
-  balance.per_machine[machine].insert(id);
+  const MachineId machine = ledger_.plan_insert(window);
+  // The ledger commits only after the machine accepted, so a rejected insert
+  // leaves no trace.
+  const RequestStats stats = machines_[machine]->insert(id, window);
+  ledger_.commit_insert(id, window, machine);
   jobs_[id] = JobInfo{window, machine};
   return stats;
 }
@@ -48,39 +41,28 @@ RequestStats MultiMachineScheduler::erase(JobId id) {
   const Window window = info->window;
   const MachineId machine = info->machine;
 
-  auto& balance = windows_.at(window);
-  const std::uint64_t n_before = balance.count;
-  RS_CHECK(n_before >= 1, "balance ledger underflow");
-
-  RequestStats stats = machines_[machine]->erase(id);
-  balance.per_machine[machine].erase(id);
-  --balance.count;
-  jobs_.erase(id);
-
   // Rebalance: the latest-extra machine donates one W-job to the machine
   // that lost one — the single migration Theorem 1 allows per request.
-  const auto donor =
-      static_cast<MachineId>((n_before - 1) % machines_.size());
-  if (donor != machine && balance.count > 0) {
-    auto& pool = balance.per_machine[donor];
-    RS_CHECK(!pool.empty(), "rebalance: donor machine has no job of this window");
-    const JobId moved = pool.any();
-    stats += machines_[donor]->erase(moved);
+  const BalanceLedger::Migration migration = ledger_.plan_erase(window, machine);
+  RequestStats stats = machines_[machine]->erase(id);
+  ledger_.commit_erase(id, window, machine);
+  jobs_.erase(id);
+
+  if (migration.needed) {
+    stats += machines_[migration.donor]->erase(migration.moved);
     try {
-      stats += machines_[machine]->insert(moved, window);
+      stats += machines_[machine]->insert(migration.moved, window);
     } catch (...) {
       // Restore the donor's copy so the schedule stays complete, then
       // propagate the failure.
-      machines_[donor]->insert(moved, window);
+      machines_[migration.donor]->insert(migration.moved, window);
       throw;
     }
-    pool.erase(moved);
-    balance.per_machine[machine].insert(moved);
-    jobs_.at(moved).machine = machine;
+    ledger_.commit_migration(window, migration, machine);
+    jobs_.at(migration.moved).machine = machine;
     ++stats.reallocations;
     ++stats.migrations;
   }
-  if (balance.count == 0) windows_.erase(window);
   return stats;
 }
 
@@ -93,23 +75,6 @@ Schedule MultiMachineScheduler::snapshot() const {
     }
   }
   return out;
-}
-
-void MultiMachineScheduler::audit_balance() const {
-  windows_.for_each([&](const Window&, const BalanceState& balance) {
-    const std::uint64_t m = machines_.size();
-    const std::uint64_t floor_share = balance.count / m;
-    const std::uint64_t extras = balance.count % m;
-    std::uint64_t total = 0;
-    for (std::uint64_t i = 0; i < m; ++i) {
-      const std::uint64_t share = balance.per_machine[i].size();
-      const std::uint64_t expected = floor_share + (i < extras ? 1 : 0);
-      RS_CHECK(share == expected,
-               "audit_balance: machine share deviates from round-robin invariant");
-      total += share;
-    }
-    RS_CHECK(total == balance.count, "audit_balance: count mismatch");
-  });
 }
 
 }  // namespace reasched

@@ -1,12 +1,10 @@
-// Multi-machine → single-machine reduction (paper §3).
+// Multi-machine → single-machine reduction (paper §3), sequential front end.
 //
-// For every window W the balancer tracks n_W, the number of active jobs
-// with exactly window W, and keeps every machine's share of them within
-// {⌊n_W/m⌋, ⌈n_W/m⌉}, extras on the earliest machines:
-//   * insert: delegate to machine (n_W mod m) — round robin;
-//   * delete from machine d: the latest-extra machine (n_W - 1 mod m)
-//     donates one W-job to d, a single migration (none if d is the donor).
-// All actual scheduling is performed by per-machine single-machine
+// Delegation decisions live in core/balance_ledger.hpp (shared with the
+// sharded service layer in src/service/); this adapter owns the per-machine
+// single-machine schedulers and orders their insert/erase calls around the
+// ledger's plan/commit steps exactly as the paper's sequential reduction
+// prescribes. All actual scheduling is performed by the per-machine
 // schedulers (Lemma 3 shows the per-machine instances stay underallocated).
 //
 // The adapter is generic over the single-machine scheduler so the paper's
@@ -18,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/balance_ledger.hpp"
 #include "schedule/scheduler_interface.hpp"
 #include "util/flat_hash.hpp"
 
@@ -40,23 +39,12 @@ class MultiMachineScheduler final : public IReallocScheduler {
   }
   [[nodiscard]] std::string name() const override;
 
-  /// Balancing invariant check (Lemma 3): every machine holds between
-  /// ⌊n_W/m⌋ and ⌈n_W/m⌉ jobs of each window W, extras on the earliest
-  /// machines. Throws InternalError on violation.
-  void audit_balance() const;
+  /// Balancing invariant check (Lemma 3); throws InternalError on violation.
+  void audit_balance() const { ledger_.audit(); }
 
  private:
-  struct BalanceState {
-    std::uint64_t count = 0;                    // n_W
-    std::vector<FlatHashSet<JobId>> per_machine;  // W-jobs per machine
-  };
-  struct JobInfo {
-    Window window;
-    MachineId machine = 0;
-  };
-
   std::vector<std::unique_ptr<IReallocScheduler>> machines_;
-  FlatHashMap<Window, BalanceState> windows_;
+  BalanceLedger ledger_;
   FlatHashMap<JobId, JobInfo> jobs_;
 };
 

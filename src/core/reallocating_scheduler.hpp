@@ -6,7 +6,6 @@
 // at most one machine migration.
 #pragma once
 
-#include <memory>
 #include <string>
 
 #include "core/multi_machine.hpp"

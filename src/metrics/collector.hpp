@@ -2,8 +2,6 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
-#include <vector>
 
 #include "base/types.hpp"
 #include "util/stats.hpp"

@@ -13,6 +13,7 @@
 #include "base/window.hpp"
 
 #include "core/alignment.hpp"
+#include "core/balance_ledger.hpp"
 #include "core/incremental_rebuild.hpp"
 #include "core/levels.hpp"
 #include "core/multi_machine.hpp"
@@ -37,6 +38,9 @@
 #include "schedule/scheduler_interface.hpp"
 #include "schedule/slot_runs.hpp"
 #include "schedule/validator.hpp"
+
+#include "service/sharded_scheduler.hpp"
+#include "service/striped_ledger.hpp"
 
 #include "workload/adversary.hpp"
 #include "workload/churn.hpp"

@@ -4,7 +4,6 @@
 #pragma once
 
 #include <string>
-#include <unordered_map>
 
 #include "base/window.hpp"
 #include "schedule/schedule.hpp"

@@ -3,15 +3,37 @@
 // driver, benchmarks, and tests can drive them interchangeably.
 #pragma once
 
-#include <memory>
+#include <cstdint>
+#include <span>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "base/types.hpp"
 #include "base/window.hpp"
 #include "schedule/schedule.hpp"
 
 namespace reasched {
+
+/// Result of serving a request batch (IReallocScheduler::apply).
+///
+/// Requests are served in order. Under the default (sequential)
+/// implementation `stats[i]` is exactly what serving request i individually
+/// would have returned; overrides guarantee the same for batches in which
+/// no request is rejected, and document their own rejection-path guarantees
+/// (see ShardedScheduler). A request is *rejected* — listed in `rejected`,
+/// with zeroed stats — when it is an insert the scheduler cannot
+/// accommodate (the per-request InfeasibleError, reported instead of thrown
+/// so one infeasible job does not abort the batch), or a delete of a job
+/// whose insert was rejected earlier in the same batch. A delete of a job
+/// the scheduler has never been asked to insert is a precondition violation
+/// and throws, exactly like erase().
+struct BatchResult {
+  std::vector<RequestStats> stats;      ///< per request, batch order
+  std::vector<std::uint32_t> rejected;  ///< indices of rejected requests, ascending
+  RequestStats total;                   ///< sum over served requests
+
+  [[nodiscard]] bool all_served() const noexcept { return rejected.empty(); }
+};
 
 class IReallocScheduler {
  public:
@@ -23,6 +45,13 @@ class IReallocScheduler {
 
   /// Serves ⟨DELETEJOB, id⟩. `id` must be active.
   virtual RequestStats erase(JobId id) = 0;
+
+  /// Serves a batch of requests, in order. The default implementation is a
+  /// sequential per-request loop (insert/erase) that downgrades per-request
+  /// InfeasibleError to a `rejected` entry; overrides may amortize
+  /// per-request fixed costs or fan the batch out across shards, but must
+  /// preserve the sequential semantics documented on BatchResult.
+  virtual BatchResult apply(std::span<const Request> batch);
 
   /// Materializes the current feasible assignment (paper §2: the scheduler
   /// must be able to output its schedule at any point).

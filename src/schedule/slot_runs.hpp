@@ -11,6 +11,14 @@
 // provided — without paying a red-black-tree rebalance on every single
 // occupy/release.
 //
+// A second-level *summary* bitmap (one bit per page, 64 pages per summary
+// word) tracks which pages hold any occupant, so the occupied-slot scans
+// (next_occupied, for_each_occupied) probe only populated pages: a sparse
+// scan over a wide range costs one hash probe per 4096-slot summary word
+// plus one per *populated* page, instead of one per page in the range.
+// scan_page_probes() exposes the page-probe count for the test suite's
+// micro-asserts.
+//
 // First-fit schedulers use next_free/prev_free to jump over packed
 // prefixes; the reservation scheduler's OccupancyIndex layers job identity
 // on top and uses for_each_occupied for gap-skipping range scans.
@@ -37,6 +45,7 @@ class SlotRuns {
     u64& bits = pages_[page_of(t)];
     const u64 bit = bit_of(t);
     RS_CHECK(!(bits & bit), "SlotRuns::occupy: slot already occupied");
+    if (bits == 0) summary_[super_of(page_of(t))] |= page_bit(page_of(t));
     bits |= bit;
     if (bits == kFull) full_page_occupy(page_of(t));
     if (!any_ || page_of(t) > max_page_) max_page_ = page_of(t);
@@ -50,6 +59,11 @@ class SlotRuns {
     RS_CHECK(bits != nullptr && (*bits & bit), "SlotRuns::release: slot not occupied");
     if (*bits == kFull) full_page_release(page_of(t));
     *bits &= ~bit;
+    if (*bits == 0) {
+      u64& word = summary_.at(super_of(page_of(t)));
+      word &= ~page_bit(page_of(t));
+      if (word == 0) summary_.erase(super_of(page_of(t)));
+    }
   }
 
   [[nodiscard]] bool occupied(Time t) const {
@@ -104,38 +118,71 @@ class SlotRuns {
   /// True iff every slot of [a, b) is occupied.
   [[nodiscard]] bool covered(Time a, Time b) const { return next_free(a) >= b; }
 
-  /// Smallest occupied slot >= t, or kNone. O(pages scanned).
+  /// Smallest occupied slot >= t, or kNone. Cost: one summary probe per
+  /// 4096-slot span crossed plus one page probe per populated page visited.
   [[nodiscard]] Time next_occupied(Time t) const {
     if (!any_) return kNone;
-    Time page = page_of(t);
-    unsigned off = offset_of(t);
-    for (; page <= max_page_; ++page, off = 0) {
-      const u64* bits = pages_.find(page);
-      const u64 hits = (bits ? *bits : 0) & mask_ge(off);
-      if (hits != 0) return page * kPageSize + static_cast<Time>(std::countr_zero(hits));
+    const Time first_page = page_of(t);
+    const unsigned off = offset_of(t);
+    const Time last_super = super_of(max_page_);
+    for (Time super = super_of(first_page); super <= last_super; ++super) {
+      const u64* word = summary_.find(super);
+      u64 populated = word ? *word : 0;
+      if (super == super_of(first_page)) populated &= mask_ge(page_offset(first_page));
+      while (populated != 0) {
+        const Time page =
+            super * kPageSize + static_cast<Time>(std::countr_zero(populated));
+        populated &= populated - 1;
+        const u64* bits = pages_.find(page);
+        ++scan_page_probes_;
+        const u64 hits = (bits ? *bits : 0) & (page == first_page ? mask_ge(off) : kFull);
+        if (hits != 0) {
+          return page * kPageSize + static_cast<Time>(std::countr_zero(hits));
+        }
+      }
     }
     return kNone;
   }
 
   /// Calls f(t) for every occupied slot t in [a, b), in increasing order.
-  /// Cost: one hash probe per 64-slot page in the range plus one bit scan
-  /// per occupant.
+  /// Cost: one summary probe per 4096-slot span of the range plus one page
+  /// probe per *populated* page plus one bit scan per occupant.
   template <class F>
   void for_each_occupied(Time a, Time b, F&& f) const {
     if (a >= b) return;
-    for (Time page = page_of(a); page <= page_of(b - 1); ++page) {
-      const u64* bits = pages_.find(page);
-      if (bits == nullptr) continue;
-      u64 hits = *bits;
-      if (page == page_of(a)) hits &= mask_ge(offset_of(a));
-      if (page == page_of(b - 1)) hits &= mask_le(offset_of(b - 1));
-      while (hits != 0) {
-        const unsigned off = static_cast<unsigned>(std::countr_zero(hits));
-        f(page * kPageSize + static_cast<Time>(off));
-        hits &= hits - 1;
+    const Time first_page = page_of(a);
+    const Time last_page = page_of(b - 1);
+    for (Time super = super_of(first_page); super <= super_of(last_page); ++super) {
+      const u64* word = summary_.find(super);
+      if (word == nullptr) continue;
+      u64 populated = *word;
+      if (super == super_of(first_page)) populated &= mask_ge(page_offset(first_page));
+      if (super == super_of(last_page)) populated &= mask_le(page_offset(last_page));
+      while (populated != 0) {
+        const Time page =
+            super * kPageSize + static_cast<Time>(std::countr_zero(populated));
+        populated &= populated - 1;
+        const u64* bits = pages_.find(page);
+        ++scan_page_probes_;
+        u64 hits = bits ? *bits : 0;
+        if (page == first_page) hits &= mask_ge(offset_of(a));
+        if (page == last_page) hits &= mask_le(offset_of(b - 1));
+        while (hits != 0) {
+          const unsigned off = static_cast<unsigned>(std::countr_zero(hits));
+          f(page * kPageSize + static_cast<Time>(off));
+          hits &= hits - 1;
+        }
       }
     }
   }
+
+  /// Page-level hash probes performed by next_occupied/for_each_occupied
+  /// since the last reset — the quantity the summary bitmap bounds by the
+  /// number of *populated* pages (diagnostics/tests).
+  [[nodiscard]] std::size_t scan_page_probes() const noexcept {
+    return scan_page_probes_;
+  }
+  void reset_scan_page_probes() noexcept { scan_page_probes_ = 0; }
 
   /// Number of maximal occupied runs (diagnostics/tests; O(pages)).
   [[nodiscard]] std::size_t run_count() const {
@@ -159,8 +206,16 @@ class SlotRuns {
   static constexpr u64 kFull = ~u64{0};
 
   [[nodiscard]] static Time page_of(Time t) noexcept { return t >> 6; }
+  [[nodiscard]] static Time super_of(Time page) noexcept { return page >> 6; }
   [[nodiscard]] static unsigned offset_of(Time t) noexcept {
     return static_cast<unsigned>(t & 63);
+  }
+  /// Position of `page` inside its summary word.
+  [[nodiscard]] static unsigned page_offset(Time page) noexcept {
+    return static_cast<unsigned>(page & 63);
+  }
+  [[nodiscard]] static u64 page_bit(Time page) noexcept {
+    return u64{1} << page_offset(page);
   }
   [[nodiscard]] static u64 bit_of(Time t) noexcept { return u64{1} << offset_of(t); }
   [[nodiscard]] static u64 mask_ge(unsigned off) noexcept {
@@ -225,9 +280,11 @@ class SlotRuns {
   }
 
   FlatHashMap<Time, u64> pages_;    // page index -> occupancy bits
+  FlatHashMap<Time, u64> summary_;  // summary index -> populated-page bits
   std::map<Time, Time> full_runs_;  // maximal runs of completely full pages
   Time max_page_ = 0;               // valid iff any_; grows monotonically
   bool any_ = false;
+  mutable std::size_t scan_page_probes_ = 0;  // diagnostics (see accessor)
 };
 
 }  // namespace reasched

@@ -1,0 +1,444 @@
+#include "service/sharded_scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace reasched {
+
+namespace {
+
+constexpr std::size_t kAutoStripeFloor = 16;
+
+std::size_t auto_stripes(const ShardedScheduler::Options& options) {
+  if (options.stripes != 0) return options.stripes;
+  return std::max<std::size_t>(kAutoStripeFloor,
+                               std::size_t{4} * std::max(options.shards, 1u));
+}
+
+unsigned clamp_shards(unsigned shards, unsigned machines) {
+  return std::min(std::max(shards, 1u), std::max(machines, 1u));
+}
+
+}  // namespace
+
+ShardedScheduler::ShardedScheduler(unsigned machines, const Factory& factory,
+                                   Options options)
+    : shards_(clamp_shards(options.shards, machines)),
+      ledger_(machines, auto_stripes(options)),
+      pool_(shards_ - 1) {
+  RS_REQUIRE(machines >= 1, "ShardedScheduler: need at least one machine");
+  machines_.reserve(machines);
+  for (unsigned i = 0; i < machines; ++i) {
+    auto scheduler = factory();
+    RS_REQUIRE(scheduler != nullptr, "ShardedScheduler: factory returned null");
+    RS_REQUIRE(scheduler->machines() == 1,
+               "ShardedScheduler: inner schedulers must be single-machine");
+    machines_.push_back(std::move(scheduler));
+  }
+  shard_begin_.resize(shards_ + 1);
+  for (unsigned k = 0; k <= shards_; ++k) {
+    shard_begin_[k] = static_cast<unsigned>(
+        static_cast<std::uint64_t>(k) * machines / shards_);
+  }
+  label_ = "sharded[s=" + std::to_string(shards_) + "," + std::to_string(machines) +
+           "x " + machines_.front()->name() + "]";
+}
+
+std::string ShardedScheduler::name() const { return label_; }
+
+// ---------------------------------------------------------- sequential path
+
+RequestStats ShardedScheduler::insert(JobId id, Window window) {
+  RS_REQUIRE(window.valid(), "ShardedScheduler::insert: empty window");
+  RS_REQUIRE(!ledger_.find_job(id), "ShardedScheduler::insert: id already active");
+
+  StripedLedger::WindowStripe& stripe = ledger_.window_stripe_for(window);
+  MachineId machine;
+  {
+    std::lock_guard lock(stripe.mutex);
+    machine = stripe.ledger.plan_insert(window);
+  }
+  // Ledger commits only after the machine accepted (MultiMachineScheduler
+  // semantics: a rejected insert leaves no trace).
+  const RequestStats stats = machines_[machine]->insert(id, window);
+  {
+    std::lock_guard lock(stripe.mutex);
+    stripe.ledger.commit_insert(id, window, machine);
+  }
+  ledger_.insert_job(id, JobInfo{window, machine});
+  return stats;
+}
+
+RequestStats ShardedScheduler::erase(JobId id) {
+  const auto info = ledger_.find_job(id);
+  RS_REQUIRE(info.has_value(), "ShardedScheduler::erase: id not active");
+  const Window window = info->window;
+  const MachineId machine = info->machine;
+
+  StripedLedger::WindowStripe& stripe = ledger_.window_stripe_for(window);
+  BalanceLedger::Migration migration;
+  {
+    std::lock_guard lock(stripe.mutex);
+    migration = stripe.ledger.plan_erase(window, machine);
+  }
+  RequestStats stats = machines_[machine]->erase(id);
+  {
+    std::lock_guard lock(stripe.mutex);
+    stripe.ledger.commit_erase(id, window, machine);
+  }
+  ledger_.erase_job(id);
+
+  if (migration.needed) {
+    stats += machines_[migration.donor]->erase(migration.moved);
+    try {
+      stats += machines_[machine]->insert(migration.moved, window);
+    } catch (...) {
+      machines_[migration.donor]->insert(migration.moved, window);
+      throw;
+    }
+    {
+      std::lock_guard lock(stripe.mutex);
+      stripe.ledger.commit_migration(window, migration, machine);
+    }
+    ledger_.set_job_machine(migration.moved, machine);
+    ++stats.reallocations;
+    ++stats.migrations;
+  }
+  return stats;
+}
+
+Schedule ShardedScheduler::snapshot() const {
+  Schedule out(machines());
+  for (unsigned machine = 0; machine < machines_.size(); ++machine) {
+    const Schedule inner = machines_[machine]->snapshot();
+    for (const auto& [job, placement] : inner.assignments()) {
+      out.assign(job, Placement{static_cast<MachineId>(machine), placement.slot});
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- batch path
+
+void ShardedScheduler::run_sharded(const std::function<void(unsigned)>& task) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards_ - 1);
+  for (unsigned k = 1; k < shards_; ++k) {
+    futures.push_back(pool_.submit_to(k - 1, [&task, k] { task(k); }));
+  }
+  std::exception_ptr first;
+  try {
+    task(0);
+  } catch (...) {
+    first = std::current_exception();
+  }
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+BatchResult ShardedScheduler::apply(std::span<const Request> batch) {
+  BatchResult result;
+  result.stats.resize(batch.size());
+  if (batch.empty()) return result;
+
+  std::vector<Resolved> resolved(batch.size());
+  std::vector<std::uint8_t> status(batch.size(), kServed);
+  FlatHashSet<JobId> rejected_ids;
+
+  std::size_t first = 0;
+  while (first < batch.size()) {
+    const std::size_t end = scan_subbatch(batch, first, resolved, status, rejected_ids);
+    apply_subbatch(batch, first, end, resolved, status, result.stats, rejected_ids);
+    first = end;
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (status[i] == kRejected) {
+      result.rejected.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      result.total += result.stats[i];
+    }
+  }
+  return result;
+}
+
+std::size_t ShardedScheduler::scan_subbatch(std::span<const Request> batch,
+                                            std::size_t first,
+                                            std::vector<Resolved>& resolved,
+                                            std::vector<std::uint8_t>& status,
+                                            FlatHashSet<JobId>& rejected_ids) {
+  // Batch-local view of every id touched since `first`: the window it is
+  // currently associated with and whether it is (optimistically) active.
+  struct IdView {
+    Window window;
+    bool active = false;
+  };
+  FlatHashMap<JobId, IdView> view;
+
+  std::size_t i = first;
+  for (; i < batch.size(); ++i) {
+    const Request& request = batch[i];
+    if (request.kind == RequestKind::kInsert) {
+      RS_REQUIRE(request.window.valid(), "ShardedScheduler::apply: empty window");
+      const IdView* entry = view.find(request.job);
+      if (entry != nullptr) {
+        // Id already touched in this sub-batch. If it still looks active,
+        // this insert is either a genuine double insert or a legal retry
+        // after an insert that the apply phase will reject — only applying
+        // the sub-batch can tell, so cut here and let the next scan judge
+        // against the real directory. A window change likewise cuts (the
+        // id's requests must stay inside one stripe).
+        if (entry->active || entry->window != request.window) break;
+      } else {
+        RS_REQUIRE(!ledger_.find_job(request.job),
+                   "ShardedScheduler::apply: insert of an active id");
+      }
+      rejected_ids.erase(request.job);  // id may be reused after a rejection
+      view.insert_or_assign(request.job, IdView{request.window, true});
+      resolved[i] = Resolved{request.window,
+                             static_cast<std::uint32_t>(ledger_.stripe_of(request.window))};
+    } else {
+      const IdView* entry = view.find(request.job);
+      Window window;
+      if (entry != nullptr) {
+        RS_REQUIRE(entry->active, "ShardedScheduler::apply: erase of an inactive id");
+        window = entry->window;
+      } else if (const auto info = ledger_.find_job(request.job)) {
+        window = info->window;
+      } else if (rejected_ids.contains(request.job)) {
+        // The job never entered the scheduler; its delete is moot.
+        rejected_ids.erase(request.job);
+        status[i] = kRejected;
+        resolved[i] = Resolved{};
+        continue;
+      } else {
+        RS_REQUIRE(false, "ShardedScheduler::apply: erase of an unknown id");
+      }
+      view.insert_or_assign(request.job, IdView{window, false});
+      resolved[i] =
+          Resolved{window, static_cast<std::uint32_t>(ledger_.stripe_of(window))};
+    }
+  }
+  RS_CHECK(i > first, "ShardedScheduler::apply: empty sub-batch");
+  return i;
+}
+
+void ShardedScheduler::apply_subbatch(std::span<const Request> batch,
+                                      std::size_t first, std::size_t end,
+                                      const std::vector<Resolved>& resolved,
+                                      std::vector<std::uint8_t>& status,
+                                      std::vector<RequestStats>& stats,
+                                      FlatHashSet<JobId>& rejected_ids) {
+  // Bucket request indices by planning worker (stripe mod shards). Each
+  // bucket preserves batch order, so every window's requests are planned in
+  // order by exactly one worker.
+  std::vector<std::vector<std::uint32_t>> buckets(shards_);
+  for (std::size_t i = first; i < end; ++i) {
+    if (status[i] == kRejected) continue;
+    buckets[resolved[i].stripe % shards_].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // ---- plan: commit delegation decisions, emit machine op lists ----
+  std::vector<PlanOutput> plans(shards_);
+  std::vector<std::uint8_t> migrated(end - first, 0);
+  run_sharded([&](unsigned worker) {
+    PlanOutput& out = plans[worker];
+    for (const std::uint32_t index : buckets[worker]) {
+      const Request& request = batch[index];
+      const Window window = resolved[index].window;
+      StripedLedger::WindowStripe& stripe =
+          ledger_.window_stripe(resolved[index].stripe);
+      if (request.kind == RequestKind::kInsert) {
+        MachineId machine;
+        {
+          std::lock_guard lock(stripe.mutex);
+          machine = stripe.ledger.plan_insert(window);
+          stripe.ledger.commit_insert(request.job, window, machine);
+        }
+        ledger_.insert_job(request.job, JobInfo{window, machine});
+        out.ops.push_back(
+            Op{RequestKind::kInsert, 0, machine, index, request.job, window, {}});
+        out.log.push_back(
+            LedgerRecord{LedgerRecord::kInsert, request.job, window, machine, 0});
+      } else {
+        const auto info = ledger_.find_job(request.job);
+        RS_CHECK(info.has_value(), "ShardedScheduler::apply: planned erase lost its job");
+        const MachineId machine = info->machine;
+        BalanceLedger::Migration migration;
+        {
+          std::lock_guard lock(stripe.mutex);
+          migration = stripe.ledger.plan_erase(window, machine);
+          stripe.ledger.commit_erase(request.job, window, machine);
+          if (migration.needed) stripe.ledger.commit_migration(window, migration, machine);
+        }
+        ledger_.erase_job(request.job);
+        out.ops.push_back(
+            Op{RequestKind::kDelete, 0, machine, index, request.job, window, {}});
+        out.log.push_back(
+            LedgerRecord{LedgerRecord::kErase, request.job, window, machine, 0});
+        if (migration.needed) {
+          ledger_.set_job_machine(migration.moved, machine);
+          out.ops.push_back(Op{RequestKind::kDelete, 1, migration.donor, index,
+                               migration.moved, window, {}});
+          out.ops.push_back(Op{RequestKind::kInsert, 2, machine, index,
+                               migration.moved, window, {}});
+          out.log.push_back(LedgerRecord{LedgerRecord::kMigration, migration.moved,
+                                         window, machine, migration.donor});
+          migrated[index - first] = 1;
+        }
+      }
+    }
+  });
+
+  // ---- distribute: per-machine op lists in sequential request order ----
+  std::vector<std::vector<Op>> machine_ops(machines_.size());
+  for (const PlanOutput& plan : plans) {
+    for (const Op& op : plan.ops) machine_ops[op.machine].push_back(op);
+  }
+  for (auto& ops : machine_ops) {
+    std::sort(ops.begin(), ops.end(), [](const Op& a, const Op& b) {
+      return a.request != b.request ? a.request < b.request : a.role < b.role;
+    });
+  }
+
+  // ---- apply: each shard executes its machines' op lists ----
+  std::vector<std::size_t> applied(machines_.size(), 0);
+  std::atomic<bool> failed{false};
+  run_sharded([&](unsigned shard) {
+    for (unsigned machine = shard_begin_[shard]; machine < shard_begin_[shard + 1];
+         ++machine) {
+      std::vector<Op>& ops = machine_ops[machine];
+      for (std::size_t k = 0; k < ops.size(); ++k) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        Op& op = ops[k];
+        if (op.kind == RequestKind::kInsert) {
+          try {
+            op.stats = machines_[machine]->insert(op.job, op.window);
+          } catch (const InfeasibleError&) {
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+        } else {
+          op.stats = machines_[machine]->erase(op.job);
+        }
+        applied[machine] = k + 1;
+      }
+    }
+  });
+
+  if (failed.load()) {
+    // Rare path: a machine rejected an optimistically planned insert. Undo
+    // the whole sub-batch and replay it through the exact sequential
+    // per-request path, which reproduces sequential rejection semantics.
+    rollback_subbatch(plans, machine_ops, applied);
+    replay_subbatch(batch, first, end, resolved, status, stats, rejected_ids);
+    return;
+  }
+
+  // ---- merge: per-request stats from the per-op stats ----
+  for (const auto& ops : machine_ops) {
+    for (const Op& op : ops) stats[op.request] += op.stats;
+  }
+  for (std::size_t i = first; i < end; ++i) {
+    if (migrated[i - first]) {
+      // The §3 rebalance migration itself, exactly as the sequential
+      // reduction accounts it.
+      ++stats[i].reallocations;
+      ++stats[i].migrations;
+    }
+  }
+}
+
+void ShardedScheduler::rollback_subbatch(
+    const std::vector<PlanOutput>& plans,
+    const std::vector<std::vector<Op>>& machine_ops,
+    const std::vector<std::size_t>& applied) {
+  // Machine state: invert every applied op in reverse per-machine order.
+  // Machines are independent, so per-machine reversal suffices.
+  try {
+    for (std::size_t machine = 0; machine < machine_ops.size(); ++machine) {
+      const std::vector<Op>& ops = machine_ops[machine];
+      for (std::size_t k = applied[machine]; k-- > 0;) {
+        const Op& op = ops[k];
+        if (op.kind == RequestKind::kInsert) {
+          machines_[machine]->erase(op.job);
+        } else {
+          machines_[machine]->insert(op.job, op.window);
+        }
+      }
+    }
+  } catch (...) {
+    RS_CHECK(false, "ShardedScheduler::apply: batch rollback failed");
+  }
+
+  // Ledger state: unwind every commit in reverse per-worker order. Each
+  // window's commits live in exactly one worker's log, so per-worker
+  // reversal unwinds every window's sequence exactly.
+  for (const PlanOutput& plan : plans) {
+    for (std::size_t k = plan.log.size(); k-- > 0;) {
+      const LedgerRecord& record = plan.log[k];
+      StripedLedger::WindowStripe& stripe = ledger_.window_stripe_for(record.window);
+      std::lock_guard lock(stripe.mutex);
+      switch (record.kind) {
+        case LedgerRecord::kInsert:
+          stripe.ledger.rollback_insert(record.job, record.window, record.machine);
+          ledger_.erase_job(record.job);
+          break;
+        case LedgerRecord::kErase:
+          stripe.ledger.rollback_erase(record.job, record.window, record.machine);
+          ledger_.insert_job(record.job, JobInfo{record.window, record.machine});
+          break;
+        case LedgerRecord::kMigration: {
+          BalanceLedger::Migration migration;
+          migration.needed = true;
+          migration.moved = record.job;
+          migration.donor = record.donor;
+          stripe.ledger.rollback_migration(record.window, migration, record.machine);
+          ledger_.set_job_machine(record.job, record.donor);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void ShardedScheduler::replay_subbatch(std::span<const Request> batch,
+                                       std::size_t first, std::size_t end,
+                                       const std::vector<Resolved>& resolved,
+                                       std::vector<std::uint8_t>& status,
+                                       std::vector<RequestStats>& stats,
+                                       FlatHashSet<JobId>& rejected_ids) {
+  for (std::size_t i = first; i < end; ++i) {
+    if (status[i] == kRejected) continue;  // scan-level rejection stands
+    const Request& request = batch[i];
+    stats[i] = RequestStats{};
+    if (request.kind == RequestKind::kInsert) {
+      try {
+        stats[i] = insert(request.job, resolved[i].window);
+      } catch (const InfeasibleError&) {
+        status[i] = kRejected;
+        rejected_ids.insert(request.job);
+      }
+    } else {
+      if (rejected_ids.contains(request.job)) {
+        rejected_ids.erase(request.job);
+        status[i] = kRejected;
+        continue;
+      }
+      stats[i] = erase(request.job);
+    }
+  }
+}
+
+}  // namespace reasched

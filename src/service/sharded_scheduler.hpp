@@ -1,0 +1,162 @@
+// Sharded batch-scheduling service (service layer over the §3 reduction).
+//
+// A ShardedScheduler owns the same per-machine single-machine schedulers as
+// MultiMachineScheduler, partitioned into contiguous *shards* of machines,
+// each pinned to one worker of a ShardedThreadPool (per-shard queues). The
+// balancer ledger is striped (service/striped_ledger.hpp) so delegation
+// decisions for different windows proceed concurrently.
+//
+// apply(batch) serves a whole request batch in three phases:
+//
+//   1. scan (caller thread): resolve every delete to its window via the job
+//      directory, validate preconditions, and cut the batch into maximal
+//      sub-batches within which no job id is reused under a different
+//      window (so each job's requests stay inside one window stripe).
+//   2. plan (parallel over window stripes): commit every delegation
+//      decision — round-robin insert targets, erase rebalance migrations —
+//      to the striped ledger, emitting per-machine operation lists. The
+//      per-machine schedulers are untouched; Lemma 3's independence means
+//      the decisions depend only on the ledger.
+//   3. apply (parallel over shards): each shard executes its machines'
+//      operation lists, sorted into request order. Per-request fixed costs
+//      are amortized: one pool handoff per shard per batch, and audit
+//      cadence becomes per-batch instead of per-request (EXPERIMENTS.md
+//      §E13).
+//
+// Determinism: for a batch in which no insert is rejected, the resulting
+// schedules, per-request stats, and ledger state are identical to feeding
+// the same requests one at a time to MultiMachineScheduler, for ANY shard
+// and stripe count — delegation is fixed by the round-robin rule and every
+// per-machine scheduler sees exactly the sequential order of its own
+// operations (tested in tests/sharded_scheduler_test.cpp).
+//
+// Rejection handling: if a machine rejects an insert mid-batch
+// (InfeasibleError), the optimistically applied sub-batch is rolled back
+// (machine operations inverted in reverse order, ledger commits unwound)
+// and the sub-batch is replayed through the sequential per-request path.
+// The rolled-back machine state is *equivalent* (same job set, feasible,
+// balance invariant intact) but — because per-machine placement is not
+// history independent (see bench_e8) — not necessarily bit-identical to
+// the pre-batch state, so after a batch WITH rejections, placements and
+// stats may differ from a never-batched run in internal detail; rejected
+// requests are reported in BatchResult::rejected, never thrown. Note the
+// default pipeline (ReservationScheduler under OverflowPolicy::kBestEffort)
+// parks instead of rejecting, so this path never fires there.
+//
+// Threading: the public entry points follow the repository-wide
+// single-caller discipline; all parallelism is internal to apply().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "schedule/scheduler_interface.hpp"
+#include "service/striped_ledger.hpp"
+#include "util/flat_hash.hpp"
+#include "util/thread_pool.hpp"
+
+namespace reasched {
+
+class ShardedScheduler final : public IReallocScheduler {
+ public:
+  using Factory = std::function<std::unique_ptr<IReallocScheduler>()>;
+
+  struct Options {
+    /// Worker shards; clamped to [1, machines]. Shard k owns the contiguous
+    /// machine range [k·m/S, (k+1)·m/S).
+    unsigned shards = 1;
+    /// Ledger stripes (rounded up to a power of two). 0 = auto:
+    /// max(16, 4·shards), enough that concurrent planners rarely collide.
+    std::size_t stripes = 0;
+  };
+
+  ShardedScheduler(unsigned machines, const Factory& factory, Options options);
+  ShardedScheduler(unsigned machines, const Factory& factory)
+      : ShardedScheduler(machines, factory, Options{}) {}
+
+  RequestStats insert(JobId id, Window window) override;
+  RequestStats erase(JobId id) override;
+  BatchResult apply(std::span<const Request> batch) override;
+
+  [[nodiscard]] Schedule snapshot() const override;
+  [[nodiscard]] std::size_t active_jobs() const override {
+    return ledger_.active_jobs();
+  }
+  [[nodiscard]] unsigned machines() const override {
+    return static_cast<unsigned>(machines_.size());
+  }
+  [[nodiscard]] unsigned shards() const noexcept { return shards_; }
+  [[nodiscard]] std::string name() const override;
+
+  /// Balancing invariant check (Lemma 3) over every ledger stripe; throws
+  /// InternalError on violation.
+  void audit_balance() const { ledger_.audit(); }
+
+ private:
+  /// One machine-level operation planned for a batch.
+  struct Op {
+    RequestKind kind = RequestKind::kInsert;
+    std::uint8_t role = 0;  // 0 primary, 1 donor-erase, 2 migration-insert
+    MachineId machine = 0;
+    std::uint32_t request = 0;  // batch index
+    JobId job;
+    Window window;
+    RequestStats stats;  // filled during the apply phase
+  };
+
+  /// One committed ledger mutation, recorded for rollback.
+  struct LedgerRecord {
+    enum Kind : std::uint8_t { kInsert, kErase, kMigration } kind = kInsert;
+    JobId job;  // for kMigration: the moved job
+    Window window;
+    MachineId machine = 0;  // insert/erase: delegated machine; migration: dest
+    MachineId donor = 0;    // migration only
+  };
+
+  struct PlanOutput {
+    std::vector<Op> ops;
+    std::vector<LedgerRecord> log;
+  };
+
+  struct Resolved {
+    Window window;
+    std::uint32_t stripe = 0;
+  };
+
+  enum Status : std::uint8_t { kServed = 0, kRejected = 1 };
+
+  /// Runs task(k) for every shard k; shard 0 runs inline on the caller,
+  /// the rest on their pinned pool workers. Joins all before returning.
+  void run_sharded(const std::function<void(unsigned)>& task);
+
+  std::size_t scan_subbatch(std::span<const Request> batch, std::size_t first,
+                            std::vector<Resolved>& resolved,
+                            std::vector<std::uint8_t>& status,
+                            FlatHashSet<JobId>& rejected_ids);
+  void apply_subbatch(std::span<const Request> batch, std::size_t first,
+                      std::size_t end, const std::vector<Resolved>& resolved,
+                      std::vector<std::uint8_t>& status,
+                      std::vector<RequestStats>& stats,
+                      FlatHashSet<JobId>& rejected_ids);
+  void rollback_subbatch(const std::vector<PlanOutput>& plans,
+                         const std::vector<std::vector<Op>>& machine_ops,
+                         const std::vector<std::size_t>& applied);
+  void replay_subbatch(std::span<const Request> batch, std::size_t first,
+                       std::size_t end, const std::vector<Resolved>& resolved,
+                       std::vector<std::uint8_t>& status,
+                       std::vector<RequestStats>& stats,
+                       FlatHashSet<JobId>& rejected_ids);
+
+  std::vector<std::unique_ptr<IReallocScheduler>> machines_;
+  unsigned shards_ = 1;
+  StripedLedger ledger_;
+  std::vector<unsigned> shard_begin_;  // size shards_+1: machine range bounds
+  ShardedThreadPool pool_;
+  std::string label_;
+};
+
+}  // namespace reasched

@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <unordered_map>
+#include <vector>
 
 #include "schedule/validator.hpp"
 #include "util/assert.hpp"
+#include "util/flat_hash.hpp"
 
 namespace reasched {
 
@@ -88,14 +90,105 @@ class Runner {
   std::uint64_t index_ = 0;
 };
 
+/// Batched replay: requests are buffered and served through apply().
+/// Deletes of jobs whose insert was rejected in an earlier batch are
+/// filtered here (the batch API treats an erase of a never-inserted id as a
+/// precondition violation); rejections *within* a batch are reported by
+/// BatchResult and accounted from there.
+SimReport replay_batched(IReallocScheduler& scheduler, std::span<const Request> trace,
+                         const SimOptions& options) {
+  SimReport report;
+  std::unordered_map<JobId, Window> active;
+  std::vector<Request> buffer;
+  std::vector<std::size_t> original;  // trace index of each buffered request
+  // Expected activity of ids touched by buffered-but-unapplied requests, so
+  // the skip filter below sees through the buffer (e.g. a second delete of a
+  // job whose first delete is still buffered must be skipped, exactly as the
+  // per-request Runner would skip it after applying the first).
+  FlatHashMap<JobId, bool> buffered_state;
+  std::uint64_t next_validate = options.validate_every;
+
+  const auto flush = [&](std::size_t processed) {
+    if (!buffer.empty()) {
+      const BatchResult result = scheduler.apply(buffer);
+      std::size_t next_rejected = 0;
+      for (std::size_t k = 0; k < buffer.size(); ++k) {
+        const Request& request = buffer[k];
+        if (next_rejected < result.rejected.size() &&
+            result.rejected[next_rejected] == k) {
+          ++next_rejected;
+          if (request.kind == RequestKind::kInsert) {
+            report.metrics.add_rejected();
+          } else {
+            ++report.skipped_deletes;
+          }
+          continue;
+        }
+        if (request.kind == RequestKind::kInsert) {
+          active.emplace(request.job, request.window);
+        } else {
+          active.erase(request.job);
+        }
+        report.metrics.add(request.kind, result.stats[k]);
+        if (options.on_request) {
+          options.on_request(original[k], request, result.stats[k]);
+        }
+      }
+      buffer.clear();
+      original.clear();
+      buffered_state.clear();
+    }
+    if (options.validate_every != 0 && processed >= next_validate) {
+      const auto validation = validate_schedule(scheduler.snapshot(), active);
+      if (!validation.ok()) {
+        ++report.validation_failures;
+        if (report.first_issue.empty()) {
+          report.first_issue = "validation failed by request " +
+                               std::to_string(processed - 1) + ": " +
+                               validation.to_string();
+        }
+      }
+      next_validate =
+          (processed / options.validate_every + 1) * options.validate_every;
+    }
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Request& request = trace[i];
+    if (request.kind == RequestKind::kDelete) {
+      const bool* buffered = buffered_state.find(request.job);
+      const bool expected_active =
+          buffered != nullptr ? *buffered : active.contains(request.job);
+      if (!expected_active) {
+        // Rejected insert in an earlier batch, or an earlier delete still
+        // sitting in the buffer: nothing to delete.
+        ++report.skipped_deletes;
+        continue;
+      }
+    }
+    buffer.push_back(request);
+    original.push_back(i);
+    buffered_state.insert_or_assign(request.job,
+                                    request.kind == RequestKind::kInsert);
+    if (buffer.size() >= options.batch_size) flush(i + 1);
+  }
+  flush(trace.size());
+  return report;
+}
+
 }  // namespace
 
 SimReport replay_trace(IReallocScheduler& scheduler, std::span<const Request> trace,
                        const SimOptions& options) {
   const auto start = std::chrono::steady_clock::now();
-  Runner runner(scheduler, options);
-  for (const Request& request : trace) runner.serve(request);
-  SimReport report = std::move(runner).finish();
+  SimReport report;
+  if (options.batch_size > 0) {
+    report = replay_batched(scheduler, trace, options);
+  } else {
+    Runner runner(scheduler, options);
+    for (const Request& request : trace) runner.serve(request);
+    report = std::move(runner).finish();
+  }
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return report;

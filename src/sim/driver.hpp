@@ -18,14 +18,22 @@
 namespace reasched {
 
 struct SimOptions {
-  /// Validate the snapshot every k requests (0 = never, 1 = always).
+  /// Validate the snapshot every k requests (0 = never, 1 = always). In
+  /// batched mode (batch_size > 0) validation runs at the first batch
+  /// boundary at or after each due request.
   std::uint64_t validate_every = 0;
   /// Cross-check self-reported costs against snapshot diffs every k requests
-  /// (0 = never). Expensive: two snapshots per checked request.
+  /// (0 = never). Expensive: two snapshots per checked request. Ignored in
+  /// batched mode (a per-batch diff cannot attribute moves to requests).
   std::uint64_t check_costs_every = 0;
   /// Count InfeasibleError on insert as a rejection and continue (true), or
-  /// rethrow (false).
+  /// rethrow (false). Batched mode always tolerates (the batch API reports
+  /// rejections instead of throwing).
   bool tolerate_infeasible = true;
+  /// Serve requests through IReallocScheduler::apply in batches of this
+  /// size (0 = per-request insert/erase). Metrics are identical either way
+  /// for schedulers whose apply matches sequential semantics.
+  std::size_t batch_size = 0;
   /// Per-request hook (request index, request, stats) for series plots.
   std::function<void(std::size_t, const Request&, const RequestStats&)> on_request;
 };

@@ -5,7 +5,6 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
-#include <vector>
 
 #include "util/assert.hpp"
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/assert.hpp"
+
 namespace reasched {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -35,6 +37,58 @@ void ThreadPool::worker_loop() {
       }
       task = std::move(queue_.front());
       queue_.pop();
+    }
+    task();
+  }
+}
+
+ShardedThreadPool::ShardedThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    Worker& worker = *workers_.back();
+    worker.thread = std::thread([this, &worker] { worker_loop(worker); });
+  }
+}
+
+ShardedThreadPool::~ShardedThreadPool() {
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard lock(worker->mutex);
+      worker->stopping = true;
+    }
+    worker->cv.notify_one();
+  }
+  for (auto& worker : workers_) worker->thread.join();
+}
+
+std::future<void> ShardedThreadPool::submit_to(std::size_t worker_index,
+                                               std::function<void()> fn) {
+  RS_REQUIRE(worker_index < workers_.size(),
+             "ShardedThreadPool::submit_to: worker index out of range");
+  Worker& worker = *workers_[worker_index];
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> result = task.get_future();
+  {
+    std::lock_guard lock(worker.mutex);
+    worker.queue.push(std::move(task));
+  }
+  worker.cv.notify_one();
+  return result;
+}
+
+void ShardedThreadPool::worker_loop(Worker& worker) {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(worker.mutex);
+      worker.cv.wait(lock, [&] { return worker.stopping || !worker.queue.empty(); });
+      if (worker.queue.empty()) {
+        if (worker.stopping) return;
+        continue;
+      }
+      task = std::move(worker.queue.front());
+      worker.queue.pop();
     }
     task();
   }

@@ -1,14 +1,20 @@
-// Minimal fixed-size thread pool used to parallelize benchmark sweeps and
-// batch validation. The schedulers themselves are single-threaded state
-// machines (the model is an online sequential request stream); parallelism
-// in this project lives at the harness level, where it is embarrassingly
-// parallel.
+// Minimal fixed-size thread pools.
+//
+// ThreadPool: one shared queue, used to parallelize benchmark sweeps and
+// batch validation — embarrassingly parallel harness work where any worker
+// may take any task.
+//
+// ShardedThreadPool: one queue per worker, used by the sharded scheduling
+// service (src/service/). Shard k's machine state is only ever touched by
+// worker k, so tasks must be *pinned*: per-shard queues give that affinity
+// and avoid the shared-queue lock on the batch hot path.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -52,6 +58,39 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+};
+
+/// Pool with per-worker queues and explicit task placement. `workers` may be
+/// zero (a valid pool that accepts no tasks — the single-shard service runs
+/// everything inline on the caller).
+class ShardedThreadPool {
+ public:
+  explicit ShardedThreadPool(std::size_t workers);
+  ~ShardedThreadPool();
+
+  ShardedThreadPool(const ShardedThreadPool&) = delete;
+  ShardedThreadPool& operator=(const ShardedThreadPool&) = delete;
+
+  /// Enqueues a task on worker `worker`'s own queue; tasks submitted to the
+  /// same worker run sequentially in submission order.
+  std::future<void> submit_to(std::size_t worker, std::function<void()> fn);
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  struct Worker {
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::queue<std::packaged_task<void()>> queue;
+    bool stopping = false;
+  };
+
+  void worker_loop(Worker& worker);
+
+  // unique_ptr: Worker holds a mutex/cv and must not move when the vector
+  // is built.
+  std::vector<std::unique_ptr<Worker>> workers_;
 };
 
 }  // namespace reasched

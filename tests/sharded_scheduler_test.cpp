@@ -1,0 +1,301 @@
+// Service-layer differential tests: the sharded batch scheduler must be
+// indistinguishable from the sequential MultiMachineScheduler — identical
+// snapshots, identical per-request stats, identical ledger invariants — for
+// every shard count, stripe count, and batch size, because delegation is
+// fixed by the §3 round-robin rule. Rejection handling (rollback + exact
+// sequential replay) is exercised separately with deliberately infeasible
+// batches.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/multi_machine.hpp"
+#include "core/naive_scheduler.hpp"
+#include "core/reservation_scheduler.hpp"
+#include "schedule/validator.hpp"
+#include "service/sharded_scheduler.hpp"
+#include "sim/driver.hpp"
+#include "workload/churn.hpp"
+
+namespace reasched {
+namespace {
+
+ShardedScheduler::Factory reservation_factory() {
+  SchedulerOptions options;
+  options.overflow = OverflowPolicy::kBestEffort;
+  return [options] { return std::make_unique<ReservationScheduler>(options); };
+}
+
+ShardedScheduler::Factory naive_factory() {
+  return [] { return std::make_unique<NaiveScheduler>(); };
+}
+
+std::vector<Request> churn_trace(std::uint64_t seed, unsigned machines,
+                                 WindowPlacement placement, std::size_t requests) {
+  ChurnParams params;
+  params.seed = seed;
+  params.target_active = 256;
+  params.requests = requests;
+  params.machines = machines;
+  params.min_span = 64;
+  params.max_span = 2048;
+  params.placement = placement;
+  return make_churn_trace(params);
+}
+
+void expect_same_stats(const RequestStats& a, const RequestStats& b, std::size_t at) {
+  EXPECT_EQ(a.reallocations, b.reallocations) << "request " << at;
+  EXPECT_EQ(a.migrations, b.migrations) << "request " << at;
+  EXPECT_EQ(a.levels_touched, b.levels_touched) << "request " << at;
+  EXPECT_EQ(a.degraded, b.degraded) << "request " << at;
+  EXPECT_EQ(a.rebuilt, b.rebuilt) << "request " << at;
+}
+
+void expect_same_schedule(const Schedule& want, const Schedule& got) {
+  ASSERT_EQ(want.machines(), got.machines());
+  ASSERT_EQ(want.size(), got.size());
+  for (const auto& [job, placement] : want.assignments()) {
+    const auto other = got.find(job);
+    ASSERT_TRUE(other.has_value()) << "job " << job.value << " missing";
+    EXPECT_EQ(other->machine, placement.machine) << "job " << job.value;
+    EXPECT_EQ(other->slot, placement.slot) << "job " << job.value;
+  }
+}
+
+/// Replays `trace` per-request through a sequential MultiMachineScheduler,
+/// returning every request's stats.
+std::vector<RequestStats> sequential_reference(MultiMachineScheduler& scheduler,
+                                               const std::vector<Request>& trace) {
+  std::vector<RequestStats> stats;
+  stats.reserve(trace.size());
+  for (const Request& request : trace) {
+    stats.push_back(request.kind == RequestKind::kInsert
+                        ? scheduler.insert(request.job, request.window)
+                        : scheduler.erase(request.job));
+  }
+  return stats;
+}
+
+/// Replays `trace` through ShardedScheduler::apply in chunks of batch_size,
+/// returning every request's stats. Expects no rejections.
+std::vector<RequestStats> batched_run(ShardedScheduler& scheduler,
+                                      const std::vector<Request>& trace,
+                                      std::size_t batch_size) {
+  std::vector<RequestStats> stats;
+  stats.reserve(trace.size());
+  for (std::size_t first = 0; first < trace.size(); first += batch_size) {
+    const std::size_t count = std::min(batch_size, trace.size() - first);
+    const BatchResult result =
+        scheduler.apply(std::span<const Request>(trace).subspan(first, count));
+    EXPECT_TRUE(result.all_served());
+    stats.insert(stats.end(), result.stats.begin(), result.stats.end());
+  }
+  return stats;
+}
+
+TEST(ShardedScheduler, MatchesSequentialAtEveryShardCount) {
+  for (const WindowPlacement placement :
+       {WindowPlacement::kUniform, WindowPlacement::kNestedHotspots}) {
+    const auto trace = churn_trace(17, 8, placement, 3000);
+    MultiMachineScheduler reference(8, reservation_factory());
+    const auto want = sequential_reference(reference, trace);
+    reference.audit_balance();
+
+    for (const unsigned shards : {1u, 2u, 4u, 8u}) {
+      ShardedScheduler::Options options;
+      options.shards = shards;
+      ShardedScheduler sharded(8, reservation_factory(), options);
+      const auto got = batched_run(sharded, trace, 64);
+
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        expect_same_stats(want[i], got[i], i);
+      }
+      expect_same_schedule(reference.snapshot(), sharded.snapshot());
+      EXPECT_EQ(sharded.active_jobs(), reference.active_jobs());
+      sharded.audit_balance();
+    }
+  }
+}
+
+TEST(ShardedScheduler, BatchSizeAndStripeCountAreInvisible) {
+  const auto trace = churn_trace(23, 8, WindowPlacement::kNestedHotspots, 2000);
+  MultiMachineScheduler reference(8, reservation_factory());
+  const auto want = sequential_reference(reference, trace);
+
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{7}, std::size_t{256}}) {
+    for (const std::size_t stripes : {std::size_t{4}, std::size_t{64}}) {
+      ShardedScheduler::Options options;
+      options.shards = 4;
+      options.stripes = stripes;
+      ShardedScheduler sharded(8, reservation_factory(), options);
+      const auto got = batched_run(sharded, trace, batch);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        expect_same_stats(want[i], got[i], i);
+      }
+      expect_same_schedule(reference.snapshot(), sharded.snapshot());
+      sharded.audit_balance();
+    }
+  }
+}
+
+TEST(ShardedScheduler, SequentialEntryPointsMatchMultiMachine) {
+  const auto trace = churn_trace(5, 3, WindowPlacement::kUniform, 1200);
+  MultiMachineScheduler reference(3, reservation_factory());
+  const auto want = sequential_reference(reference, trace);
+
+  ShardedScheduler::Options options;
+  options.shards = 2;  // uneven machine ranges: {0}, {1, 2}
+  ShardedScheduler sharded(3, reservation_factory(), options);
+  std::vector<RequestStats> got;
+  got.reserve(trace.size());
+  for (const Request& request : trace) {
+    got.push_back(request.kind == RequestKind::kInsert
+                      ? sharded.insert(request.job, request.window)
+                      : sharded.erase(request.job));
+  }
+  for (std::size_t i = 0; i < want.size(); ++i) expect_same_stats(want[i], got[i], i);
+  expect_same_schedule(reference.snapshot(), sharded.snapshot());
+  sharded.audit_balance();
+}
+
+TEST(ShardedScheduler, BatchedReplayThroughDriverStaysClean) {
+  const auto trace = churn_trace(29, 8, WindowPlacement::kNestedHotspots, 2000);
+  ShardedScheduler::Options options;
+  options.shards = 4;
+  ShardedScheduler sharded(8, reservation_factory(), options);
+  SimOptions sim;
+  sim.batch_size = 128;
+  sim.validate_every = 100;
+  const auto report = replay_trace(sharded, trace, sim);
+  EXPECT_TRUE(report.clean()) << report.first_issue;
+  EXPECT_EQ(report.metrics.rejected(), 0u);
+  EXPECT_EQ(report.metrics.max_migrations(), 1u);
+}
+
+TEST(ShardedScheduler, RejectionRollsBackAndReplaysSequentially) {
+  // Window [0,1): one slot per machine, so two jobs fit and the third is
+  // infeasible. The optimistic plan sends jobs 1 and 3 to machine 0 and job
+  // 2 to machine 1; job 3's rejection forces the rollback + sequential
+  // replay path.
+  const std::vector<Request> batch = {
+      Request::insert(JobId{1}, Window{0, 1}),
+      Request::insert(JobId{2}, Window{0, 1}),
+      Request::insert(JobId{3}, Window{0, 1}),
+  };
+  MultiMachineScheduler reference(2, naive_factory());
+  const BatchResult want = reference.apply(batch);
+
+  ShardedScheduler::Options options;
+  options.shards = 2;
+  ShardedScheduler sharded(2, naive_factory(), options);
+  const BatchResult got = sharded.apply(batch);
+
+  EXPECT_EQ(got.rejected, want.rejected);
+  ASSERT_EQ(got.rejected.size(), 1u);
+  EXPECT_EQ(got.rejected[0], 2u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    expect_same_stats(want.stats[i], got.stats[i], i);
+  }
+  EXPECT_EQ(sharded.active_jobs(), 2u);
+  expect_same_schedule(reference.snapshot(), sharded.snapshot());
+  sharded.audit_balance();
+
+  // The schedulers remain fully usable after the rollback.
+  EXPECT_EQ(sharded.erase(JobId{1}).migrations, reference.erase(JobId{1}).migrations);
+  sharded.audit_balance();
+}
+
+TEST(ShardedScheduler, EraseOfBatchRejectedInsertIsMoot) {
+  const std::vector<Request> batch = {
+      Request::insert(JobId{1}, Window{0, 1}),
+      Request::insert(JobId{2}, Window{0, 1}),
+      Request::erase(JobId{2}),
+      Request::erase(JobId{1}),
+  };
+  ShardedScheduler sharded(1, naive_factory(), {});
+  const BatchResult result = sharded.apply(batch);
+  EXPECT_EQ(result.rejected, (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(sharded.active_jobs(), 0u);
+  sharded.audit_balance();
+}
+
+TEST(ShardedScheduler, RejectedIdMayBeRetriedWithinTheBatch) {
+  // Same batch as the default-apply test RejectedIdMayBeReusedWithinTheBatch
+  // (tests/batch_api_test.cpp): the retry insert of id 2 looks like a double
+  // insert to the optimistic scan and must cut a sub-batch, not throw.
+  const std::vector<Request> batch = {
+      Request::insert(JobId{1}, Window{0, 1}),
+      Request::insert(JobId{2}, Window{0, 1}),  // rejected: slot taken
+      Request::erase(JobId{1}),
+      Request::insert(JobId{2}, Window{0, 1}),  // now feasible
+      Request::erase(JobId{2}),
+  };
+  MultiMachineScheduler reference(1, naive_factory());
+  const BatchResult want = reference.apply(batch);
+
+  ShardedScheduler sharded(1, naive_factory(), {});
+  const BatchResult got = sharded.apply(batch);
+  EXPECT_EQ(got.rejected, want.rejected);
+  EXPECT_EQ(got.rejected, (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(sharded.active_jobs(), 0u);
+  sharded.audit_balance();
+
+  // A genuine double insert must still throw, sub-batch cut or not.
+  ShardedScheduler strict(2, naive_factory(), {});
+  EXPECT_THROW(
+      strict.apply(std::vector<Request>{Request::insert(JobId{7}, Window{0, 8}),
+                                        Request::insert(JobId{7}, Window{0, 8})}),
+      ContractViolation);
+  EXPECT_EQ(strict.active_jobs(), 1u);  // the first insert was served
+}
+
+TEST(ShardedScheduler, IdReuseUnderNewWindowSplitsTheBatch) {
+  // Same id erased and re-inserted under a different window within one
+  // batch: the scan must cut a sub-batch boundary so the id's requests
+  // cannot race across stripes.
+  ShardedScheduler::Options options;
+  options.shards = 2;
+  ShardedScheduler sharded(2, reservation_factory(), options);
+  ASSERT_TRUE(sharded.apply(std::vector<Request>{
+                                Request::insert(JobId{1}, Window{0, 64}),
+                                Request::insert(JobId{2}, Window{64, 128}),
+                            })
+                  .all_served());
+
+  const std::vector<Request> batch = {
+      Request::erase(JobId{1}),
+      Request::insert(JobId{1}, Window{64, 128}),
+      Request::erase(JobId{1}),
+      Request::insert(JobId{1}, Window{0, 64}),
+  };
+  const BatchResult result = sharded.apply(batch);
+  EXPECT_TRUE(result.all_served());
+  EXPECT_EQ(sharded.active_jobs(), 2u);
+  const auto placement = sharded.snapshot().find(JobId{1});
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_LT(placement->slot, 64);
+  sharded.audit_balance();
+
+  std::unordered_map<JobId, Window> active = {{JobId{1}, Window{0, 64}},
+                                              {JobId{2}, Window{64, 128}}};
+  EXPECT_TRUE(validate_schedule(sharded.snapshot(), active).ok());
+}
+
+TEST(ShardedScheduler, PreconditionViolationsThrow) {
+  ShardedScheduler sharded(2, naive_factory(), {});
+  ASSERT_TRUE(
+      sharded.apply(std::vector<Request>{Request::insert(JobId{1}, Window{0, 8})})
+          .all_served());
+  EXPECT_THROW(
+      sharded.apply(std::vector<Request>{Request::insert(JobId{1}, Window{0, 8})}),
+      ContractViolation);
+  EXPECT_THROW(sharded.apply(std::vector<Request>{Request::erase(JobId{99})}),
+               ContractViolation);
+  EXPECT_THROW(ShardedScheduler(0, naive_factory(), {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace reasched

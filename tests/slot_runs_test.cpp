@@ -157,6 +157,49 @@ TEST(SlotRuns, FullPageSkipsStayExact) {
   EXPECT_EQ(runs.next_free(0), 4 * 64);
 }
 
+TEST(SlotRuns, SummaryBitmapBoundsScanProbesOnSparseWideRanges) {
+  // Two occupants ~15.6k pages apart: without the second-level summary a
+  // scan probes every page in the range; with it, only the populated ones
+  // (plus the query's own page).
+  SlotRuns runs;
+  runs.occupy(0);
+  runs.occupy(1'000'000);
+
+  runs.reset_scan_page_probes();
+  EXPECT_EQ(runs.next_occupied(1), 1'000'000);
+  EXPECT_LE(runs.scan_page_probes(), 2u);
+
+  runs.reset_scan_page_probes();
+  std::vector<Time> seen;
+  runs.for_each_occupied(0, 1'000'001, [&](Time t) { seen.push_back(t); });
+  EXPECT_EQ(seen, (std::vector<Time>{0, 1'000'000}));
+  EXPECT_LE(runs.scan_page_probes(), 2u);
+
+  // Releasing the far occupant must clear its summary bit: the scan then
+  // terminates without probing any page beyond the first.
+  runs.release(1'000'000);
+  runs.reset_scan_page_probes();
+  EXPECT_EQ(runs.next_occupied(1), SlotRuns::kNone);
+  EXPECT_LE(runs.scan_page_probes(), 1u);
+
+  // Re-occupying a page whose bitmap entry still exists (zeroed) must
+  // re-set the summary bit.
+  runs.occupy(1'000'000);
+  EXPECT_EQ(runs.next_occupied(1), 1'000'000);
+}
+
+TEST(SlotRuns, SummaryTracksNegativePages) {
+  SlotRuns runs;
+  runs.occupy(-100'000);
+  runs.occupy(50'000);
+  std::vector<Time> seen;
+  runs.for_each_occupied(-200'000, 100'000, [&](Time t) { seen.push_back(t); });
+  EXPECT_EQ(seen, (std::vector<Time>{-100'000, 50'000}));
+  EXPECT_EQ(runs.next_occupied(-99'999), 50'000);
+  runs.release(-100'000);
+  EXPECT_EQ(runs.next_occupied(-200'000), 50'000);
+}
+
 TEST(SlotRuns, RandomizedWideKeysAgainstReferenceSet) {
   // Sparse, strided and negative keys spanning many pages.
   SlotRuns runs;

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "util/assert.hpp"
 #include "util/bits.hpp"
@@ -208,6 +210,40 @@ TEST(ThreadPool, SubmitReturnsValue) {
   ThreadPool pool(2);
   auto f = pool.submit([] { return 41 + 1; });
   EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ShardedThreadPool, TasksOnOneWorkerRunInSubmissionOrder) {
+  ShardedThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit_to(1, [&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  // Same worker → same queue → strictly sequential, no synchronization
+  // needed around `order` beyond the futures' completion.
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ShardedThreadPool, WorkersRunIndependently) {
+  ShardedThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (std::size_t w = 0; w < 4; ++w) {
+    for (int i = 0; i < 25; ++i) {
+      futures.push_back(pool.submit_to(w, [&counter] { ++counter; }));
+    }
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ShardedThreadPool, ZeroWorkersIsValid) {
+  ShardedThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_THROW(pool.submit_to(0, [] {}), ContractViolation);
 }
 
 TEST(Contracts, RequireThrowsContractViolation) {
