@@ -1,5 +1,7 @@
 #include "core/incremental_rebuild.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace reasched {
@@ -53,27 +55,60 @@ Time IncrementalRebuildScheduler::to_outer(Time virtual_slot,
 
 void IncrementalRebuildScheduler::begin_migration(std::uint64_t new_n_star,
                                                   RequestStats& stats) {
-  // If a migration is already running, finish it first (a burst; the
-  // doubling/halving thresholds are spaced so this stays amortized O(1)).
-  if (!pending_.empty()) migrate_some(pending_.size(), stats);
+  // A still-running migration at re-trigger time is the degenerate safety
+  // net only: the adaptive pace (migration_pace) drains the backlog before
+  // the thresholds can fire again except at adversarial tiny n*. Finish it
+  // in one burst — bounded by that same tiny size.
+  if (pending_count_ > 0) migrate_some(pending_count_, stats);
   n_star_ = new_n_star;
   current_ = static_cast<std::uint8_t>(1 - current_);
-  for (const auto& [id, info] : jobs_) pending_.insert(id);
+  // Snapshot the work list in one pass; no per-id set bookkeeping. Every
+  // active job is now in the stale generation by definition.
+  work_list_.clear();
+  work_list_.reserve(jobs_.size());
+  for (const auto& [id, info] : jobs_) work_list_.push_back(id);
+  work_cursor_ = 0;
+  pending_count_ = jobs_.size();
   stats.rebuilt = true;
 }
 
 void IncrementalRebuildScheduler::migrate_some(std::size_t count, RequestStats& stats) {
-  while (count-- > 0 && !pending_.empty()) {
-    const JobId id = *pending_.begin();
-    pending_.erase(pending_.begin());
-    JobInfo& info = jobs_.at(id);
-    RS_CHECK(info.generation != current_, "migrate: job already in current generation");
+  while (count > 0 && pending_count_ > 0) {
+    RS_CHECK(work_cursor_ < work_list_.size(),
+             "migrate: pending jobs but the work list is exhausted");
+    const JobId id = work_list_[work_cursor_++];
+    const auto it = jobs_.find(id);
+    // Stale entry: erased since the snapshot, or already migrated (an
+    // erase-then-reinsert of the same id lands in the current generation).
+    if (it == jobs_.end() || it->second.generation == current_) continue;
+    JobInfo& info = it->second;
     stats += generations_[info.generation]->erase(id);
     const Window trimmed = trim(id, info.window);
     stats += generations_[current_]->insert(id, to_virtual(trimmed));
     info.generation = current_;
+    --pending_count_;
     ++stats.reallocations;  // the migrated job itself moved
+    --count;
   }
+}
+
+std::size_t IncrementalRebuildScheduler::migration_pace() const noexcept {
+  if (pending_count_ == 0) return 0;
+  // Requests until the earliest possible next trigger: a doubling needs the
+  // active count to climb above n*, a halving to fall below n*/4 — each
+  // request changes the count by at most one.
+  const std::size_t n = jobs_.size();
+  const std::size_t until_double = n > n_star_ ? 1 : static_cast<std::size_t>(n_star_) - n + 1;
+  std::size_t runway = until_double;
+  if (n_star_ > kMinNStar) {
+    const std::size_t quarter = static_cast<std::size_t>(n_star_ / 4);
+    const std::size_t until_halve = n < quarter ? 1 : n - quarter + 1;
+    runway = std::min(runway, until_halve);
+  }
+  // Drain pending_count_ within `runway` requests; never below the paper's
+  // two-per-request pace.
+  const std::size_t needed = (pending_count_ + runway - 1) / runway;
+  return needed > 2 ? needed : 2;
 }
 
 void IncrementalRebuildScheduler::maybe_trigger(RequestStats& stats) {
@@ -102,7 +137,9 @@ RequestStats IncrementalRebuildScheduler::insert(JobId id, Window window) {
     throw;
   }
   maybe_trigger(stats);
-  migrate_some(2, stats);  // the paper's two-jobs-per-request pace
+  // The paper's two-jobs-per-request pace, raised adaptively when the
+  // backlog would otherwise outlive the runway to the next trigger.
+  migrate_some(migration_pace(), stats);
   if (options_.audit) audit();
   return stats;
 }
@@ -111,10 +148,13 @@ RequestStats IncrementalRebuildScheduler::erase(JobId id) {
   const auto it = jobs_.find(id);
   RS_REQUIRE(it != jobs_.end(), "IncrementalRebuildScheduler::erase: id not active");
   RequestStats stats = generations_[it->second.generation]->erase(id);
-  pending_.erase(id);
+  if (it->second.generation != current_) {
+    RS_CHECK(pending_count_ > 0, "erase: stale-generation job without a backlog");
+    --pending_count_;  // erasing a stale-generation job is migration progress
+  }
   jobs_.erase(it);
   maybe_trigger(stats);
-  migrate_some(2, stats);
+  migrate_some(migration_pace(), stats);
   if (options_.audit) audit();
   return stats;
 }
@@ -134,12 +174,13 @@ void IncrementalRebuildScheduler::audit() const {
   RS_CHECK(generations_[0]->active_jobs() + generations_[1]->active_jobs() ==
                jobs_.size(),
            "incremental audit: job count mismatch");
-  for (const auto& id : pending_) {
-    const auto it = jobs_.find(id);
-    RS_CHECK(it != jobs_.end(), "incremental audit: pending ghost");
-    RS_CHECK(it->second.generation != current_,
-             "incremental audit: pending job already migrated");
+  std::size_t stale = 0;
+  for (const auto& [id, info] : jobs_) {
+    if (info.generation != current_) ++stale;
   }
+  RS_CHECK(stale == pending_count_, "incremental audit: pending count diverged");
+  RS_CHECK(work_cursor_ <= work_list_.size(),
+           "incremental audit: work cursor overran the list");
   const Schedule merged = snapshot();
   RS_CHECK(merged.size() == jobs_.size(), "incremental audit: snapshot size");
   for (const auto& [id, placement] : merged.assignments()) {

@@ -17,12 +17,23 @@
 // The adapter owns the n*/trimming logic; its inner ReservationSchedulers
 // run with trimming disabled and in best-effort overflow mode (a mid-flight
 // migration must not throw).
+//
+// Work-list discipline: a trigger snapshots the active ids into a plain
+// vector (one memcpy-ish pass — no per-id hash-set inserts) and migration
+// walks it with a cursor; `JobInfo::generation` is the source of truth, so
+// stale entries (jobs erased or already migrated) are skipped for free.
+// The per-request pace self-adjusts: nominally the paper's two jobs per
+// request, scaled up just enough that the backlog provably drains before
+// the next doubling/halving trigger can fire — the old "finish the whole
+// pending set in one burst on re-trigger" path is thereby reduced to a
+// truly degenerate safety net (adversarial tiny-n* cases only).
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "core/reservation_scheduler.hpp"
 #include "core/scheduler_options.hpp"
@@ -48,10 +59,10 @@ class IncrementalRebuildScheduler final : public IReallocScheduler {
 
   [[nodiscard]] std::uint64_t n_star() const noexcept { return n_star_; }
   /// True while a generation migration is in flight.
-  [[nodiscard]] bool migrating() const noexcept { return !pending_.empty(); }
+  [[nodiscard]] bool migrating() const noexcept { return pending_count_ > 0; }
   /// Jobs still awaiting migration to the current generation.
   [[nodiscard]] std::size_t pending_migrations() const noexcept {
-    return pending_.size();
+    return pending_count_;
   }
 
   /// Internal consistency audit (tests).
@@ -71,12 +82,20 @@ class IncrementalRebuildScheduler final : public IReallocScheduler {
   /// Moves up to `count` pending jobs into the current generation.
   void migrate_some(std::size_t count, RequestStats& stats);
   void maybe_trigger(RequestStats& stats);
+  /// Paper pace (2/request), scaled up only when the backlog would not
+  /// drain before the earliest possible next trigger.
+  [[nodiscard]] std::size_t migration_pace() const noexcept;
 
   SchedulerOptions options_;
   std::unique_ptr<ReservationScheduler> generations_[2];
   std::uint8_t current_ = 0;  // generation receiving new jobs; parity = current_
   std::unordered_map<JobId, JobInfo> jobs_;
-  std::unordered_set<JobId> pending_;  // jobs still in the old generation
+  /// Migration work list: ids snapshotted at the trigger, walked by cursor.
+  /// Entries may be stale (erased / already current); JobInfo::generation
+  /// decides. pending_count_ tracks the exact number of live stale-gen jobs.
+  std::vector<JobId> work_list_;
+  std::size_t work_cursor_ = 0;
+  std::size_t pending_count_ = 0;
   std::uint64_t n_star_ = 8;
 };
 

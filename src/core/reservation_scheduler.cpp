@@ -1,6 +1,8 @@
 #include "core/reservation_scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <type_traits>
 #include <unordered_map>
 
 #include "util/assert.hpp"
@@ -32,9 +34,22 @@ u64 job_hash(JobId id) noexcept {
 
 ReservationScheduler::ReservationScheduler(SchedulerOptions options)
     : options_(std::move(options)), n_star_(kMinNStar) {
+  static_assert(std::is_trivially_copyable_v<SlotInfo> &&
+                    std::is_trivially_destructible_v<SlotInfo>,
+                "SlotInfo must be an implicit-lifetime type (arena-backed)");
+  static_assert(std::is_trivially_copyable_v<FulRow> &&
+                    std::is_trivially_destructible_v<FulRow>,
+                "FulRow must be an implicit-lifetime type (arena-backed)");
+  static_assert(alignof(SlotInfo) <= BlockArena::kAlign &&
+                    alignof(FulRow) <= BlockArena::kAlign,
+                "arena blocks must satisfy the row alignments");
+  static_assert(sizeof(SlotInfo) % alignof(FulRow) == 0,
+                "fulfillment rows must start aligned inside the block");
   RS_REQUIRE(is_pow2(options_.gamma),
              "SchedulerOptions::gamma must be a power of two (keeps trimmed "
              "windows aligned)");
+  RS_REQUIRE(options_.rebuild_batch > 0,
+             "SchedulerOptions::rebuild_batch must be positive");
   const unsigned count = options_.levels.level_count();
   levels_.resize(count);
   for (unsigned level = 0; level < count; ++level) {
@@ -48,9 +63,17 @@ ReservationScheduler::ReservationScheduler(SchedulerOptions options)
       RS_CHECK(ls.class_count() <= 64,
                "level table has more span classes than the class bitmask holds");
       ls.active_per_class.assign(ls.class_count(), 0);
+      // One block carries all three per-interval arrays (Interval doc
+      // comment); sizeof(FulRow) is a multiple of 4, so the trailing u32
+      // counters are aligned too.
+      ls.arena.configure(ls.interval_size * sizeof(SlotInfo) +
+                         ls.class_count() * sizeof(FulRow) +
+                         ls.class_count() * sizeof(std::uint32_t));
     }
   }
 }
+
+ReservationScheduler::~ReservationScheduler() = default;
 
 // ---------------------------------------------------------------------------
 // Geometry
@@ -84,13 +107,19 @@ ReservationScheduler::Interval& ReservationScheduler::get_or_create_interval(
   const auto [interval, inserted] = ls.intervals.try_emplace(base);
   if (inserted) {
     interval->base = base;
-    interval->slots.assign(ls.interval_size, SlotInfo{});
-    interval->assigned_by_class.assign(ls.class_count(), 0);
+    // One zeroed carve materializes all three per-interval arrays; the
+    // zero state is exactly "no assignments, no lower occupancy, cache
+    // invalid" (ful_state lives in the Interval view itself).
+    std::byte* block = ls.arena.carve();
+    interval->slots = reinterpret_cast<SlotInfo*>(block);
+    interval->ful_cache =
+        reinterpret_cast<FulRow*>(block + ls.interval_size * sizeof(SlotInfo));
+    interval->assigned_by_class = reinterpret_cast<std::uint32_t*>(
+        block + ls.interval_size * sizeof(SlotInfo) +
+        ls.class_count() * sizeof(FulRow));
     // Initialize occupancy flags from the live schedule; the occupancy
-    // bitmap skips free stretches page-at-a-time, so materialization costs
-    // O(interval_size / 64 + occupants). (ROADMAP lists a second-level
-    // summary bitmap to make sparse wide scans proportional to populated
-    // pages only.)
+    // bitmap skips free stretches page-at-a-time and probes only populated
+    // pages, so materialization costs O(populated pages + occupants).
     const Time end = base + static_cast<Time>(ls.interval_size);
     occ_.for_each_in(base, end, [&](Time slot, JobId id) {
       if (block_floor(jobs_.at(id)) <= level) {
@@ -146,7 +175,7 @@ std::vector<ReservationScheduler::FulRow> ReservationScheduler::compute_fulfillm
   return rows;
 }
 
-const std::vector<ReservationScheduler::FulRow>& ReservationScheduler::fulfillment(
+const ReservationScheduler::FulRow* ReservationScheduler::fulfillment(
     unsigned level, const Interval& interval) const {
   const auto& ls = levels_[level];
   if (interval.ful_state == FulState::kValid && interval.ful_bound >= ls.active_bound) {
@@ -154,13 +183,10 @@ const std::vector<ReservationScheduler::FulRow>& ReservationScheduler::fulfillme
   }
 
   if (interval.ful_state == FulState::kInvalid) {
-    // Rebuild the reservation column off the ledgers into the cached
-    // vector, reusing its capacity — and looking a window up only for the
-    // (few) classes that hold any active window at all; every other row is
-    // a virtual baseline of exactly one reservation.
-    auto& rows = interval.ful_cache;
-    rows.clear();
-    rows.reserve(ls.class_count());
+    // Rebuild the reservation column off the ledgers straight into the
+    // arena rows — and look a window up only for the (few) classes that
+    // hold any active window at all; every other row is a virtual baseline
+    // of exactly one reservation.
     for (unsigned cls = 0; cls < ls.class_count(); ++cls) {
       const unsigned span_log = ls.min_span_log + cls;
       WindowKey key;
@@ -176,7 +202,8 @@ const std::vector<ReservationScheduler::FulRow>& ReservationScheduler::fulfillme
       const u64 quotient = (2 * x) >> k_log;
       const u64 remainder = (2 * x) & (num_intervals - 1);
       const u64 reservations = quotient + 1 + (idx < remainder ? 1 : 0);
-      rows.push_back(FulRow{key, static_cast<std::uint32_t>(reservations), 0});
+      interval.ful_cache[cls] =
+          FulRow{key, static_cast<std::uint32_t>(reservations), 0};
     }
   }
 
@@ -265,13 +292,14 @@ void ReservationScheduler::reconcile(unsigned level, Time interval_base,
 
 void ReservationScheduler::reconcile_interval(unsigned level, Interval& interval,
                                               std::vector<JobId>& pending) {
+  const auto& ls = levels_[level];
   std::vector<JobId> to_move;
   if (options_.legacy_fulfillment) {
     // Seed-equivalent path: cold table, then a full per-slot scan to count
     // concrete assignments, then another scan per over-assigned window.
     const auto rows = compute_fulfillment(level, interval);
     std::unordered_map<WindowKey, std::uint32_t> assigned;
-    for (std::size_t off = 0; off < interval.slots.size(); ++off) {
+    for (std::size_t off = 0; off < ls.interval_size; ++off) {
       const SlotInfo& info = interval.slots[off];
       if (info.assigned) ++assigned[info.owner];
     }
@@ -290,7 +318,7 @@ void ReservationScheduler::reconcile_interval(unsigned level, Interval& interval
     // a <= f comparison must run even on a cache hit: acquire_slot may have
     // refreshed the cache after the mutation that scheduled this reconcile,
     // observing (but not releasing) an over-assignment.
-    const auto& rows = fulfillment(level, interval);
+    const FulRow* rows = fulfillment(level, interval);
     for (u64 mask = interval.assigned_class_mask; mask != 0; mask &= mask - 1) {
       const unsigned cls = static_cast<unsigned>(std::countr_zero(mask));
       const std::uint32_t a = interval.assigned_by_class[cls];
@@ -310,7 +338,7 @@ void ReservationScheduler::release_over_assignment(unsigned level, Interval& int
   // move jobs when every over-assigned slot is occupied by one.
   std::vector<Time> silent;
   std::vector<Time> occupied;
-  for (std::size_t off = 0; off < interval.slots.size(); ++off) {
+  for (std::size_t off = 0; off < levels_[level].interval_size; ++off) {
     const SlotInfo& info = interval.slots[off];
     if (!info.assigned || info.owner != w) continue;
     const Time slot = interval.base + static_cast<Time>(off);
@@ -379,7 +407,7 @@ Time ReservationScheduler::acquire_slot(const WindowKey& w, unsigned level, Time
       // assignments and hunts for free slots.
       const auto rows = compute_fulfillment(level, interval);
       fulfilled = rows[cls].fulfilled;
-      for (std::size_t off = 0; off < interval.slots.size(); ++off) {
+      for (std::size_t off = 0; off < ls.interval_size; ++off) {
         const SlotInfo& info = interval.slots[off];
         const Time slot = interval.base + static_cast<Time>(off);
         if (info.assigned && info.owner == w) ++assigned_here;
@@ -391,12 +419,12 @@ Time ReservationScheduler::acquire_slot(const WindowKey& w, unsigned level, Time
     } else {
       // Cached table + incrementally tracked assignment count: the spare
       // check costs O(1); slots are scanned only when a claim will succeed.
-      const auto& rows = fulfillment(level, interval);
+      const FulRow* rows = fulfillment(level, interval);
       RS_ASSERT(rows[cls].key == w, "acquire_slot: class row mismatch");
       fulfilled = rows[cls].fulfilled;
       assigned_here = interval.assigned_by_class[cls];
       if (fulfilled > assigned_here) {
-        for (std::size_t off = 0; off < interval.slots.size(); ++off) {
+        for (std::size_t off = 0; off < ls.interval_size; ++off) {
           const SlotInfo& info = interval.slots[off];
           const Time slot = interval.base + static_cast<Time>(off);
           if (info.assigned || info.lower_occupied || slot == avoid) continue;
@@ -874,6 +902,7 @@ bool ReservationScheduler::emergency_reschedule(const JobId* exclude) {
   parked_count_ = 0;
   for (auto& ls : levels_) {
     ls.intervals.clear();
+    ls.arena.reset();  // O(1); interval blocks are reclaimed wholesale
     ls.windows.for_each([](const WindowKey&, ActiveWindow& window) {
       window.assigned_slots.clear();
       window.free_assigned.clear();
@@ -935,6 +964,10 @@ void ReservationScheduler::recover_or_reject(JobId id, bool reject_outright,
       "infeasible, or reservations exhausted under OverflowPolicy::kThrow)");
 }
 
+// ---------------------------------------------------------------------------
+// n*-rebuilds: stop-the-world (legacy) and partitioned (default)
+// ---------------------------------------------------------------------------
+
 void ReservationScheduler::maybe_rebuild_on_insert() {
   if (!options_.trimming) return;
   if (jobs_.size() + 1 > n_star_) rebuild(n_star_ * 2);
@@ -946,22 +979,45 @@ void ReservationScheduler::maybe_rebuild_on_erase() {
 }
 
 void ReservationScheduler::rebuild(u64 new_n_star) {
+  // A re-trigger while a migration is still in flight is possible only when
+  // the doubling/halving runway is shorter than the migration (tiny active
+  // sets, custom towers): finish the old generation first, synchronously —
+  // the burst is bounded by that same tiny size.
+  if (migration_ != nullptr) flush_migration();
+  if (options_.legacy_rebuild || jobs_.size() <= options_.rebuild_batch) {
+    // Small sets: one request's migration budget covers the whole set, so
+    // the stop-the-world path IS the partitioned path (and keeps the seed's
+    // exact per-request behavior, which the small-n unit tests pin down).
+    rebuild_stop_the_world(new_n_star);
+  } else {
+    begin_partitioned_rebuild(new_n_star);
+  }
+}
+
+std::vector<std::pair<JobId, Window>> ReservationScheduler::sorted_active_set() const {
+  std::vector<std::pair<JobId, Window>> all;
+  all.reserve(jobs_.size());
+  jobs_.for_each([&](const JobId& id, const JobState& job) {
+    all.emplace_back(id, job.original);
+  });
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first.value < b.first.value; });
+  return all;
+}
+
+void ReservationScheduler::rebuild_stop_the_world(u64 new_n_star) {
   n_star_ = new_n_star;
   in_rebuild_ = true;
 
-  std::vector<std::pair<JobId, JobState>> all;
-  all.reserve(jobs_.size());
-  jobs_.for_each(
-      [&](const JobId& jid, const JobState& job) { all.emplace_back(jid, job); });
-  std::sort(all.begin(), all.end(),
-            [](const auto& a, const auto& b) { return a.first.value < b.first.value; });
+  const std::vector<std::pair<JobId, Window>> all = sorted_active_set();
   FlatHashMap<JobId, Time> old_slots;
   old_slots.reserve(all.size());
-  for (const auto& [id, job] : all) old_slots[id] = job.slot;
+  for (const auto& [id, window] : all) old_slots[id] = jobs_.at(id).slot;
 
   occ_.clear();
   for (auto& ls : levels_) {
     ls.intervals.clear();
+    ls.arena.reset();  // reclaim every interval block in O(1), keep chunks
     ls.windows.clear();
     ls.active_per_class.assign(ls.active_per_class.size(), 0);
     ls.active_bound = 0;
@@ -972,7 +1028,7 @@ void ReservationScheduler::rebuild(u64 new_n_star) {
   // Reinsert; intermediate shuffles do not count — the honest reallocation
   // cost of a rebuild is the number of jobs whose placement changed.
   const RequestStats saved = current_;
-  for (const auto& [id, job] : all) insert_impl(id, job.original);
+  for (const auto& [id, window] : all) insert_impl(id, window);
   current_ = saved;
   u64 moved = 0;
   jobs_.for_each([&](const JobId& id, const JobState& job) {
@@ -981,6 +1037,140 @@ void ReservationScheduler::rebuild(u64 new_n_star) {
   current_.reallocations += moved;
   current_.rebuilt = true;
   in_rebuild_ = false;
+}
+
+void ReservationScheduler::begin_partitioned_rebuild(u64 new_n_star) {
+  // The boundary request only snapshots the reinsertion work list (sorted
+  // by JobId — the exact legacy reinsertion order) and flips n*; all actual
+  // reinsertion happens in per-request batches (step_migration). n_star_
+  // becomes the target immediately so trimming of interim inserts and the
+  // next trigger evaluation behave exactly as on the legacy path.
+  n_star_ = new_n_star;
+  auto migration = std::make_unique<Migration>();
+  migration->reinsert = sorted_active_set();
+
+  SchedulerOptions shadow_options = options_;
+  shadow_options.audit = false;      // audited via the parent's audit()
+  shadow_options.legacy_rebuild = true;  // a nested trigger during replay is
+                                         // served synchronously, exactly as
+                                         // the legacy path would at that
+                                         // request
+  // Replay must not throw mid-migration (the original caller is long gone);
+  // best-effort parks instead. Divergence from a kThrow legacy run is only
+  // possible outside the underallocated regime — see DESIGN.md §6.
+  shadow_options.overflow = OverflowPolicy::kBestEffort;
+  migration->shadow = std::make_unique<ReservationScheduler>(std::move(shadow_options));
+  migration->shadow->n_star_ = new_n_star;
+  migration_ = std::move(migration);
+  current_.rebuilt = true;
+}
+
+void ReservationScheduler::step_migration(std::size_t budget) {
+  Migration& m = *migration_;
+  ReservationScheduler& shadow = *m.shadow;
+
+  // Phase 1: reinsert the boundary snapshot in JobId order — the same
+  // insert_impl-with-in_rebuild_ loop the legacy rebuild runs, just sliced.
+  while (budget > 0 && m.reinsert_next < m.reinsert.size()) {
+    const auto& [id, original] = m.reinsert[m.reinsert_next++];
+    shadow.in_rebuild_ = true;
+    shadow.insert_impl(id, original);
+    shadow.in_rebuild_ = false;
+    --budget;
+  }
+
+  // Phase 2: replay the interim requests in arrival order through the
+  // shadow's full request path (trigger checks included), exactly as the
+  // legacy scheduler would have served them post-rebuild.
+  while (budget > 0 && m.replay_next < m.replay.size()) {
+    const QueuedRequest q = m.replay[m.replay_next++];
+    try {
+      if (q.is_insert) {
+        shadow.insert(q.id, q.window);
+      } else {
+        shadow.erase(q.id);
+      }
+    } catch (const InfeasibleError&) {
+      // The live generation accepted this request over the same active set,
+      // so a feasible schedule exists and best-effort recovery (EDF is
+      // complete for unit jobs) cannot fail. Reaching this line means the
+      // generations' job sets would diverge — a bug, not an input property.
+      RS_CHECK(false, "partitioned rebuild: shadow rejected a replayed request "
+                      "the live generation had accepted");
+    }
+    --budget;
+  }
+
+  if (m.reinsert_next == m.reinsert.size() && m.replay_next == m.replay.size()) {
+    complete_migration();
+  }
+}
+
+void ReservationScheduler::complete_migration() {
+  ReservationScheduler& shadow = *migration_->shadow;
+  RS_CHECK(shadow.jobs_.size() == jobs_.size(),
+           "partitioned rebuild: generation job sets diverged");
+  RS_CHECK(shadow.n_star_ == n_star_, "partitioned rebuild: n* diverged");
+
+  // Honest reallocation accounting, same rule as the legacy rebuild: one
+  // reallocation per job whose placement differs across the flip.
+  u64 moved = 0;
+  shadow.jobs_.for_each([&](const JobId& id, const JobState& shadow_job) {
+    const JobState* live_job = jobs_.find(id);
+    RS_CHECK(live_job != nullptr, "partitioned rebuild: job missing from live generation");
+    if (live_job->slot != shadow_job.slot) ++moved;
+  });
+
+  // The O(1) generation flip.
+  std::swap(levels_, shadow.levels_);
+  std::swap(jobs_, shadow.jobs_);
+  std::swap(occ_, shadow.occ_);
+  std::swap(parked_count_, shadow.parked_count_);
+
+  current_.reallocations += moved;
+  current_.rebuilt = true;
+
+  // The shadow object now holds the OLD generation; park it for deferred
+  // trimming (one level per request, trim_retired_step). Append, never
+  // overwrite: an earlier retired generation that has not finished
+  // draining keeps its place in the queue instead of being freed wholesale
+  // inside this request.
+  retiring_.push_back(std::move(migration_->shadow));
+  migration_.reset();
+}
+
+void ReservationScheduler::flush_migration() {
+  while (migration_ != nullptr) {
+    step_migration(std::numeric_limits<std::size_t>::max());
+  }
+}
+
+void ReservationScheduler::trim_retired_step() {
+  if (retiring_.empty()) return;
+  ReservationScheduler& oldest = *retiring_.front();
+  if (!oldest.levels_.empty()) {
+    // Destroying one LevelState frees that level's interval map, window
+    // ledgers and — through BlockArena — every interval block of the old
+    // generation at this level, all without touching the new generation.
+    oldest.levels_.pop_back();
+    return;
+  }
+  // Last step for this generation: the old occupancy index and job table.
+  retiring_.erase(retiring_.begin());
+}
+
+std::size_t ReservationScheduler::rebuild_pending() const noexcept {
+  if (migration_ == nullptr) return 0;
+  return (migration_->reinsert.size() - migration_->reinsert_next) +
+         (migration_->replay.size() - migration_->replay_next);
+}
+
+ReservationScheduler::ArenaStats ReservationScheduler::arena_stats(
+    unsigned level) const {
+  RS_REQUIRE(level >= 1 && level <= top_level(), "arena_stats: level out of range");
+  const BlockArena& arena = levels_[level].arena;
+  return ArenaStats{arena.block_bytes(), arena.blocks_carved(), arena.blocks_reused(),
+                    arena.chunk_count(), arena.bytes_reserved()};
 }
 
 RequestStats ReservationScheduler::insert(JobId id, Window window) {
@@ -994,8 +1184,13 @@ RequestStats ReservationScheduler::insert(JobId id, Window window) {
 
   current_ = RequestStats{};
   touched_levels_mask_ = 0;
+  trim_retired_step();
+  if (migration_ != nullptr) step_migration(options_.rebuild_batch);
   maybe_rebuild_on_insert();
   insert_impl(id, window);
+  if (migration_ != nullptr) {
+    migration_->replay.push_back(QueuedRequest{true, id, window});
+  }
   current_.levels_touched = static_cast<u64>(std::popcount(touched_levels_mask_));
   if (options_.audit) audit();
   return current_;
@@ -1005,7 +1200,12 @@ RequestStats ReservationScheduler::erase(JobId id) {
   RS_REQUIRE(jobs_.contains(id), "ReservationScheduler::erase: id not active");
   current_ = RequestStats{};
   touched_levels_mask_ = 0;
+  trim_retired_step();
+  if (migration_ != nullptr) step_migration(options_.rebuild_batch);
   erase_impl(id);
+  if (migration_ != nullptr) {
+    migration_->replay.push_back(QueuedRequest{false, id, Window{}});
+  }
   maybe_rebuild_on_erase();
   current_.levels_touched = static_cast<u64>(std::popcount(touched_levels_mask_));
   if (options_.audit) audit();
@@ -1033,21 +1233,18 @@ ReservationScheduler::fulfillment_of_interval(unsigned level, Time interval_base
   RS_REQUIRE(align_down(interval_base, ls.interval_size) == interval_base,
              "fulfillment_of_interval: base not interval-aligned");
 
-  // Use the materialized interval if present; otherwise synthesize one from
-  // the live schedule (fulfillment is a pure function of job counts and
-  // lower-level occupancy — Observation 7).
+  // Use the materialized interval if present; otherwise synthesize the two
+  // inputs the cold recomputation needs — base and lower-occupancy count —
+  // from the live schedule (fulfillment is a pure function of job counts
+  // and lower-level occupancy — Observation 7). No arena block is needed:
+  // compute_fulfillment never dereferences the slot table.
   const Interval* interval = ls.intervals.find(interval_base);
   Interval scratch;
   if (interval == nullptr) {
     scratch.base = interval_base;
-    scratch.slots.assign(ls.interval_size, SlotInfo{});
     const Time end = interval_base + static_cast<Time>(ls.interval_size);
-    occ_.for_each_in(interval_base, end, [&](Time slot, JobId id) {
-      if (block_floor(jobs_.at(id)) <= level) {
-        scratch.slots[static_cast<std::size_t>(slot - interval_base)].lower_occupied =
-            true;
-        ++scratch.lower_count;
-      }
+    occ_.for_each_in(interval_base, end, [&](Time, JobId id) {
+      if (block_floor(jobs_.at(id)) <= level) ++scratch.lower_count;
     });
     interval = &scratch;
   }
@@ -1072,7 +1269,7 @@ std::size_t ReservationScheduler::verify_fulfillment_cache() const {
     ls.intervals.for_each([&](Time base, const Interval& interval) {
       if (interval.ful_state == FulState::kInvalid) return;  // recomputed before use
       const std::vector<FulRow> cold = compute_fulfillment(level, interval);
-      RS_CHECK(cold.size() == interval.ful_cache.size(),
+      RS_CHECK(cold.size() == ls.class_count(),
                "fulfillment cache: row count diverged from cold recomputation");
       for (std::size_t i = 0; i < cold.size(); ++i) {
         // The reservation column is promised exact in every non-invalid
@@ -1092,6 +1289,8 @@ std::size_t ReservationScheduler::verify_fulfillment_cache() const {
       ++verified;
     });
   }
+  // The shadow generation's caches obey the same contract mid-migration.
+  if (migration_ != nullptr) verified += migration_->shadow->verify_fulfillment_cache();
   return verified;
 }
 
@@ -1163,12 +1362,13 @@ void ReservationScheduler::audit() const {
     const auto& ls = levels_[level];
     ls.intervals.for_each([&](Time base, const Interval& interval) {
       RS_CHECK(interval.base == base, "audit: interval base mismatch");
-      RS_CHECK(interval.assigned_by_class.size() == ls.class_count(),
-               "audit: per-class assignment table missized");
+      RS_CHECK(interval.slots != nullptr && interval.ful_cache != nullptr &&
+                   interval.assigned_by_class != nullptr,
+               "audit: interval not backed by an arena block");
       std::uint32_t lower = 0;
       std::uint32_t assigned = 0;
       std::vector<std::uint32_t> per_class(ls.class_count(), 0);
-      for (std::size_t off = 0; off < interval.slots.size(); ++off) {
+      for (std::size_t off = 0; off < ls.interval_size; ++off) {
         const SlotInfo& info = interval.slots[off];
         const Time slot = base + static_cast<Time>(off);
         const JobId* occupant = occ_.find(slot);
@@ -1205,8 +1405,21 @@ void ReservationScheduler::audit() const {
     });
   }
 
-  // 4. Every cached fulfillment table still matches a cold recomputation.
+  // 4. Every cached fulfillment table still matches a cold recomputation
+  // (includes the shadow generation's caches when one is in flight).
   verify_fulfillment_cache();
+
+  // 5. Migration bookkeeping: the shadow is a consistent scheduler of the
+  // reinserted prefix plus the replayed prefix, and its audit must pass on
+  // its own terms; the work-list cursors never run past their lists.
+  if (migration_ != nullptr) {
+    const Migration& m = *migration_;
+    RS_CHECK(m.shadow != nullptr, "audit: migration without a shadow generation");
+    RS_CHECK(m.reinsert_next <= m.reinsert.size() && m.replay_next <= m.replay.size(),
+             "audit: migration cursor overran its work list");
+    RS_CHECK(m.shadow->n_star_ == n_star_, "audit: shadow n* diverged");
+    m.shadow->audit();
+  }
 }
 
 }  // namespace reasched

@@ -34,6 +34,14 @@
 //    slot scans on every touch. SchedulerOptions::legacy_fulfillment
 //    preserves the seed path as an in-binary baseline.
 //
+//  * Interval state is arena-backed (DESIGN.md §6). All per-interval arrays
+//    — the slot table, the cached fulfillment rows, the per-class
+//    assignment counters — live in ONE block carved from a per-level
+//    BlockArena (util/arena.hpp), so materializing an interval is a single
+//    O(1) zeroed carve and tearing a level down is O(1) (arena reset or
+//    wholesale release). An Interval itself is a trivially-copyable view:
+//    pointers into its level's arena plus scalar counters.
+//
 //  * Concrete slot assignment is lazy. A window's *assigned* slots (the
 //    slots backing its fulfilled reservations) are materialized on demand,
 //    maintaining a(W,I) <= f(W,I). Claims always succeed under that
@@ -59,8 +67,32 @@
 //
 //  * Trimming (§4 "Trimming Windows to n"): n* doubles/halves with the
 //    active-job count; windows wider than 2γn* are trimmed to an aligned
-//    sub-window of span 2γn*, and the schedule is rebuilt from scratch on
-//    every n* change (amortized O(1) reallocations per request).
+//    sub-window of span 2γn*. On every n* change the schedule is rebuilt —
+//    by default with the *partitioned* rebuild (below), or from scratch on
+//    the rebuild request itself when SchedulerOptions::legacy_rebuild is
+//    set (amortized O(1) reallocations per request either way).
+//
+//  * Partitioned n*-rebuild (DESIGN.md §6). The stop-the-world rebuild
+//    reinserts the whole active set inside one request — a Θ(n) latency
+//    cliff (bench E14). Instead, the boundary request only snapshots the
+//    active set (sorted by JobId, the legacy reinsertion order) and flips
+//    n* ; a *shadow generation* — a second ReservationScheduler — is then
+//    built incrementally, `rebuild_batch` reinsertions per request, while
+//    the old generation keeps serving. Requests arriving mid-migration are
+//    served by the old generation (placements stay valid: trimming only
+//    tightens/loosens within the original window) and queued; once the
+//    snapshot is reinserted the queue is replayed into the shadow in
+//    arrival order. When the shadow has caught up the two generations swap
+//    in O(1) (container swap; the request reports the honest moved-job
+//    count), and the old generation is *retired*: its interval arenas and
+//    ledgers are trimmed one level per subsequent request ("deferred
+//    trimming"), so teardown never lands on one request either. The final
+//    state is byte-identical to the legacy path's — both execute exactly
+//    ⟨reinsert snapshot in JobId order, then replay the interim requests in
+//    arrival order⟩ against fresh state — which the differential suite
+//    asserts (tests/partitioned_rebuild_test.cpp). Rebuilds of at most
+//    rebuild_batch jobs complete synchronously inside the boundary request
+//    (exactly the legacy behavior, spike included — it is O(batch)).
 //
 // Containers: every hot lookup runs on open-addressing flat tables
 // (util/flat_hash.hpp) and slot occupancy lives in an OccupancyIndex
@@ -74,6 +106,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -81,6 +114,7 @@
 #include "core/window_key.hpp"
 #include "schedule/occupancy_index.hpp"
 #include "schedule/scheduler_interface.hpp"
+#include "util/arena.hpp"
 #include "util/flat_hash.hpp"
 
 namespace reasched {
@@ -88,12 +122,28 @@ namespace reasched {
 class ReservationScheduler final : public IReallocScheduler {
  public:
   explicit ReservationScheduler(SchedulerOptions options = {});
+  ~ReservationScheduler() override;
 
-  /// Window must be aligned (§4 operates post-alignment; the multi-machine
-  /// pipeline in ReallocatingScheduler aligns unrestricted windows first).
+  /// Serves ⟨INSERTJOB, id, window⟩ (Figure 1 lines 1–21).
+  ///
+  /// \param id      Fresh job id (inserting an active id throws).
+  /// \param window  Aligned window (power-of-two span, aligned start); §4
+  ///                operates post-alignment — the multi-machine pipeline in
+  ///                ReallocatingScheduler aligns unrestricted windows first.
+  /// \returns Per-request stats: reallocations (physical moves of
+  ///          pre-existing jobs), levels touched, whether an n*-rebuild was
+  ///          started/completed on this request (`rebuilt`), degradations.
+  /// \throws InfeasibleError under OverflowPolicy::kThrow when the request
+  ///         cannot be scheduled; state is rolled back to "request never
+  ///         happened" (minus possible recovery re-placements).
   RequestStats insert(JobId id, Window window) override;
+
+  /// Serves ⟨DELETEJOB, id⟩. `id` must be active.
   RequestStats erase(JobId id) override;
 
+  /// Materializes the current feasible assignment. Always complete and
+  /// collision-free — including mid-migration, when it reflects the (still
+  /// fully valid) old generation.
   [[nodiscard]] Schedule snapshot() const override;
   [[nodiscard]] std::size_t active_jobs() const override { return jobs_.size(); }
   [[nodiscard]] unsigned machines() const override { return 1; }
@@ -113,9 +163,35 @@ class ReservationScheduler final : public IReallocScheduler {
   [[nodiscard]] std::vector<FulfillmentEntry> fulfillment_of_interval(
       unsigned level, Time interval_base) const;
 
+  /// Current n* estimate (§4 "Trimming Windows to n"). During a partitioned
+  /// migration this is already the *target* value the generation flip is
+  /// building toward — trimming of new inserts and the doubling/halving
+  /// triggers both use it, exactly as the legacy path would.
   [[nodiscard]] std::uint64_t n_star() const noexcept { return n_star_; }
+  /// Jobs currently placed outside the reservation system (degraded mode).
   [[nodiscard]] std::uint64_t parked_jobs() const noexcept { return parked_count_; }
   [[nodiscard]] const SchedulerOptions& options() const noexcept { return options_; }
+
+  /// True while a partitioned n*-rebuild migration is in flight (the old
+  /// generation is serving; the shadow is catching up).
+  [[nodiscard]] bool rebuild_in_flight() const noexcept { return migration_ != nullptr; }
+  /// Work left in the in-flight migration: snapshot jobs not yet reinserted
+  /// plus queued interim requests not yet replayed. 0 when none in flight.
+  [[nodiscard]] std::size_t rebuild_pending() const noexcept;
+  /// True while a retired (pre-swap) generation still awaits its deferred
+  /// level-by-level trimming.
+  [[nodiscard]] bool retired_pending() const noexcept { return !retiring_.empty(); }
+
+  /// Per-level interval-arena counters (tests; ARCHITECTURE.md's memory
+  /// layout section quotes these).
+  struct ArenaStats {
+    std::size_t block_bytes = 0;
+    std::size_t blocks_carved = 0;
+    std::size_t blocks_reused = 0;
+    std::size_t chunks = 0;
+    std::size_t bytes_reserved = 0;
+  };
+  [[nodiscard]] ArenaStats arena_stats(unsigned level) const;
 
   /// Toggles the per-request audit at runtime. Benches replay a warmup
   /// prefix audit-free, then audit only the measured segment.
@@ -123,14 +199,16 @@ class ReservationScheduler final : public IReallocScheduler {
 
   /// Full internal-invariant audit; throws InternalError on any violation.
   /// O(total state); runs automatically after each request when
-  /// options.audit is set.
+  /// options.audit is set. Mid-migration it audits both generations plus
+  /// the migration bookkeeping itself.
   void audit() const;
 
   /// Cache-consistency check: recomputes every *currently valid* cached
   /// fulfillment table cold and verifies it matches the cache entry-by-entry
   /// (throws InternalError on any mismatch). Returns the number of cached
-  /// tables verified. Test hook for the stale-cache regression suite; also
-  /// part of audit().
+  /// tables verified, across both generations when a migration is in
+  /// flight. Test hook for the stale-cache regression suite; also part of
+  /// audit().
   std::size_t verify_fulfillment_cache() const;
 
  private:
@@ -164,35 +242,47 @@ class ReservationScheduler final : public IReallocScheduler {
   };
 
   /// Freshness of an interval's cached fulfillment table.
-  ///   kValid          — both reservations and fulfilled columns are exact.
+  ///   kInvalid        — full recomputation off the ledgers required.
   ///   kFulfilledStale — reservations are exact (maintained in place by ±1
   ///                     deltas at the round-robin positions), fulfilled
   ///                     must be re-derived — a pure arithmetic cascade
   ///                     over the cached reservations, no hash lookups.
-  ///   kInvalid        — full recomputation off the ledgers required.
+  ///   kValid          — both reservations and fulfilled columns are exact.
   enum class FulState : std::uint8_t { kInvalid, kFulfilledStale, kValid };
 
+  /// Per-interval state: a trivially-copyable *view* into one arena block
+  /// of the owning level (util/arena.hpp). Layout of the block, in order:
+  ///
+  ///   [ SlotInfo × interval_size | FulRow × class_count | u32 × class_count ]
+  ///     ^slots                     ^ful_cache             ^assigned_by_class
+  ///
+  /// The arrays never move (arena chunks are stable), so Interval values
+  /// may be copied/moved freely by the enclosing flat map; the memory is
+  /// reclaimed only wholesale — arena reset (legacy rebuild, emergency) or
+  /// retire-and-trim (partitioned rebuild).
   struct Interval {
     Time base = 0;
-    std::vector<SlotInfo> slots;
-    std::uint32_t lower_count = 0;
-    std::uint32_t assigned_count = 0;
-    /// Concrete assignments per span class — the a(W,I) side of the lazy
-    /// invariant, maintained incrementally so reconcile needs no slot scan
-    /// to detect over-assignment.
-    std::vector<std::uint32_t> assigned_by_class;
-    /// Bit c set iff assigned_by_class[c] > 0 — lets reconcile visit only
-    /// the classes that can possibly be over-assigned (class_count is
-    /// checked <= 64 at construction).
-    u64 assigned_class_mask = 0;
-    /// Last-computed fulfillment table. Exactness contract: the
+    /// interval_size cells; zeroed at carve.
+    SlotInfo* slots = nullptr;
+    /// class_count rows; the cache proper. Exactness contract: the
     /// reservations column is exact for every row whenever ful_state !=
     /// kInvalid; the fulfilled column is exact only for rows below
     /// ful_bound when ful_state == kValid. Hot-path readers only consult
     /// rows of active/assigned classes, which always lie below the level's
     /// active bound (Observation 7 makes all of it a pure function of the
-    /// tracked inputs).
-    mutable std::vector<FulRow> ful_cache;
+    /// tracked inputs). Written through a const Interval (cache refresh),
+    /// which is well-formed for a pointee.
+    FulRow* ful_cache = nullptr;
+    /// Concrete assignments per span class — the a(W,I) side of the lazy
+    /// invariant, maintained incrementally so reconcile needs no slot scan
+    /// to detect over-assignment. class_count counters.
+    std::uint32_t* assigned_by_class = nullptr;
+    std::uint32_t lower_count = 0;
+    std::uint32_t assigned_count = 0;
+    /// Bit c set iff assigned_by_class[c] > 0 — lets reconcile visit only
+    /// the classes that can possibly be over-assigned (class_count is
+    /// checked <= 64 at construction).
+    u64 assigned_class_mask = 0;
     mutable FulState ful_state = FulState::kInvalid;
     mutable unsigned ful_bound = 0;
   };
@@ -216,6 +306,10 @@ class ReservationScheduler final : public IReallocScheduler {
     unsigned max_span_log = 0;
     FlatHashMap<Time, Interval> intervals;  // key: interval base
     FlatHashMap<WindowKey, ActiveWindow> windows;
+    /// Backing store for every Interval of this level (one block each).
+    /// Owned by this level of this scheduler instance — in the sharded
+    /// service layer that makes arenas shard-local by construction.
+    BlockArena arena;
     /// Active-window count per span class; supports the two hot-path
     /// shortcuts below.
     std::vector<std::uint32_t> active_per_class;
@@ -232,6 +326,23 @@ class ReservationScheduler final : public IReallocScheduler {
     [[nodiscard]] unsigned class_of(const WindowKey& w) const noexcept {
       return w.span_log - min_span_log;
     }
+  };
+
+  /// A request that arrived while a migration was in flight: served by the
+  /// old generation immediately, replayed into the shadow later.
+  struct QueuedRequest {
+    bool is_insert = false;
+    JobId id{};
+    Window window{};  // inserts only
+  };
+
+  /// In-flight partitioned n*-rebuild (DESIGN.md §6).
+  struct Migration {
+    std::vector<std::pair<JobId, Window>> reinsert;  // boundary snapshot, id-ascending
+    std::size_t reinsert_next = 0;
+    std::vector<QueuedRequest> replay;  // arrival order
+    std::size_t replay_next = 0;
+    std::unique_ptr<ReservationScheduler> shadow;  // the new generation
   };
 
   // -- geometry helpers --
@@ -254,9 +365,10 @@ class ReservationScheduler final : public IReallocScheduler {
                                 std::vector<FulRow>& out) const;
   [[nodiscard]] std::vector<FulRow> compute_fulfillment(unsigned level,
                                                         const Interval& interval) const;
-  /// Cache-aware access: returns the interval's cached table, refreshing in
-  /// place (no allocation, and no hash lookups unless kInvalid) when stale.
-  const std::vector<FulRow>& fulfillment(unsigned level, const Interval& interval) const;
+  /// Cache-aware access: returns the interval's cached table (class_count
+  /// rows), refreshing in place (no allocation, and no hash lookups unless
+  /// kInvalid) when stale.
+  const FulRow* fulfillment(unsigned level, const Interval& interval) const;
   /// Lower-occupancy changed: reservations stay exact, fulfilled must be
   /// re-cascaded. Called on every lower-flag flip of the interval.
   static void soften_fulfillment(const Interval& interval) noexcept {
@@ -331,7 +443,28 @@ class ReservationScheduler final : public IReallocScheduler {
   [[nodiscard]] Window trim(JobId id, Window w) const;
   void maybe_rebuild_on_insert();
   void maybe_rebuild_on_erase();
+  /// n* changed: dispatches to the stop-the-world rebuild (legacy_rebuild,
+  /// or small active sets where one request's worth of migration budget
+  /// covers the whole set) or starts a partitioned migration.
   void rebuild(u64 new_n_star);
+  /// The active set as (id, original window), ascending JobId — the
+  /// reinsertion order of BOTH rebuild paths. Byte-identity of the
+  /// partitioned path rests on the two paths sharing this exact order.
+  [[nodiscard]] std::vector<std::pair<JobId, Window>> sorted_active_set() const;
+  void rebuild_stop_the_world(u64 new_n_star);
+  void begin_partitioned_rebuild(u64 new_n_star);
+  /// Advances an in-flight migration by up to `budget` work units (one
+  /// unit = one snapshot reinsertion or one queued-request replay); swaps
+  /// generations when the shadow has fully caught up.
+  void step_migration(std::size_t budget);
+  /// The O(1) generation flip + honest moved-job accounting; retires the
+  /// old generation for deferred trimming.
+  void complete_migration();
+  /// Runs the in-flight migration to completion (small-n re-trigger path).
+  void flush_migration();
+  /// Frees one level of the retired generation (arena chunks + ledgers) —
+  /// the "deferred trimming" step, one level per request.
+  void trim_retired_step();
   /// Re-places displaced jobs until the cascade settles.
   void drain(std::vector<JobId>& pending);
 
@@ -346,6 +479,15 @@ class ReservationScheduler final : public IReallocScheduler {
   bool in_rebuild_ = false;
   RequestStats current_{};
   std::uint32_t touched_levels_mask_ = 0;
+  std::unique_ptr<Migration> migration_;  // in-flight partitioned rebuild
+  /// Old generations after a swap, awaiting deferred level-by-level trim,
+  /// drained FIFO one step per request. A list, not a single slot: when
+  /// migrations complete within a few requests of each other (tiny n*,
+  /// custom towers), the older generation must keep draining rather than
+  /// be freed wholesale inside one request. Length stays O(1): a new entry
+  /// arrives at most once per completed migration, and each migration
+  /// spans at least (active set / rebuild_batch) requests of draining.
+  std::vector<std::unique_ptr<ReservationScheduler>> retiring_;
 };
 
 }  // namespace reasched

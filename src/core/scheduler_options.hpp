@@ -2,6 +2,7 @@
 // the knobs exist for the ablation experiments (bench E11) and for tests.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/levels.hpp"
@@ -61,6 +62,23 @@ struct SchedulerOptions {
   /// ledgers — so this exists purely as the in-binary baseline for the
   /// hot-path benchmarks (EXPERIMENTS.md §E12) and for differential tests.
   bool legacy_fulfillment = false;
+
+  /// Stop-the-world n*-rebuild path: reinsert the whole active set inside
+  /// the rebuild-triggering request (the seed behavior, a Θ(n) latency
+  /// cliff) instead of the partitioned shadow-generation migration. The
+  /// quiescent schedules produced are byte-identical on both paths — the
+  /// migration executes the exact same reinsertion+replay sequence, just
+  /// sliced across requests — so this exists as the in-binary baseline for
+  /// the rebuild-latency benchmark (EXPERIMENTS.md §E14, --legacy-rebuild)
+  /// and for the partitioned-rebuild differential tests.
+  bool legacy_rebuild = false;
+
+  /// Partitioned-rebuild migration pace: work units (snapshot reinsertions
+  /// or queued-request replays) performed per request while a rebuild
+  /// migration is in flight. Also the synchronous-rebuild cutoff — active
+  /// sets no larger than this rebuild stop-the-world inside the boundary
+  /// request, which is exactly one request's worth of migration budget.
+  std::size_t rebuild_batch = 64;
 };
 
 }  // namespace reasched

@@ -45,6 +45,12 @@
 //
 // Threading: the public entry points follow the repository-wide
 // single-caller discipline; all parallelism is internal to apply().
+// Each per-machine scheduler — and therefore each per-level interval
+// arena it owns (util/arena.hpp) and any in-flight partitioned-rebuild
+// generation — is touched only by its owning shard's worker, so that
+// state is shard-local by construction and needs no locking
+// (DESIGN.md §6); only the striped ledger is shared, behind its stripe
+// locks.
 #pragma once
 
 #include <cstdint>
