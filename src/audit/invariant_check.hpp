@@ -1,0 +1,86 @@
+// Named, individually-invokable invariant checks.
+//
+// Every auditable component in the repository registers its checks into an
+// InvariantTable (a `register_invariants` method binding lambdas to the
+// instance), so the whole system's invariants are enumerable from one
+// place and docs/ARCHITECTURE.md's invariant glossary maps 1:1 to code:
+// the glossary cites check names ("rs.I3.interval-assignment-bound"), and
+// `InvariantTable::run("rs.I3....")` executes exactly that check. The
+// component `audit()` entry points are thin wrappers over their registered
+// checks — the table IS the audit, not a parallel copy of it.
+//
+// A check's `run` callback verifies the full component state for that one
+// invariant and throws reasched::InternalError on violation (the same
+// contract the monolithic audits always had). Incremental, dirty-region
+// verification is a separate engine concern (audit_engine.hpp); the table
+// is the *full-sweep* decomposition the engine falls back to and the
+// differential mode compares against.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace reasched::audit {
+
+struct InvariantCheck {
+  /// Stable identifier cited by docs and tests, e.g.
+  /// "rs.I1.jobs-and-occupancy" (component prefix, glossary number, slug).
+  std::string name;
+  /// Owning component, e.g. "ReservationScheduler".
+  std::string component;
+  /// One-line human description of the condition enforced.
+  std::string summary;
+  /// Full-state verification; throws reasched::InternalError on violation.
+  std::function<void()> run;
+};
+
+class InvariantTable {
+ public:
+  void add(InvariantCheck check) {
+    RS_REQUIRE(!check.name.empty() && check.run != nullptr,
+               "InvariantTable::add: check needs a name and a callback");
+    RS_REQUIRE(find(check.name) == nullptr,
+               "InvariantTable::add: duplicate check name");
+    checks_.push_back(std::move(check));
+  }
+
+  void add(std::string name, std::string component, std::string summary,
+           std::function<void()> run) {
+    add(InvariantCheck{std::move(name), std::move(component), std::move(summary),
+                       std::move(run)});
+  }
+
+  [[nodiscard]] const std::vector<InvariantCheck>& checks() const noexcept {
+    return checks_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return checks_.size(); }
+
+  [[nodiscard]] const InvariantCheck* find(std::string_view name) const noexcept {
+    for (const InvariantCheck& check : checks_) {
+      if (check.name == name) return &check;
+    }
+    return nullptr;
+  }
+
+  /// Runs one check by name; unknown names are a caller contract violation.
+  void run(std::string_view name) const {
+    const InvariantCheck* check = find(name);
+    RS_REQUIRE(check != nullptr, "InvariantTable::run: unknown check name");
+    check->run();
+  }
+
+  /// Runs every registered check in registration order; throws on the
+  /// first violation (InternalError, from the failing check itself).
+  void run_all() const {
+    for (const InvariantCheck& check : checks_) check.run();
+  }
+
+ private:
+  std::vector<InvariantCheck> checks_;
+};
+
+}  // namespace reasched::audit

@@ -75,7 +75,7 @@ void RigidBlockSim::erase(JobId id) {
   jobs_.erase(it);
 }
 
-void RigidBlockSim::audit() const {
+std::size_t RigidBlockSim::check_blocks_on_slot_map() const {
   std::size_t covered = 0;
   for (const auto& [id, state] : jobs_) {
     RS_CHECK(state.window.start <= state.start &&
@@ -88,7 +88,23 @@ void RigidBlockSim::audit() const {
       ++covered;
     }
   }
+  return covered;
+}
+
+void RigidBlockSim::audit() const {
+  const std::size_t covered = check_blocks_on_slot_map();
   RS_CHECK(covered == slot_to_job_.size(), "orphan slots in rigid block map");
+}
+
+void RigidBlockSim::register_invariants(audit::InvariantTable& table) const {
+  const std::string component = "RigidBlockSim";
+  table.add("rbs.blocks-on-slot-map", component,
+            "every rigid block inside its window, every covered slot mapped "
+            "back to its owner",
+            [this] { check_blocks_on_slot_map(); });
+  table.add("rbs.no-orphan-slots", component,
+            "the slot map holds exactly the slots the blocks cover",
+            [this] { audit(); });
 }
 
 }  // namespace reasched

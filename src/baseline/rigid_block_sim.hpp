@@ -15,6 +15,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "audit/invariant_check.hpp"
 #include "base/window.hpp"
 
 namespace reasched {
@@ -34,10 +35,18 @@ class RigidBlockSim {
   [[nodiscard]] std::size_t active_jobs() const noexcept { return jobs_.size(); }
   [[nodiscard]] std::string name() const { return "rigid-block-sim"; }
 
-  /// Validates internal consistency (tests).
+  /// Validates internal consistency (tests). Equivalent to running every
+  /// check registered by register_invariants.
   void audit() const;
 
+  /// Registers the named invariant checks ("rbs.blocks-on-slot-map",
+  /// "rbs.no-orphan-slots") bound to this instance.
+  void register_invariants(audit::InvariantTable& table) const;
+
  private:
+  /// Every block inside its window with every covered slot mapped back to
+  /// it; returns the number of covered slots.
+  std::size_t check_blocks_on_slot_map() const;
   struct JobState {
     Time size = 1;
     Window window;

@@ -25,8 +25,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "audit/dirty_set.hpp"
+#include "audit/invariant_check.hpp"
 #include "base/types.hpp"
 #include "base/window.hpp"
 #include "util/flat_hash.hpp"
@@ -62,6 +65,7 @@ class BalanceLedger {
 
   /// Records a delegated insert after the machine accepted it.
   void commit_insert(JobId id, const Window& w, MachineId machine) {
+    mark_dirty(w);
     BalanceState& balance = windows_[w];
     if (balance.per_machine.empty()) balance.per_machine.resize(machines_);
     ++balance.count;
@@ -70,6 +74,7 @@ class BalanceLedger {
 
   /// Unwinds a commit_insert (service-layer batch rollback).
   void rollback_insert(JobId id, const Window& w, MachineId machine) {
+    mark_dirty(w);
     BalanceState& balance = windows_.at(w);
     RS_CHECK(balance.per_machine[machine].erase(id) == 1,
              "BalanceLedger::rollback_insert: job not on recorded machine");
@@ -95,6 +100,7 @@ class BalanceLedger {
 
   /// Records the erase itself (not the migration — see commit_migration).
   void commit_erase(JobId id, const Window& w, MachineId machine) {
+    mark_dirty(w);
     BalanceState& balance = windows_.at(w);
     RS_CHECK(balance.per_machine[machine].erase(id) == 1,
              "BalanceLedger::commit_erase: job not on recorded machine");
@@ -104,6 +110,7 @@ class BalanceLedger {
 
   /// Unwinds a commit_erase (service-layer batch rollback).
   void rollback_erase(JobId id, const Window& w, MachineId machine) {
+    mark_dirty(w);
     BalanceState& balance = windows_[w];
     if (balance.per_machine.empty()) balance.per_machine.resize(machines_);
     ++balance.count;
@@ -113,6 +120,7 @@ class BalanceLedger {
   /// Records a completed rebalance migration: `moved` left the donor for
   /// `dest` (the machine the erased job vacated).
   void commit_migration(const Window& w, const Migration& migration, MachineId dest) {
+    mark_dirty(w);
     BalanceState& balance = windows_.at(w);
     RS_CHECK(balance.per_machine[migration.donor].erase(migration.moved) == 1,
              "BalanceLedger::commit_migration: moved job not on donor");
@@ -121,6 +129,7 @@ class BalanceLedger {
 
   /// Unwinds a commit_migration (service-layer batch rollback).
   void rollback_migration(const Window& w, const Migration& migration, MachineId dest) {
+    mark_dirty(w);
     BalanceState& balance = windows_.at(w);
     RS_CHECK(balance.per_machine[dest].erase(migration.moved) == 1,
              "BalanceLedger::rollback_migration: moved job not on dest");
@@ -132,22 +141,85 @@ class BalanceLedger {
 
   /// Balancing invariant check (Lemma 3): every machine holds between
   /// ⌊n_W/m⌋ and ⌈n_W/m⌉ jobs of each window W, extras on the earliest
-  /// machines. Throws InternalError on violation.
+  /// machines. Throws InternalError on violation. Full sweep over every
+  /// tracked window — this is the "svc.L3.balance-shares" /
+  /// "mm.L3.balance-shares" invariant-check unit.
   void audit() const {
-    windows_.for_each([&](const Window&, const BalanceState& balance) {
-      const std::uint64_t m = machines_;
-      const std::uint64_t floor_share = balance.count / m;
-      const std::uint64_t extras = balance.count % m;
-      std::uint64_t total = 0;
-      for (std::uint64_t i = 0; i < m; ++i) {
-        const std::uint64_t share = balance.per_machine[i].size();
-        const std::uint64_t expected = floor_share + (i < extras ? 1 : 0);
-        RS_CHECK(share == expected,
-                 "audit_balance: machine share deviates from round-robin invariant");
-        total += share;
+    windows_.for_each(
+        [&](const Window& w, const BalanceState&) { audit_window(w); });
+    // The sweep just verified every window, dirty ones included; a
+    // following audit_incremental need not re-verify them.
+    dirty_.clear();
+  }
+
+  /// The per-window body of audit(): checks W's shares only. A window
+  /// absent from the ledger (deactivated since it was marked dirty) is
+  /// vacuously balanced.
+  void audit_window(const Window& w) const {
+    const BalanceState* balance = windows_.find(w);
+    if (balance == nullptr) return;
+    const std::uint64_t m = machines_;
+    const std::uint64_t floor_share = balance->count / m;
+    const std::uint64_t extras = balance->count % m;
+    std::uint64_t total = 0;
+    for (std::uint64_t i = 0; i < m; ++i) {
+      const std::uint64_t share = balance->per_machine[i].size();
+      const std::uint64_t expected = floor_share + (i < extras ? 1 : 0);
+      RS_CHECK(share == expected,
+               "audit_balance: machine share deviates from round-robin invariant");
+      total += share;
+    }
+    RS_CHECK(total == balance->count, "audit_balance: count mismatch");
+  }
+
+  /// Incremental audit: re-verifies only the windows whose balance state
+  /// changed since the last call (commits/rollbacks mark them dirty).
+  /// The first call is a full sweep — dirt accumulated only from then on —
+  /// after which the cost is O(windows touched since last audit). Returns
+  /// the number of windows verified. Caller synchronizes (the striped
+  /// ledger calls this under the stripe lock).
+  std::size_t audit_incremental() {
+    if (!track_dirty_) {
+      track_dirty_ = true;
+      audit();
+      return tracked_windows();
+    }
+    return dirty_.drain(0, [&](const Window& w) { audit_window(w); });
+  }
+
+  [[nodiscard]] bool dirty_tracking() const noexcept { return track_dirty_; }
+  [[nodiscard]] std::size_t dirty_windows() const noexcept { return dirty_.size(); }
+
+  /// Registers the Lemma 3 check under `prefix` (e.g. "mm", "svc.stripe3")
+  /// so every balance ledger in the system is enumerable from one table.
+  void register_invariants(audit::InvariantTable& table, const std::string& prefix,
+                           const std::string& component) const {
+    table.add(prefix + ".L3.balance-shares", component,
+              "every machine holds floor/ceil(n_W/m) jobs of each window, "
+              "extras on the earliest machines (Lemma 3)",
+              [this] { audit(); });
+  }
+
+  /// Deliberate corruption for the differential audit tests: moves one job
+  /// between two machines' share sets without touching the counts (marks
+  /// the window dirty, as the buggy mutation path would have). Returns
+  /// false when no window has a movable job (needs m >= 2 and n_W >= 1).
+  bool corrupt_for_test() {
+    if (machines_ < 2) return false;
+    bool done = false;
+    windows_.for_each([&](const Window& w, BalanceState& balance) {
+      if (done || balance.count == 0) return;
+      for (unsigned from = 0; from < machines_; ++from) {
+        if (balance.per_machine[from].empty()) continue;
+        const JobId moved = balance.per_machine[from].any();
+        balance.per_machine[from].erase(moved);
+        balance.per_machine[(from + 1) % machines_].insert(moved);
+        mark_dirty(w);
+        done = true;
+        return;
       }
-      RS_CHECK(total == balance.count, "audit_balance: count mismatch");
     });
+    return done;
   }
 
  private:
@@ -156,8 +228,17 @@ class BalanceLedger {
     std::vector<FlatHashSet<JobId>> per_machine;  // W-jobs per machine
   };
 
+  void mark_dirty(const Window& w) {
+    if (track_dirty_) dirty_.mark(w);
+  }
+
   unsigned machines_ = 1;
   FlatHashMap<Window, BalanceState> windows_;
+  /// Dirty-window queue for audit_incremental; off until the first
+  /// incremental call so the sequential front end pays nothing by default.
+  /// Mutable: a successful const full sweep discharges the queue.
+  bool track_dirty_ = false;
+  mutable audit::DirtyQueue<Window> dirty_;
 };
 
 }  // namespace reasched

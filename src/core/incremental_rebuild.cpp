@@ -27,6 +27,10 @@ IncrementalRebuildScheduler::IncrementalRebuildScheduler(SchedulerOptions option
   inner.trimming = false;  // the adapter owns n*/trimming
   inner.overflow = OverflowPolicy::kBestEffort;  // migrations must not throw
   inner.audit = false;
+  // The inner generations keep the adapter's engine mode (their mutations
+  // must be tracked) but never audit autonomously — the adapter's audit
+  // drives them at its own cadence.
+  inner.audit_policy.cadence = 0;
   generations_[0] = std::make_unique<ReservationScheduler>(inner);
   generations_[1] = std::make_unique<ReservationScheduler>(inner);
 }
@@ -140,7 +144,7 @@ RequestStats IncrementalRebuildScheduler::insert(JobId id, Window window) {
   // The paper's two-jobs-per-request pace, raised adaptively when the
   // backlog would otherwise outlive the runway to the next trigger.
   migrate_some(migration_pace(), stats);
-  if (options_.audit) audit();
+  maybe_audit();
   return stats;
 }
 
@@ -155,7 +159,7 @@ RequestStats IncrementalRebuildScheduler::erase(JobId id) {
   jobs_.erase(it);
   maybe_trigger(stats);
   migrate_some(migration_pace(), stats);
-  if (options_.audit) audit();
+  maybe_audit();
   return stats;
 }
 
@@ -170,17 +174,23 @@ Schedule IncrementalRebuildScheduler::snapshot() const {
   return out;
 }
 
-void IncrementalRebuildScheduler::audit() const {
+void IncrementalRebuildScheduler::check_adapter_counters() const {
   RS_CHECK(generations_[0]->active_jobs() + generations_[1]->active_jobs() ==
                jobs_.size(),
            "incremental audit: job count mismatch");
+  RS_CHECK(pending_count_ <= jobs_.size(),
+           "incremental audit: pending count exceeds the active set");
+  RS_CHECK(work_cursor_ <= work_list_.size(),
+           "incremental audit: work cursor overran the list");
+}
+
+void IncrementalRebuildScheduler::check_adapter_coherence() const {
+  check_adapter_counters();
   std::size_t stale = 0;
   for (const auto& [id, info] : jobs_) {
     if (info.generation != current_) ++stale;
   }
   RS_CHECK(stale == pending_count_, "incremental audit: pending count diverged");
-  RS_CHECK(work_cursor_ <= work_list_.size(),
-           "incremental audit: work cursor overran the list");
   const Schedule merged = snapshot();
   RS_CHECK(merged.size() == jobs_.size(), "incremental audit: snapshot size");
   for (const auto& [id, placement] : merged.assignments()) {
@@ -191,8 +201,45 @@ void IncrementalRebuildScheduler::audit() const {
     RS_CHECK((placement.slot & 1) == it->second.generation,
              "incremental audit: parity mismatch");
   }
+}
+
+void IncrementalRebuildScheduler::audit() const {
+  check_adapter_coherence();
   generations_[0]->audit();
   generations_[1]->audit();
+}
+
+void IncrementalRebuildScheduler::incremental_audit() {
+  check_adapter_counters();
+  generations_[0]->incremental_audit();
+  generations_[1]->incremental_audit();
+}
+
+void IncrementalRebuildScheduler::register_invariants(
+    audit::InvariantTable& table) const {
+  const std::string component = "IncrementalRebuildScheduler";
+  table.add("irs.adapter-coherence", component,
+            "generation job counts, migration backlog/cursor agreement, "
+            "merged-snapshot parity (even/odd interleaving)",
+            [this] { check_adapter_coherence(); });
+  table.add("irs.generations", component,
+            "both inner generations pass their own full audits",
+            [this] {
+              generations_[0]->audit();
+              generations_[1]->audit();
+            });
+}
+
+void IncrementalRebuildScheduler::maybe_audit() {
+  ++audit_request_index_;
+  if (options_.audit) audit();  // legacy gate: full sweep every request
+  const audit::AuditPolicy& policy = options_.audit_policy;
+  if (!policy.due(audit_request_index_)) return;
+  if (policy.mode == audit::Mode::kFull) {
+    audit();
+    return;
+  }
+  incremental_audit();
 }
 
 }  // namespace reasched

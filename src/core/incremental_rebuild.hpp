@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/invariant_check.hpp"
 #include "core/reservation_scheduler.hpp"
 #include "core/scheduler_options.hpp"
 #include "schedule/scheduler_interface.hpp"
@@ -65,8 +66,20 @@ class IncrementalRebuildScheduler final : public IReallocScheduler {
     return pending_count_;
   }
 
-  /// Internal consistency audit (tests).
+  /// Internal consistency audit (tests): the adapter coherence checks plus
+  /// a full audit of both inner generations. Equivalent to running every
+  /// check registered by register_invariants.
   void audit() const;
+
+  /// Registers the adapter's named invariant checks
+  /// ("irs.adapter-coherence", "irs.generations") bound to this instance.
+  void register_invariants(audit::InvariantTable& table) const;
+
+  /// Incremental audit: the adapter's O(1) counter checks plus the inner
+  /// generations' dirty-region audits (each inner ReservationScheduler
+  /// carries its own engine when SchedulerOptions::audit_policy enables
+  /// one). The O(n) merged-snapshot parity check stays full-sweep-only.
+  void incremental_audit();
 
  private:
   struct JobInfo {
@@ -85,6 +98,13 @@ class IncrementalRebuildScheduler final : public IReallocScheduler {
   /// Paper pace (2/request), scaled up only when the backlog would not
   /// drain before the earliest possible next trigger.
   [[nodiscard]] std::size_t migration_pace() const noexcept;
+  /// Runs whichever audits the runtime gates request after a request.
+  void maybe_audit();
+  /// Adapter-level coherence: generation job counts, pending/backlog
+  /// agreement, work-cursor bounds, merged-snapshot parity (O(n)).
+  void check_adapter_coherence() const;
+  /// Adapter-level O(1) subset of the above (no full recount/merge).
+  void check_adapter_counters() const;
 
   SchedulerOptions options_;
   std::unique_ptr<ReservationScheduler> generations_[2];
@@ -97,6 +117,7 @@ class IncrementalRebuildScheduler final : public IReallocScheduler {
   std::size_t work_cursor_ = 0;
   std::size_t pending_count_ = 0;
   std::uint64_t n_star_ = 8;
+  std::uint64_t audit_request_index_ = 0;  // audit cadence counter
 };
 
 }  // namespace reasched

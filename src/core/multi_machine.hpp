@@ -42,6 +42,15 @@ class MultiMachineScheduler final : public IReallocScheduler {
   /// Balancing invariant check (Lemma 3); throws InternalError on violation.
   void audit_balance() const { ledger_.audit(); }
 
+  /// Incremental balance audit: re-verifies only windows whose delegation
+  /// state changed since the last call (see BalanceLedger::audit_incremental).
+  std::size_t audit_balance_incremental() { return ledger_.audit_incremental(); }
+
+  /// Registers the reduction's Lemma 3 check ("mm.L3.balance-shares").
+  void register_invariants(audit::InvariantTable& table) const {
+    ledger_.register_invariants(table, "mm", "MultiMachineScheduler");
+  }
+
  private:
   std::vector<std::unique_ptr<IReallocScheduler>> machines_;
   BalanceLedger ledger_;

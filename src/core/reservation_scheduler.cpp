@@ -71,6 +71,7 @@ ReservationScheduler::ReservationScheduler(SchedulerOptions options)
                          ls.class_count() * sizeof(std::uint32_t));
     }
   }
+  sync_audit_engine();
 }
 
 ReservationScheduler::~ReservationScheduler() = default;
@@ -107,6 +108,7 @@ ReservationScheduler::Interval& ReservationScheduler::get_or_create_interval(
   const auto [interval, inserted] = ls.intervals.try_emplace(base);
   if (inserted) {
     interval->base = base;
+    mark_interval_dirty(level, base);
     // One zeroed carve materializes all three per-interval arrays; the
     // zero state is exactly "no assignments, no lower occupancy, cache
     // invalid" (ful_state lives in the Interval view itself).
@@ -220,6 +222,11 @@ const ReservationScheduler::FulRow* ReservationScheduler::fulfillment(
   }
   interval.ful_bound = ls.active_bound;
   interval.ful_state = FulState::kValid;
+  // This refresh rewrote cache rows on the read path — a mutation like any
+  // other as far as the audit engine is concerned. Without this event an
+  // interval that is probed (acquire_slot candidates) but never otherwise
+  // mutated would be an I4 blind spot for the incremental auditor.
+  mark_interval_dirty(level, interval.base);
   return interval.ful_cache;
 }
 
@@ -227,6 +234,7 @@ void ReservationScheduler::note_window_activated(unsigned level, unsigned cls) {
   auto& ls = levels_[level];
   ++ls.active_per_class[cls];
   if (cls + 1 > ls.active_bound) ls.active_bound = cls + 1;
+  if (audit_engine_) audit_engine_->on_window_activated(level, cls);
 }
 
 void ReservationScheduler::note_window_deactivated(unsigned level, unsigned cls) {
@@ -236,6 +244,7 @@ void ReservationScheduler::note_window_deactivated(unsigned level, unsigned cls)
   while (ls.active_bound > 0 && ls.active_per_class[ls.active_bound - 1] == 0) {
     --ls.active_bound;
   }
+  if (audit_engine_) audit_engine_->on_window_deactivated(level, cls);
 }
 
 void ReservationScheduler::adjust_cached_reservation(unsigned level, const WindowKey& w,
@@ -255,6 +264,8 @@ void ReservationScheduler::adjust_cached_reservation(unsigned level, const Windo
 
 void ReservationScheduler::assign_slot(unsigned level, Interval& interval, Time slot,
                                        const WindowKey& w) {
+  mark_interval_dirty(level, interval.base);
+  mark_window_dirty(level, w);
   SlotInfo& info = interval.slots[static_cast<std::size_t>(slot - interval.base)];
   RS_CHECK(!info.assigned && !info.lower_occupied, "assign_slot: slot unavailable");
   info.assigned = true;
@@ -273,6 +284,8 @@ void ReservationScheduler::assign_slot(unsigned level, Interval& interval, Time 
 void ReservationScheduler::unassign_slot(unsigned level, Interval& interval, Time slot) {
   SlotInfo& info = interval.slots[static_cast<std::size_t>(slot - interval.base)];
   RS_CHECK(info.assigned, "unassign_slot: slot not assigned");
+  mark_interval_dirty(level, interval.base);
+  mark_window_dirty(level, info.owner);
   auto& window = levels_[level].windows.at(info.owner);
   RS_CHECK(window.assigned_slots.erase(slot) == 1, "unassign_slot: ledger mismatch");
   window.free_assigned.erase(slot);
@@ -478,12 +491,18 @@ void ReservationScheduler::occupy(JobId id, Time slot, bool parked_placement,
     if (victim.parked) {
       victim.parked = false;
       --parked_count_;
+      note_parked_delta(-1);
     }
     victim.slot = kNoSlot;
+    mark_job_dirty(displaced);
   }
 
+  mark_job_dirty(id);
   job.parked = parked_placement;
-  if (parked_placement) ++parked_count_;
+  if (parked_placement) {
+    ++parked_count_;
+    note_parked_delta(+1);
+  }
   if (has_displaced) {
     occ_.displace(slot, id);  // slot stays occupied; run index untouched
   } else {
@@ -494,10 +513,12 @@ void ReservationScheduler::occupy(JobId id, Time slot, bool parked_placement,
   // Own-level ledger: a reserved placement lands on a slot assigned to its
   // own window; that slot stops being "free".
   if (!parked_placement && job.level >= 1) {
-    auto& window = levels_[job.level].windows.at(WindowKey(job.window));
+    const WindowKey w(job.window);
+    auto& window = levels_[job.level].windows.at(w);
     RS_CHECK(window.assigned_slots.contains(slot),
              "occupy: reserved placement on a slot not assigned to the window");
     window.free_assigned.erase(slot);
+    mark_window_dirty(job.level, w);
   }
 
   // The slot becomes blocked ("occupied by a lower-level job") for levels in
@@ -515,6 +536,7 @@ void ReservationScheduler::occupy(JobId id, Time slot, bool parked_placement,
     if (info.assigned) unassign_slot(level, *interval, slot);
     info.lower_occupied = true;
     ++interval->lower_count;
+    mark_interval_dirty(level, interval->base);
     soften_fulfillment(*interval);  // lower occupancy is a fulfillment input
     reconcile_interval(level, *interval, pending);
   }
@@ -529,6 +551,7 @@ void ReservationScheduler::vacate(JobId id) {
   const Time slot = job.slot;
   occ_.remove(slot);
   job.slot = kNoSlot;
+  mark_job_dirty(id);
 
   const unsigned floor = block_floor(job);
   for (unsigned level = std::max(floor, 1u); level <= top_level(); ++level) {
@@ -538,6 +561,7 @@ void ReservationScheduler::vacate(JobId id) {
     RS_CHECK(info.lower_occupied, "vacate: missing lower_occupied flag");
     info.lower_occupied = false;
     --interval->lower_count;
+    mark_interval_dirty(level, interval->base);
     soften_fulfillment(*interval);  // allowance grew; fulfilled re-cascades
     // Waitlisted reservations may be promoted, which needs no job movement
     // and is realized lazily on the next claim.
@@ -546,14 +570,17 @@ void ReservationScheduler::vacate(JobId id) {
   if (job.parked) {
     job.parked = false;
     --parked_count_;
+    note_parked_delta(-1);
   } else if (job.level >= 1) {
     // The slot keeps its reservation; it is once again a free fulfilled
     // slot of the window (if still assigned — a release may have detached
     // it just before a MOVE).
     auto& ls = levels_[job.level];
-    if (ActiveWindow* window = ls.windows.find(WindowKey(job.window)); window != nullptr) {
+    const WindowKey w(job.window);
+    if (ActiveWindow* window = ls.windows.find(w); window != nullptr) {
       if (window->assigned_slots.contains(slot)) {
         window->free_assigned.insert(slot);
+        mark_window_dirty(job.level, w);
       }
     }
   }
@@ -568,6 +595,9 @@ void ReservationScheduler::swap_ancestor_bookkeeping(Time s1, Time s2,
              "swap: slots not in the same ancestor interval");
     SlotInfo& a = interval->slots[static_cast<std::size_t>(s1 - interval->base)];
     SlotInfo& b = interval->slots[static_cast<std::size_t>(s2 - interval->base)];
+    mark_interval_dirty(level, interval->base);
+    if (a.assigned) mark_window_dirty(level, a.owner);
+    if (b.assigned) mark_window_dirty(level, b.owner);
     if (a.assigned && b.assigned && a.owner == b.owner) {
       // Same owner on both slots: set membership is unchanged; only the
       // free/occupied status may differ and follows the physical swap.
@@ -641,15 +671,18 @@ void ReservationScheduler::move_job(JobId id, std::vector<JobId>& pending) {
     occ_.displace(from, higher);
     hjob.slot = from;
     count_move(hjob);
+    mark_job_dirty(higher);
     occ_.displace(to, id);
   } else {
     occ_.remove(from);
     occ_.place(to, id);
   }
+  mark_job_dirty(id);
 
   auto& window = levels_[job.level].windows.at(w);
   RS_CHECK(window.assigned_slots.contains(to), "move_job: target lost its reservation");
   window.free_assigned.erase(to);
+  mark_window_dirty(job.level, w);
   job.slot = to;
   count_move(job);
 }
@@ -786,6 +819,7 @@ void ReservationScheduler::insert_impl(JobId id, Window original) {
       if (activated) note_window_activated(level, ls.class_of(w));
       const u64 x_old = window.jobs;
       window.jobs = x_old + 1;
+      if (audit_engine_) audit_engine_->on_window_jobs(level, w, +1);
 
       // Invariant 5: the two new reservations go to the round-robin
       // positions following the 2x_old + 2^k existing ones — and the
@@ -797,6 +831,8 @@ void ReservationScheduler::insert_impl(JobId id, Window original) {
       const u64 p2 = (2 * x_old + 1) % num_intervals;
       const Time b1 = nth_interval_base(w, level, p1);
       const Time b2 = nth_interval_base(w, level, p2);
+      mark_interval_dirty(level, b1);
+      mark_interval_dirty(level, b2);
       adjust_cached_reservation(level, w, b1, +1);
       adjust_cached_reservation(level, w, b2, +1);
       reconcile(level, b1, pending);
@@ -835,6 +871,7 @@ void ReservationScheduler::erase_body(JobId id) {
 
   if (state.slot != kNoSlot) vacate(id);
   jobs_.erase(id);
+  if (audit_engine_) audit_engine_->on_job_erased(id);
 
   if (state.level >= 1) {
     auto& ls = levels_[state.level];
@@ -844,6 +881,7 @@ void ReservationScheduler::erase_body(JobId id) {
     const u64 x_old = window->jobs;
     RS_CHECK(x_old >= 1, "erase_impl: window job count underflow");
     window->jobs = x_old - 1;
+    if (audit_engine_) audit_engine_->on_window_jobs(state.level, w, -1);
     // The two removed reservations sat at the round-robin positions below;
     // r(W,·) — and therefore fulfillment — changes in exactly those two
     // intervals, in the deactivation case as well (x: 1 -> 0 reduces the
@@ -854,6 +892,8 @@ void ReservationScheduler::erase_body(JobId id) {
     const u64 p2 = (2 * x_old - 2) % num_intervals;
     const Time b1 = nth_interval_base(w, state.level, p1);
     const Time b2 = nth_interval_base(w, state.level, p2);
+    mark_interval_dirty(state.level, b1);
+    mark_interval_dirty(state.level, b2);
     adjust_cached_reservation(state.level, w, b1, -1);
     adjust_cached_reservation(state.level, w, b2, -1);
 
@@ -898,6 +938,9 @@ bool ReservationScheduler::emergency_reschedule(const JobId* exclude) {
   old_slots.reserve(jobs_.size());
   jobs_.for_each([&](const JobId& jid, const JobState& job) { old_slots[jid] = job.slot; });
 
+  // Wholesale reset: dirty tracking cannot survive it — escalate the next
+  // audit to a full sweep (which reseeds the engine's shadows).
+  if (audit_engine_) audit_engine_->mark_all();
   occ_.clear();
   parked_count_ = 0;
   for (auto& ls : levels_) {
@@ -1008,6 +1051,7 @@ std::vector<std::pair<JobId, Window>> ReservationScheduler::sorted_active_set() 
 void ReservationScheduler::rebuild_stop_the_world(u64 new_n_star) {
   n_star_ = new_n_star;
   in_rebuild_ = true;
+  if (audit_engine_) audit_engine_->mark_all();
 
   const std::vector<std::pair<JobId, Window>> all = sorted_active_set();
   FlatHashMap<JobId, Time> old_slots;
@@ -1051,6 +1095,10 @@ void ReservationScheduler::begin_partitioned_rebuild(u64 new_n_star) {
 
   SchedulerOptions shadow_options = options_;
   shadow_options.audit = false;      // audited via the parent's audit()
+  // The shadow keeps the parent's engine mode (its mutations must be
+  // tracked so the dirty sets can follow the data across the swap) but
+  // never audits autonomously — the parent's audit drives it (cadence 0).
+  shadow_options.audit_policy.cadence = 0;
   shadow_options.legacy_rebuild = true;  // a nested trigger during replay is
                                          // served synchronously, exactly as
                                          // the legacy path would at that
@@ -1121,11 +1169,25 @@ void ReservationScheduler::complete_migration() {
     if (live_job->slot != shadow_job.slot) ++moved;
   });
 
-  // The O(1) generation flip.
+  // The O(1) generation flip. The audit engines' tracking state (dirty
+  // sets, shadow counters) swaps along with the data it describes; each
+  // engine keeps its own policy and work counters.
   std::swap(levels_, shadow.levels_);
   std::swap(jobs_, shadow.jobs_);
   std::swap(occ_, shadow.occ_);
   std::swap(parked_count_, shadow.parked_count_);
+  if (audit_engine_ != nullptr) {
+    if (shadow.audit_engine_ != nullptr) {
+      audit_engine_->swap_state_with(*shadow.audit_engine_);
+      // The retiring shadow's work history folds into the survivor so
+      // audit_work() totals never move backwards across the flip.
+      audit_engine_->absorb_stats(*shadow.audit_engine_);
+    } else {
+      // Engine attached mid-migration: the shadow generation was never
+      // tracked, so the swapped-in state is unverified - escalate.
+      audit_engine_->mark_all();
+    }
+  }
 
   current_.reallocations += moved;
   current_.rebuilt = true;
@@ -1192,7 +1254,7 @@ RequestStats ReservationScheduler::insert(JobId id, Window window) {
     migration_->replay.push_back(QueuedRequest{true, id, window});
   }
   current_.levels_touched = static_cast<u64>(std::popcount(touched_levels_mask_));
-  if (options_.audit) audit();
+  maybe_audit();
   return current_;
 }
 
@@ -1208,7 +1270,7 @@ RequestStats ReservationScheduler::erase(JobId id) {
   }
   maybe_rebuild_on_erase();
   current_.levels_touched = static_cast<u64>(std::popcount(touched_levels_mask_));
-  if (options_.audit) audit();
+  maybe_audit();
   return current_;
 }
 
@@ -1261,32 +1323,36 @@ ReservationScheduler::fulfillment_of_interval(unsigned level, Time interval_base
   }
   return out;
 }
+std::size_t ReservationScheduler::verify_interval_cache(unsigned level, Time base,
+                                                        const Interval& interval) const {
+  if (interval.ful_state == FulState::kInvalid) return 0;  // recomputed before use
+  const auto& ls = levels_[level];
+  const std::vector<FulRow> cold = compute_fulfillment(level, interval);
+  RS_CHECK(cold.size() == ls.class_count(),
+           "fulfillment cache: row count diverged from cold recomputation");
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    // The reservation column is promised exact in every non-invalid
+    // state; the fulfilled column only below ful_bound once re-cascaded
+    // (kValid).
+    RS_CHECK(cold[i].key == interval.ful_cache[i].key &&
+                 cold[i].reservations == interval.ful_cache[i].reservations,
+             "fulfillment cache: cached reservations diverged from cold "
+             "recomputation");
+    if (interval.ful_state == FulState::kValid && i < interval.ful_bound) {
+      RS_CHECK(cold[i].fulfilled == interval.ful_cache[i].fulfilled,
+               "fulfillment cache: cached fulfilled diverged from cold "
+               "recomputation");
+    }
+  }
+  RS_CHECK(interval.base == base, "fulfillment cache: interval base mismatch");
+  return 1;
+}
 
 std::size_t ReservationScheduler::verify_fulfillment_cache() const {
   std::size_t verified = 0;
   for (unsigned level = 1; level <= top_level(); ++level) {
-    const auto& ls = levels_[level];
-    ls.intervals.for_each([&](Time base, const Interval& interval) {
-      if (interval.ful_state == FulState::kInvalid) return;  // recomputed before use
-      const std::vector<FulRow> cold = compute_fulfillment(level, interval);
-      RS_CHECK(cold.size() == ls.class_count(),
-               "fulfillment cache: row count diverged from cold recomputation");
-      for (std::size_t i = 0; i < cold.size(); ++i) {
-        // The reservation column is promised exact in every non-invalid
-        // state; the fulfilled column only below ful_bound once re-cascaded
-        // (kValid).
-        RS_CHECK(cold[i].key == interval.ful_cache[i].key &&
-                     cold[i].reservations == interval.ful_cache[i].reservations,
-                 "fulfillment cache: cached reservations diverged from cold "
-                 "recomputation");
-        if (interval.ful_state == FulState::kValid && i < interval.ful_bound) {
-          RS_CHECK(cold[i].fulfilled == interval.ful_cache[i].fulfilled,
-                   "fulfillment cache: cached fulfilled diverged from cold "
-                   "recomputation");
-        }
-      }
-      RS_CHECK(interval.base == base, "fulfillment cache: interval base mismatch");
-      ++verified;
+    levels_[level].intervals.for_each([&](Time base, const Interval& interval) {
+      verified += verify_interval_cache(level, base, interval);
     });
   }
   // The shadow generation's caches obey the same contract mid-migration.
@@ -1294,35 +1360,71 @@ std::size_t ReservationScheduler::verify_fulfillment_cache() const {
   return verified;
 }
 
-void ReservationScheduler::audit() const {
-  // 1. Jobs <-> occupancy consistency.
+// ---------------------------------------------------------------------------
+// Audit: the full sweep, decomposed into the I1-I5 check units, and the
+// dirty-region incremental path driven by the audit engine (DESIGN.md §7)
+// ---------------------------------------------------------------------------
+
+bool ReservationScheduler::audit_job_body(const JobId& id, const JobState& job) const {
+  RS_CHECK(job.slot != kNoSlot, "audit: job without slot");
+  RS_CHECK(job.window.contains(job.slot), "audit: job outside trimmed window");
+  RS_CHECK(job.original.contains(job.window), "audit: trim not nested in original");
+  const JobId* occupant = occ_.find(job.slot);
+  RS_CHECK(occupant != nullptr && *occupant == id, "audit: occupant mismatch");
+  RS_CHECK(occ_.runs().occupied(job.slot),
+           "audit: run index missing an occupied slot");
+  RS_CHECK(options_.levels.level_of(static_cast<u64>(job.window.span())) == job.level,
+           "audit: level mismatch");
+  if (!job.parked && job.level >= 1) {
+    const auto& ls = levels_[job.level];
+    const ActiveWindow* window = ls.windows.find(WindowKey(job.window));
+    RS_CHECK(window != nullptr, "audit: reserved job without active window");
+    RS_CHECK(window->assigned_slots.contains(job.slot),
+             "audit: reserved job on unassigned slot");
+    RS_CHECK(!window->free_assigned.contains(job.slot),
+             "audit: occupied slot marked free");
+  }
+  return job.parked;
+}
+
+void ReservationScheduler::check_jobs_and_occupancy() const {
+  // I1 - feasibility and occupancy agreement (audit §1).
   u64 parked_seen = 0;
   jobs_.for_each([&](const JobId& id, const JobState& job) {
-    RS_CHECK(job.slot != kNoSlot, "audit: job without slot");
-    RS_CHECK(job.window.contains(job.slot), "audit: job outside trimmed window");
-    RS_CHECK(job.original.contains(job.window), "audit: trim not nested in original");
-    const JobId* occupant = occ_.find(job.slot);
-    RS_CHECK(occupant != nullptr && *occupant == id, "audit: occupant mismatch");
-    RS_CHECK(options_.levels.level_of(static_cast<u64>(job.window.span())) == job.level,
-             "audit: level mismatch");
-    if (job.parked) ++parked_seen;
-    if (!job.parked && job.level >= 1) {
-      const auto& ls = levels_[job.level];
-      const ActiveWindow* window = ls.windows.find(WindowKey(job.window));
-      RS_CHECK(window != nullptr, "audit: reserved job without active window");
-      RS_CHECK(window->assigned_slots.contains(job.slot),
-               "audit: reserved job on unassigned slot");
-      RS_CHECK(!window->free_assigned.contains(job.slot),
-               "audit: occupied slot marked free");
-    }
+    if (audit_job_body(id, job)) ++parked_seen;
   });
   RS_CHECK(parked_seen == parked_count_, "audit: parked count mismatch");
   RS_CHECK(occ_.size() == jobs_.size(), "audit: orphan occupancy entries");
   occ_.for_each([&](Time slot, JobId) {
     RS_CHECK(occ_.runs().occupied(slot), "audit: run index missing an occupied slot");
   });
+}
 
-  // 2. Window ledgers.
+void ReservationScheduler::audit_window_body(unsigned level, const WindowKey& key,
+                                             const ActiveWindow& window) const {
+  const auto& ls = levels_[level];
+  window.assigned_slots.for_each([&](Time slot) {
+    RS_CHECK(key.window().contains(slot), "audit: assigned slot outside window");
+    // Anti-orphan: every ledger slot must be backed by a matching interval
+    // assignment (the reverse direction - every interval assignment present
+    // in the ledger - is the interval check's job).
+    const Interval* interval = ls.intervals.find(align_down(slot, ls.interval_size));
+    RS_CHECK(interval != nullptr, "audit: ledger slot in an unmaterialized interval");
+    const SlotInfo& info =
+        interval->slots[static_cast<std::size_t>(slot - interval->base)];
+    RS_CHECK(info.assigned && info.owner == key,
+             "audit: ledger slot not backed by an interval assignment");
+  });
+  window.free_assigned.for_each([&](Time slot) {
+    RS_CHECK(window.assigned_slots.contains(slot), "audit: free slot not assigned");
+    const JobId* occupant = occ_.find(slot);
+    RS_CHECK(occupant == nullptr || jobs_.at(*occupant).level != level,
+             "audit: free_assigned slot holds a same-level job");
+  });
+}
+
+void ReservationScheduler::check_window_ledgers() const {
+  // I2 - window-ledger exactness and census (audit §2).
   for (unsigned level = 1; level <= top_level(); ++level) {
     const auto& ls = levels_[level];
     std::unordered_map<WindowKey, u64> job_counts;
@@ -1337,15 +1439,7 @@ void ReservationScheduler::audit() const {
       const u64 actual = cit == job_counts.end() ? 0 : cit->second;
       RS_CHECK(window.jobs == actual, "audit: window job count mismatch");
       RS_CHECK(window.jobs > 0, "audit: inactive window retained");
-      window.assigned_slots.for_each([&](Time slot) {
-        RS_CHECK(key.window().contains(slot), "audit: assigned slot outside window");
-      });
-      window.free_assigned.for_each([&](Time slot) {
-        RS_CHECK(window.assigned_slots.contains(slot), "audit: free slot not assigned");
-        const JobId* occupant = occ_.find(slot);
-        RS_CHECK(occupant == nullptr || jobs_.at(*occupant).level != level,
-                 "audit: free_assigned slot holds a same-level job");
-      });
+      audit_window_body(level, key, window);
     });
     for (unsigned cls = 0; cls < ls.class_count(); ++cls) {
       RS_CHECK(ls.active_per_class[cls] == expected_census[cls],
@@ -1356,70 +1450,354 @@ void ReservationScheduler::audit() const {
     RS_CHECK(ls.active_bound == 0 || ls.active_per_class[ls.active_bound - 1] > 0,
              "audit: active bound not tight");
   }
+}
 
-  // 3. Interval slot tables against ground truth.
+void ReservationScheduler::audit_interval_body(unsigned level, Time base,
+                                               const Interval& interval) const {
+  const auto& ls = levels_[level];
+  RS_CHECK(interval.base == base, "audit: interval base mismatch");
+  RS_CHECK(interval.slots != nullptr && interval.ful_cache != nullptr &&
+               interval.assigned_by_class != nullptr,
+           "audit: interval not backed by an arena block");
+  std::uint32_t lower = 0;
+  std::uint32_t assigned = 0;
+  std::vector<std::uint32_t> per_class(ls.class_count(), 0);
+  for (std::size_t off = 0; off < ls.interval_size; ++off) {
+    const SlotInfo& info = interval.slots[off];
+    const Time slot = base + static_cast<Time>(off);
+    const JobId* occupant = occ_.find(slot);
+    const bool expect_lower =
+        occupant != nullptr && block_floor(jobs_.at(*occupant)) <= level;
+    RS_CHECK(info.lower_occupied == expect_lower, "audit: lower flag mismatch");
+    if (info.lower_occupied) ++lower;
+    if (info.assigned) {
+      RS_CHECK(!info.lower_occupied, "audit: assigned slot is lower-occupied");
+      const ActiveWindow* window = ls.windows.find(info.owner);
+      RS_CHECK(window != nullptr, "audit: slot owned by inactive window");
+      RS_CHECK(window->assigned_slots.contains(slot),
+               "audit: owner ledger missing slot");
+      ++assigned;
+      ++per_class[ls.class_of(info.owner)];
+    }
+  }
+  RS_CHECK(lower == interval.lower_count, "audit: lower_count mismatch");
+  RS_CHECK(assigned == interval.assigned_count, "audit: assigned_count mismatch");
+  for (unsigned cls = 0; cls < ls.class_count(); ++cls) {
+    RS_CHECK(per_class[cls] == interval.assigned_by_class[cls],
+             "audit: per-class assignment count mismatch");
+    RS_CHECK(((interval.assigned_class_mask >> cls) & 1) == (per_class[cls] > 0),
+             "audit: assigned class mask mismatch");
+  }
+  // Lazy invariant: concrete assignments never exceed fulfillment.
+  // Checked against a cold recomputation so a stale cache cannot mask a
+  // violation.
+  const auto rows = compute_fulfillment(level, interval);
+  for (unsigned cls = 0; cls < ls.class_count(); ++cls) {
+    RS_CHECK(per_class[cls] <= rows[cls].fulfilled,
+             "audit: assignment exceeds fulfillment");
+  }
+}
+
+void ReservationScheduler::check_interval_assignment_bound() const {
+  // I3 - interval slot tables and the a <= f bound (audit §3).
   for (unsigned level = 1; level <= top_level(); ++level) {
-    const auto& ls = levels_[level];
-    ls.intervals.for_each([&](Time base, const Interval& interval) {
-      RS_CHECK(interval.base == base, "audit: interval base mismatch");
-      RS_CHECK(interval.slots != nullptr && interval.ful_cache != nullptr &&
-                   interval.assigned_by_class != nullptr,
-               "audit: interval not backed by an arena block");
-      std::uint32_t lower = 0;
-      std::uint32_t assigned = 0;
-      std::vector<std::uint32_t> per_class(ls.class_count(), 0);
-      for (std::size_t off = 0; off < ls.interval_size; ++off) {
-        const SlotInfo& info = interval.slots[off];
-        const Time slot = base + static_cast<Time>(off);
-        const JobId* occupant = occ_.find(slot);
-        const bool expect_lower =
-            occupant != nullptr && block_floor(jobs_.at(*occupant)) <= level;
-        RS_CHECK(info.lower_occupied == expect_lower, "audit: lower flag mismatch");
-        if (info.lower_occupied) ++lower;
-        if (info.assigned) {
-          RS_CHECK(!info.lower_occupied, "audit: assigned slot is lower-occupied");
-          const ActiveWindow* window = ls.windows.find(info.owner);
-          RS_CHECK(window != nullptr, "audit: slot owned by inactive window");
-          RS_CHECK(window->assigned_slots.contains(slot),
-                   "audit: owner ledger missing slot");
-          ++assigned;
-          ++per_class[ls.class_of(info.owner)];
-        }
-      }
-      RS_CHECK(lower == interval.lower_count, "audit: lower_count mismatch");
-      RS_CHECK(assigned == interval.assigned_count, "audit: assigned_count mismatch");
-      for (unsigned cls = 0; cls < ls.class_count(); ++cls) {
-        RS_CHECK(per_class[cls] == interval.assigned_by_class[cls],
-                 "audit: per-class assignment count mismatch");
-        RS_CHECK(((interval.assigned_class_mask >> cls) & 1) == (per_class[cls] > 0),
-                 "audit: assigned class mask mismatch");
-      }
-      // Lazy invariant: concrete assignments never exceed fulfillment.
-      // Checked against a cold recomputation so a stale cache cannot mask a
-      // violation.
-      const auto rows = compute_fulfillment(level, interval);
-      for (unsigned cls = 0; cls < ls.class_count(); ++cls) {
-        RS_CHECK(per_class[cls] <= rows[cls].fulfilled,
-                 "audit: assignment exceeds fulfillment");
-      }
+    levels_[level].intervals.for_each([&](Time base, const Interval& interval) {
+      audit_interval_body(level, base, interval);
     });
   }
+}
 
-  // 4. Every cached fulfillment table still matches a cold recomputation
-  // (includes the shadow generation's caches when one is in flight).
-  verify_fulfillment_cache();
+void ReservationScheduler::check_migration_coherence() const {
+  // I5 - generation coherence (audit §5): the shadow is a consistent
+  // scheduler of the reinserted prefix plus the replayed prefix, and its
+  // audit must pass on its own terms; the work-list cursors never run past
+  // their lists.
+  if (migration_ == nullptr) return;
+  const Migration& m = *migration_;
+  RS_CHECK(m.shadow != nullptr, "audit: migration without a shadow generation");
+  RS_CHECK(m.reinsert_next <= m.reinsert.size() && m.replay_next <= m.replay.size(),
+           "audit: migration cursor overran its work list");
+  RS_CHECK(m.shadow->n_star_ == n_star_, "audit: shadow n* diverged");
+  m.shadow->audit();
+}
 
-  // 5. Migration bookkeeping: the shadow is a consistent scheduler of the
-  // reinserted prefix plus the replayed prefix, and its audit must pass on
-  // its own terms; the work-list cursors never run past their lists.
+void ReservationScheduler::audit() const {
+  ++full_sweeps_;
+  check_jobs_and_occupancy();          // §1 / I1
+  check_window_ledgers();              // §2 / I2
+  check_interval_assignment_bound();   // §3 / I3
+  verify_fulfillment_cache();          // §4 / I4 (both generations)
+  check_migration_coherence();         // §5 / I5
+}
+
+void ReservationScheduler::register_invariants(audit::InvariantTable& table) const {
+  const std::string component = "ReservationScheduler";
+  table.add("rs.I1.jobs-and-occupancy", component,
+            "every active job on one in-window slot; occupancy map, run index "
+            "and parked census agree",
+            [this] { check_jobs_and_occupancy(); });
+  table.add("rs.I2.window-ledgers", component,
+            "window job counts match the active set; ledger slots backed by "
+            "interval assignments; census/active-bound exact",
+            [this] { check_window_ledgers(); });
+  table.add("rs.I3.interval-assignment-bound", component,
+            "interval slot tables match ground truth; counters exact; "
+            "a(W,I) <= f(W,I) against a cold recomputation",
+            [this] { check_interval_assignment_bound(); });
+  table.add("rs.I4.fulfillment-cache", component,
+            "every cached fulfillment table matches a cold recomputation "
+            "(Observation 7 purity)",
+            [this] { verify_fulfillment_cache(); });
+  table.add("rs.I5.migration-coherence", component,
+            "in-flight partitioned rebuild: cursors bounded, shadow n* agrees, "
+            "shadow generation self-consistent",
+            [this] { check_migration_coherence(); });
+}
+
+// ---- incremental path ------------------------------------------------------
+
+void ReservationScheduler::sync_audit_engine() {
+  if (options_.audit_policy.mode != audit::Mode::kIncremental) {
+    audit_engine_.reset();
+    return;
+  }
+  if (audit_engine_ == nullptr) {
+    audit_engine_ = std::make_unique<audit::AuditEngine>(options_.audit_policy);
+    for (unsigned level = 1; level <= top_level(); ++level) {
+      audit_engine_->configure_level(level, levels_[level].interval_log,
+                                     levels_[level].class_count());
+    }
+    // A fresh engine on an *empty* scheduler can start tracking right away:
+    // the all-zero shadows are exactly correct. Attaching mid-stream leaves
+    // the escalation in place - the first audit is a full sweep that seeds
+    // the shadows from the verified state.
+    if (jobs_.empty() && occ_.size() == 0 && migration_ == nullptr) {
+      audit_engine_->begin_reseed();
+    }
+  } else {
+    audit_engine_->set_policy(options_.audit_policy);
+  }
+}
+
+void ReservationScheduler::set_audit_policy(const audit::AuditPolicy& policy) {
+  options_.audit_policy = policy;
+  sync_audit_engine();
+}
+
+void ReservationScheduler::reseed_audit_engine() {
+  audit::AuditEngine& engine = *audit_engine_;
+  engine.begin_reseed();
+  for (unsigned level = 1; level <= top_level(); ++level) {
+    const auto& ls = levels_[level];
+    ls.windows.for_each([&](const WindowKey& key, const ActiveWindow& window) {
+      engine.seed_window(level, key, static_cast<std::int64_t>(window.jobs));
+    });
+    for (unsigned cls = 0; cls < ls.class_count(); ++cls) {
+      engine.seed_census(level, cls, ls.active_per_class[cls]);
+    }
+  }
+  engine.seed_parked(static_cast<std::int64_t>(parked_count_));
+}
+
+void ReservationScheduler::audit_job_scoped(JobId id) const {
+  const JobState* job = jobs_.find(id);
+  if (job == nullptr) return;  // erased after marking (retraction raced)
+  audit_job_body(id, *job);
+}
+
+void ReservationScheduler::audit_window_scoped(unsigned level,
+                                               const WindowKey& w) const {
+  const auto& ls = levels_[level];
+  const ActiveWindow* window = ls.windows.find(w);
+  const std::int64_t expected = audit_engine_->shadow_window_jobs(level, w);
+  if (window == nullptr) {
+    // Deactivated (or never activated): the shadow must agree there are no
+    // jobs left on this window.
+    RS_CHECK(expected == 0, "audit: window ledger missing an active window");
+    return;
+  }
+  RS_CHECK(static_cast<std::int64_t>(window->jobs) == expected,
+           "audit: window job count diverged from the audit shadow");
+  RS_CHECK(window->jobs > 0, "audit: inactive window retained");
+  audit_window_body(level, w, *window);
+}
+
+void ReservationScheduler::audit_interval_scoped(unsigned level, Time base) const {
+  const Interval* interval = levels_[level].intervals.find(base);
+  if (interval == nullptr) return;  // torn down wholesale since marked
+  audit_interval_body(level, base, *interval);
+  verify_interval_cache(level, base, *interval);
+}
+
+void ReservationScheduler::audit_globals_scoped() const {
+  const audit::AuditEngine& engine = *audit_engine_;
+  RS_CHECK(occ_.size() == jobs_.size(), "audit: orphan occupancy entries");
+  RS_CHECK(engine.shadow_parked() == static_cast<std::int64_t>(parked_count_),
+           "audit: parked count diverged from the audit shadow");
+  for (unsigned level = 1; level <= top_level(); ++level) {
+    const auto& ls = levels_[level];
+    for (unsigned cls = 0; cls < ls.class_count(); ++cls) {
+      RS_CHECK(ls.active_per_class[cls] == engine.shadow_census(level, cls),
+               "audit: active-window census diverged from the audit shadow");
+      RS_CHECK(ls.active_per_class[cls] == 0 || cls < ls.active_bound,
+               "audit: active bound below an active class");
+    }
+    RS_CHECK(ls.active_bound == 0 || ls.active_per_class[ls.active_bound - 1] > 0,
+             "audit: active bound not tight");
+  }
+  // I5 cursors/n* are O(1) too; the shadow generation itself is audited
+  // incrementally by the caller.
   if (migration_ != nullptr) {
     const Migration& m = *migration_;
     RS_CHECK(m.shadow != nullptr, "audit: migration without a shadow generation");
     RS_CHECK(m.reinsert_next <= m.reinsert.size() && m.replay_next <= m.replay.size(),
              "audit: migration cursor overran its work list");
     RS_CHECK(m.shadow->n_star_ == n_star_, "audit: shadow n* diverged");
-    m.shadow->audit();
   }
+}
+
+void ReservationScheduler::incremental_audit() {
+  if (audit_engine_ == nullptr) {
+    // No engine attached: honor the call with the only auditor available.
+    audit();
+    return;
+  }
+  audit::AuditEngine& engine = *audit_engine_;
+  ++engine.stats().incremental_audits;
+  if (engine.needs_full()) {
+    // Wholesale state change (or mid-stream attach): one full sweep, then
+    // reseed the shadows from the state it just verified.
+    audit();
+    reseed_audit_engine();
+    return;
+  }
+  audit_globals_scoped();
+  engine.drain(
+      engine.policy().budget, [this](JobId id) { audit_job_scoped(id); },
+      [this](unsigned level, const WindowKey& w) { audit_window_scoped(level, w); },
+      [this](unsigned level, Time base) { audit_interval_scoped(level, base); });
+  if (migration_ != nullptr) migration_->shadow->incremental_audit();
+  // A budgeted drain may legitimately leave dirt behind ("detection
+  // delayed, never lost" — audit_policy.hpp); only a fully drained pass
+  // can promise agreement with the sweep, so the differential cross-check
+  // waits for the backlog to clear rather than misreporting per-spec
+  // delay as engine divergence.
+  if (engine.policy().differential && audit_backlog() == 0) {
+    // The incremental pass accepted; the full sweep must agree (the
+    // reverse direction - incremental rejecting what the sweep accepts -
+    // surfaces as the incremental throw itself, which tests cross-check).
+    try {
+      audit();
+    } catch (const InternalError& error) {
+      throw InternalError(
+          std::string("differential audit: incremental auditor accepted a "
+                      "state the full sweep rejects - ") +
+          error.what());
+    }
+  }
+}
+
+void ReservationScheduler::maybe_audit() {
+  ++audit_request_index_;
+  if (options_.audit) audit();  // legacy gate: full sweep every request
+  const audit::AuditPolicy& policy = options_.audit_policy;
+  if (!policy.due(audit_request_index_)) return;
+  if (policy.mode == audit::Mode::kFull) {
+    audit();
+    return;
+  }
+  incremental_audit();
+}
+
+ReservationScheduler::AuditWork ReservationScheduler::audit_work() const {
+  AuditWork work;
+  work.full_sweeps = full_sweeps_;
+  if (audit_engine_ != nullptr) {
+    const audit::EngineStats& stats = audit_engine_->stats();
+    work.incremental_audits = stats.incremental_audits;
+    work.regions_checked = stats.regions_checked();
+    work.events = stats.events;
+  }
+  if (migration_ != nullptr) {
+    const AuditWork shadow = migration_->shadow->audit_work();
+    work.full_sweeps += shadow.full_sweeps;
+    work.incremental_audits += shadow.incremental_audits;
+    work.regions_checked += shadow.regions_checked;
+    work.events += shadow.events;
+  }
+  return work;
+}
+
+std::size_t ReservationScheduler::audit_backlog() const {
+  std::size_t backlog = 0;
+  if (audit_engine_ != nullptr) backlog += audit_engine_->dirty_regions();
+  if (migration_ != nullptr) backlog += migration_->shadow->audit_backlog();
+  return backlog;
+}
+
+// ---- deliberate corruption (test hook; see Corruption in the header) -------
+
+bool ReservationScheduler::corrupt_for_test(Corruption kind) {
+  switch (kind) {
+    case Corruption::kDesyncParkedCount:
+      // The engine-side witness is note_parked_delta-free on purpose: a
+      // buggy mutation path would bump the counter without a real parked
+      // placement, which is exactly this.
+      ++parked_count_;
+      return true;
+    case Corruption::kDesyncWindowJobs:
+      for (unsigned level = 1; level <= top_level(); ++level) {
+        bool done = false;
+        levels_[level].windows.for_each([&](const WindowKey& key, ActiveWindow& window) {
+          if (done) return;
+          ++window.jobs;
+          mark_window_dirty(level, key);
+          done = true;
+        });
+        if (done) return true;
+      }
+      return false;
+    case Corruption::kOrphanLedgerSlot:
+      for (unsigned level = 1; level <= top_level(); ++level) {
+        const auto& ls = levels_[level];
+        bool done = false;
+        levels_[level].windows.for_each([&](const WindowKey& key, ActiveWindow& window) {
+          if (done) return;
+          // A slot inside the window that no interval assignment backs: the
+          // window's first slot is as good as any - if it happens to be
+          // genuinely assigned, the duplicate insert is a no-op and we keep
+          // probing forward.
+          for (Time slot = key.start;
+               slot < key.start + static_cast<Time>(ls.interval_size); ++slot) {
+            if (window.assigned_slots.insert(slot)) {
+              mark_window_dirty(level, key);
+              done = true;
+              return;
+            }
+          }
+        });
+        if (done) return true;
+      }
+      return false;
+    case Corruption::kFlipLowerOccupied:
+    case Corruption::kDesyncLowerCount:
+      for (unsigned level = 1; level <= top_level(); ++level) {
+        bool done = false;
+        levels_[level].intervals.for_each([&](Time base, Interval& interval) {
+          if (done) return;
+          if (kind == Corruption::kFlipLowerOccupied) {
+            interval.slots[0].lower_occupied = !interval.slots[0].lower_occupied;
+          } else {
+            ++interval.lower_count;
+          }
+          mark_interval_dirty(level, base);
+          done = true;
+        });
+        if (done) return true;
+      }
+      return false;
+  }
+  return false;
 }
 
 }  // namespace reasched

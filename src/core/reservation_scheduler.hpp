@@ -110,6 +110,8 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit_engine.hpp"
+#include "audit/invariant_check.hpp"
 #include "core/scheduler_options.hpp"
 #include "core/window_key.hpp"
 #include "schedule/occupancy_index.hpp"
@@ -200,8 +202,68 @@ class ReservationScheduler final : public IReallocScheduler {
   /// Full internal-invariant audit; throws InternalError on any violation.
   /// O(total state); runs automatically after each request when
   /// options.audit is set. Mid-migration it audits both generations plus
-  /// the migration bookkeeping itself.
+  /// the migration bookkeeping itself. Equivalent to running every check
+  /// registered by register_invariants — the five named units below ARE
+  /// this sweep, decomposed.
   void audit() const;
+
+  /// Registers the five named full-sweep invariant checks (ARCHITECTURE.md
+  /// glossary I1–I5: "rs.I1.jobs-and-occupancy",
+  /// "rs.I2.window-ledgers", "rs.I3.interval-assignment-bound",
+  /// "rs.I4.fulfillment-cache", "rs.I5.migration-coherence") bound to this
+  /// instance, so each is individually invokable by name.
+  void register_invariants(audit::InvariantTable& table) const;
+
+  /// Re-applies an audit policy at runtime (benches enable the engine after
+  /// an audit-free warmup). Attaching an engine escalates: its first audit
+  /// is one full sweep that seeds the dirty-tracking shadows.
+  void set_audit_policy(const audit::AuditPolicy& policy);
+
+  /// Incremental audit: verifies the dirty regions the engine accumulated
+  /// (capped by AuditPolicy::budget) plus the O(1) global counters; throws
+  /// InternalError on any violation. Falls back to the full sweep when no
+  /// engine is attached or after a wholesale state change (emergency
+  /// rebuild, fresh attach). Runs automatically per request at the policy
+  /// cadence; callable directly (tests, benches, SimOptions::audit_hook).
+  void incremental_audit();
+
+  /// Observable audit work since construction (full sweeps + engine
+  /// counters, including an in-flight migration shadow's). The benches'
+  /// audit-off smoke asserts every field stays zero when both runtime audit
+  /// gates are off.
+  struct AuditWork {
+    std::uint64_t full_sweeps = 0;
+    std::uint64_t incremental_audits = 0;
+    std::uint64_t regions_checked = 0;
+    std::uint64_t events = 0;
+
+    [[nodiscard]] bool zero() const noexcept {
+      return full_sweeps == 0 && incremental_audits == 0 && regions_checked == 0 &&
+             events == 0;
+    }
+  };
+  [[nodiscard]] AuditWork audit_work() const;
+
+  /// Dirty regions the engine has accumulated but not yet verified
+  /// (budgeted-slice backlog; includes an in-flight migration shadow's).
+  /// 0 when no engine is attached.
+  [[nodiscard]] std::size_t audit_backlog() const;
+
+  /// Deliberate state corruptions for the corrupted-state-detection tests
+  /// (tests/failure_injection_test.cpp, bench_e15 differential mode). Each
+  /// mutates internal state the way a buggy mutation path would — including
+  /// emitting the dirty event for the touched region — so both the full
+  /// sweep and the incremental engine must flag it. Returns false when the
+  /// current state offers no suitable target (e.g. no materialized
+  /// interval yet). Test hook; never called by the scheduler itself.
+  enum class Corruption : std::uint8_t {
+    kFlipLowerOccupied,  ///< flip a lower_occupied bit in a slot table
+    kDesyncLowerCount,   ///< bump an interval's lower_count
+    kOrphanLedgerSlot,   ///< window ledger slot with no interval backing
+    kDesyncWindowJobs,   ///< bump an ActiveWindow::jobs count
+    kDesyncParkedCount,  ///< bump parked_count_
+  };
+  bool corrupt_for_test(Corruption kind);
 
   /// Cache-consistency check: recomputes every *currently valid* cached
   /// fulfillment table cold and verifies it matches the cache entry-by-entry
@@ -470,6 +532,55 @@ class ReservationScheduler final : public IReallocScheduler {
 
   void count_move(const JobState& job) noexcept;
 
+  // -- incremental audit (src/audit/; DESIGN.md §7) --
+  /// Runs whichever audits the two runtime gates request after a request.
+  void maybe_audit();
+  /// Creates/destroys the engine to match options_.audit_policy.
+  void sync_audit_engine();
+  /// Rebuilds the engine's shadow counters from the (just fully audited)
+  /// ledgers; clears dirtiness and the full-sweep escalation.
+  void reseed_audit_engine();
+  // Scoped verification units the engine drain calls (each is the
+  // corresponding full-sweep section restricted to one region):
+  void audit_job_scoped(JobId id) const;
+  void audit_window_scoped(unsigned level, const WindowKey& w) const;
+  void audit_interval_scoped(unsigned level, Time base) const;
+  void audit_globals_scoped() const;
+  /// Per-interval body of full-sweep §3: ground-truth slot scan, counter
+  /// agreement, a ≤ f against a cold recomputation.
+  void audit_interval_body(unsigned level, Time base, const Interval& interval) const;
+  /// Per-interval body of full-sweep §4: the cached fulfillment table vs a
+  /// cold recomputation. Returns 1 when a (non-invalid) cache was verified.
+  std::size_t verify_interval_cache(unsigned level, Time base,
+                                    const Interval& interval) const;
+  /// Per-job body of full-sweep §1 (placement, occupancy and run-index
+  /// agreement, own-level ledger membership). Returns true iff parked.
+  bool audit_job_body(const JobId& id, const JobState& job) const;
+  /// Per-window local body shared by full-sweep §2 and the scoped check:
+  /// slot containment, interval backing (anti-orphan), free-set sanity.
+  void audit_window_body(unsigned level, const WindowKey& key,
+                         const ActiveWindow& window) const;
+  // Full-sweep sections as named invariant-check units (I1–I5):
+  void check_jobs_and_occupancy() const;
+  void check_window_ledgers() const;
+  void check_interval_assignment_bound() const;
+  void check_migration_coherence() const;
+  // Event emission helpers: exactly one branch when no engine is attached.
+  // Const (the engine sits behind a pointer): the lazy fulfillment-cache
+  // refresh — a cache write on the const read path — must emit too.
+  void mark_interval_dirty(unsigned level, Time base) const {
+    if (audit_engine_) audit_engine_->on_interval(level, base);
+  }
+  void mark_window_dirty(unsigned level, const WindowKey& w) const {
+    if (audit_engine_) audit_engine_->on_window(level, w);
+  }
+  void mark_job_dirty(JobId id) const {
+    if (audit_engine_) audit_engine_->on_job(id);
+  }
+  void note_parked_delta(std::int64_t delta) const {
+    if (audit_engine_) audit_engine_->on_parked(delta);
+  }
+
   SchedulerOptions options_;
   std::vector<LevelState> levels_;
   FlatHashMap<JobId, JobState> jobs_;
@@ -480,6 +591,10 @@ class ReservationScheduler final : public IReallocScheduler {
   RequestStats current_{};
   std::uint32_t touched_levels_mask_ = 0;
   std::unique_ptr<Migration> migration_;  // in-flight partitioned rebuild
+  /// Dirty-tracking engine; attached iff audit_policy.mode == kIncremental.
+  std::unique_ptr<audit::AuditEngine> audit_engine_;
+  std::uint64_t audit_request_index_ = 0;  // cadence counter
+  mutable std::uint64_t full_sweeps_ = 0;  // audit() invocations (audit_work)
   /// Old generations after a swap, awaiting deferred level-by-level trim,
   /// drained FIFO one step per request. A list, not a single slot: when
   /// migrations complete within a few requests of each other (tiny n*,

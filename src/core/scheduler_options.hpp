@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "audit/audit_policy.hpp"
 #include "core/levels.hpp"
 
 namespace reasched {
@@ -52,8 +53,17 @@ struct SchedulerOptions {
   LevelTable levels = LevelTable::paper();
 
   /// When true, run a full internal-invariant audit after every request
-  /// (O(state) per request; tests only).
+  /// (O(state) per request; tests only). Legacy gate, equivalent to
+  /// audit_policy {kFull, cadence 1} — see the gating matrix in
+  /// util/assert.hpp. Both gates may be on; each runs independently.
   bool audit = false;
+
+  /// Incremental audit engine policy (src/audit/). Mode kIncremental
+  /// attaches an AuditEngine that tracks dirty intervals/windows/jobs from
+  /// mutation events and re-verifies only those regions (plus O(1) global
+  /// counters) at the configured cadence/budget; kOff means no engine and
+  /// verifiably zero audit work (bench_e15 smoke).
+  audit::AuditPolicy audit_policy{};
 
   /// Seed-equivalent fulfillment path: recompute every fulfillment table
   /// cold (fresh allocation, full per-slot reconcile scans) instead of

@@ -51,6 +51,21 @@ ShardedScheduler::ShardedScheduler(unsigned machines, const Factory& factory,
 
 std::string ShardedScheduler::name() const { return label_; }
 
+std::size_t ShardedScheduler::audit_balance_incremental() {
+  // Stripes partition across workers by index; each worker audits its
+  // stripes under their own locks, so the per-stripe dirty sets are checked
+  // concurrently with no shared mutable state beyond the stripe mutexes.
+  std::vector<std::size_t> verified(shards_, 0);
+  run_sharded([&](unsigned worker) {
+    for (std::size_t stripe = worker; stripe < ledger_.stripes(); stripe += shards_) {
+      verified[worker] += ledger_.audit_stripe_incremental(stripe);
+    }
+  });
+  std::size_t total = 0;
+  for (const std::size_t count : verified) total += count;
+  return total;
+}
+
 // ---------------------------------------------------------- sequential path
 
 RequestStats ShardedScheduler::insert(JobId id, Window window) {

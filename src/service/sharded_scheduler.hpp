@@ -102,6 +102,27 @@ class ShardedScheduler final : public IReallocScheduler {
   /// InternalError on violation.
   void audit_balance() const { ledger_.audit(); }
 
+  /// Incremental balance audit: every stripe re-verifies only the windows
+  /// whose delegation state changed since that stripe's last audit, and the
+  /// stripes are fanned out across the shard workers (stripe i is checked
+  /// by worker i mod shards), so shards audit concurrently — each stripe
+  /// check takes only its own stripe lock. First call per stripe is a full
+  /// sweep of that stripe (dirty tracking starts then). Returns the number
+  /// of windows verified. Throws InternalError on violation.
+  std::size_t audit_balance_incremental();
+
+  /// Registers this service's invariant checks: one Lemma 3 unit per
+  /// ledger stripe (see StripedLedger::register_invariants).
+  void register_invariants(audit::InvariantTable& table) const {
+    ledger_.register_invariants(table);
+  }
+
+  /// Deliberate ledger corruption for the differential audit tests
+  /// (desyncs one stripe's share sets); both audit_balance and
+  /// audit_balance_incremental must flag it. Returns false when the ledger
+  /// holds no movable job.
+  bool corrupt_balance_for_test() { return ledger_.corrupt_for_test(); }
+
  private:
   /// One machine-level operation planned for a batch.
   struct Op {

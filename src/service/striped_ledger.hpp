@@ -27,7 +27,9 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 
+#include "audit/invariant_check.hpp"
 #include "core/balance_ledger.hpp"
 #include "util/flat_hash.hpp"
 
@@ -113,6 +115,53 @@ class StripedLedger {
       std::lock_guard lock(window_stripes_[i].mutex);
       window_stripes_[i].ledger.audit();
     }
+  }
+
+  /// Incremental balance audit of one stripe: re-verifies only the windows
+  /// whose ledger state changed since that stripe's last audit (the
+  /// stripe's BalanceLedger keeps its own dirty set, so stripes audit
+  /// independently — and, from different workers, concurrently; each call
+  /// takes only its own stripe's lock). Returns windows verified.
+  std::size_t audit_stripe_incremental(std::size_t index) {
+    WindowStripe& stripe = window_stripes_[index];
+    std::lock_guard lock(stripe.mutex);
+    return stripe.ledger.audit_incremental();
+  }
+
+  /// Incremental balance audit across every stripe (sequential; the
+  /// sharded scheduler fans the stripes out across its workers instead —
+  /// ShardedScheduler::audit_balance_incremental). Returns windows verified.
+  std::size_t audit_incremental() {
+    std::size_t verified = 0;
+    for (std::size_t i = 0; i <= stripe_mask_; ++i) {
+      verified += audit_stripe_incremental(i);
+    }
+    return verified;
+  }
+
+  /// Registers one Lemma 3 check per stripe ("svc.stripe<i>.L3.balance-shares")
+  /// so the striped ledger's invariants are enumerable from one table.
+  /// Checks lock their stripe when run.
+  void register_invariants(audit::InvariantTable& table) const {
+    for (std::size_t i = 0; i <= stripe_mask_; ++i) {
+      table.add("svc.stripe" + std::to_string(i) + ".L3.balance-shares",
+                "StripedLedger",
+                "per-stripe round-robin balance shares (Lemma 3)", [this, i] {
+                  std::lock_guard lock(window_stripes_[i].mutex);
+                  window_stripes_[i].ledger.audit();
+                });
+    }
+  }
+
+  /// Deliberate corruption for the differential audit tests: desyncs one
+  /// stripe's share sets (see BalanceLedger::corrupt_for_test). Returns
+  /// false when no stripe holds a movable job.
+  bool corrupt_for_test() {
+    for (std::size_t i = 0; i <= stripe_mask_; ++i) {
+      std::lock_guard lock(window_stripes_[i].mutex);
+      if (window_stripes_[i].ledger.corrupt_for_test()) return true;
+    }
+    return false;
   }
 
  private:

@@ -75,6 +75,10 @@ class Runner {
         }
       }
     }
+    if (options_.audit_every != 0 && options_.audit_hook &&
+        index_ % options_.audit_every == 0) {
+      options_.audit_hook();
+    }
   }
 
   [[nodiscard]] SimReport finish() && { return std::move(report_); }
@@ -107,6 +111,7 @@ SimReport replay_batched(IReallocScheduler& scheduler, std::span<const Request> 
   // per-request Runner would skip it after applying the first).
   FlatHashMap<JobId, bool> buffered_state;
   std::uint64_t next_validate = options.validate_every;
+  std::uint64_t next_audit = options.audit_every;
 
   const auto flush = [&](std::size_t processed) {
     if (!buffer.empty()) {
@@ -150,6 +155,10 @@ SimReport replay_batched(IReallocScheduler& scheduler, std::span<const Request> 
       }
       next_validate =
           (processed / options.validate_every + 1) * options.validate_every;
+    }
+    if (options.audit_every != 0 && options.audit_hook && processed >= next_audit) {
+      options.audit_hook();
+      next_audit = (processed / options.audit_every + 1) * options.audit_every;
     }
   };
 

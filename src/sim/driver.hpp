@@ -34,6 +34,14 @@ struct SimOptions {
   /// size (0 = per-request insert/erase). Metrics are identical either way
   /// for schedulers whose apply matches sequential semantics.
   std::size_t batch_size = 0;
+  /// Run the scheduler's audit machinery every k requests (0 = never) by
+  /// calling `audit_hook` — wire it to the scheduler under test's full
+  /// audit() or incremental_audit() (or audit_balance[_incremental] for
+  /// the service layer). The hook throws InternalError on a violation,
+  /// which propagates out of the replay. In batched mode the hook runs at
+  /// the first batch boundary at or after each due request.
+  std::uint64_t audit_every = 0;
+  std::function<void()> audit_hook;
   /// Per-request hook (request index, request, stats) for series plots.
   std::function<void(std::size_t, const Request&, const RequestStats&)> on_request;
 };

@@ -154,6 +154,88 @@ TEST(FailureInjection, BestEffortSurvivesSustainedOverload) {
   EXPECT_TRUE(validate_schedule(s.snapshot(), active).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Corrupted-state detection (ISSUE 4 satellite): deliberately corrupt
+// internal state through the test hook — which marks the touched region
+// dirty, exactly as a buggy mutation path would — and assert that BOTH the
+// full O(state) sweep and the incremental audit engine flag it. A stale
+// dirty set must never produce a false accept.
+// ---------------------------------------------------------------------------
+
+using Corruption = ReservationScheduler::Corruption;
+
+std::unique_ptr<ReservationScheduler> corrupted_target(Corruption kind) {
+  SchedulerOptions options;
+  options.trimming = false;
+  options.overflow = OverflowPolicy::kBestEffort;
+  audit::AuditPolicy policy;
+  policy.mode = audit::Mode::kIncremental;
+  policy.cadence = 0;  // audits driven explicitly
+  options.audit_policy = policy;
+  auto scheduler = std::make_unique<ReservationScheduler>(options);
+  for (std::uint64_t i = 1; i <= 24; ++i) {
+    scheduler->insert(JobId{i}, Window{0, 256});
+  }
+  scheduler->incremental_audit();  // verify + seed the clean baseline
+  EXPECT_TRUE(scheduler->corrupt_for_test(kind));
+  return scheduler;
+}
+
+TEST(FailureInjection, FlippedOccupancyBitIsFlaggedByBothAuditors) {
+  auto a = corrupted_target(Corruption::kFlipLowerOccupied);
+  EXPECT_THROW(a->audit(), InternalError);
+  auto b = corrupted_target(Corruption::kFlipLowerOccupied);
+  EXPECT_THROW(b->incremental_audit(), InternalError);
+}
+
+TEST(FailureInjection, DesyncedLowerCountIsFlaggedByBothAuditors) {
+  auto a = corrupted_target(Corruption::kDesyncLowerCount);
+  EXPECT_THROW(a->audit(), InternalError);
+  auto b = corrupted_target(Corruption::kDesyncLowerCount);
+  EXPECT_THROW(b->incremental_audit(), InternalError);
+}
+
+TEST(FailureInjection, OrphanedLedgerSlotIsFlaggedByBothAuditors) {
+  auto a = corrupted_target(Corruption::kOrphanLedgerSlot);
+  EXPECT_THROW(a->audit(), InternalError);
+  auto b = corrupted_target(Corruption::kOrphanLedgerSlot);
+  EXPECT_THROW(b->incremental_audit(), InternalError);
+}
+
+TEST(FailureInjection, DesyncedWindowJobsIsFlaggedByBothAuditors) {
+  auto a = corrupted_target(Corruption::kDesyncWindowJobs);
+  EXPECT_THROW(a->audit(), InternalError);
+  auto b = corrupted_target(Corruption::kDesyncWindowJobs);
+  EXPECT_THROW(b->incremental_audit(), InternalError);
+}
+
+TEST(FailureInjection, DesyncedParkedCountIsFlaggedByBothAuditors) {
+  auto a = corrupted_target(Corruption::kDesyncParkedCount);
+  EXPECT_THROW(a->audit(), InternalError);
+  auto b = corrupted_target(Corruption::kDesyncParkedCount);
+  EXPECT_THROW(b->incremental_audit(), InternalError);
+}
+
+TEST(FailureInjection, CorruptionRemainsFlaggedAfterFirstRejection) {
+  // A failed check must not consume its dirty mark: a caller that catches
+  // the first rejection and audits again must be rejected again (the drain
+  // re-marks on throw), and the full sweep must agree throughout.
+  auto scheduler = corrupted_target(Corruption::kFlipLowerOccupied);
+  EXPECT_THROW(scheduler->incremental_audit(), InternalError);
+  EXPECT_THROW(scheduler->incremental_audit(), InternalError);
+  EXPECT_THROW(scheduler->audit(), InternalError);
+}
+
+TEST(FailureInjection, CorruptionSurvivesInterveningCleanRequests) {
+  // The dirty mark must not be washed out by later unrelated mutations:
+  // corrupt, serve clean requests elsewhere, then audit incrementally.
+  auto scheduler = corrupted_target(Corruption::kDesyncLowerCount);
+  for (std::uint64_t i = 100; i < 110; ++i) {
+    scheduler->insert(JobId{i}, Window{1024, 1024 + 256});
+  }
+  EXPECT_THROW(scheduler->incremental_audit(), InternalError);
+}
+
 TEST(FailureInjection, ThrowAndBestEffortAgreeWhenFeasible) {
   // On an instance with ample slack the two overflow policies must behave
   // identically (no degradation ever happens).
