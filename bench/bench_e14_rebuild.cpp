@@ -16,7 +16,11 @@
 //
 // Flags: common ones (--csv, --json[=path], --quick) plus --legacy-rebuild
 // to run ONLY the stop-the-world mode (manual A/B; by default both modes
-// run and the speedup column compares them).
+// run and the speedup column compares them), and --legacy-rehash to run
+// the trace with stop-the-world flat-hash growth (the pre-E16 behavior;
+// the default is the incremental two-table rehash, so the partitioned
+// rows' max now reflects the rebuild machinery alone — the residual
+// hash-tier cliff this bench used to absorb is measured by bench_e16).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -53,11 +57,13 @@ std::vector<Request> trace_for(std::size_t n, std::size_t churn) {
   return make_churn_trace(params);
 }
 
-LatencyResult run_mode(const std::vector<Request>& trace, bool legacy) {
+LatencyResult run_mode(const std::vector<Request>& trace, bool legacy,
+                       bool legacy_rehash) {
   using Clock = std::chrono::steady_clock;
   SchedulerOptions options;
   options.overflow = OverflowPolicy::kBestEffort;
   options.legacy_rebuild = legacy;
+  options.legacy_rehash = legacy_rehash;
   ReservationScheduler scheduler(options);
 
   std::vector<double> lat;
@@ -122,8 +128,10 @@ LatencyResult run_mode(const std::vector<Request>& trace, bool legacy) {
 int run(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   bool legacy_only = false;
+  bool legacy_rehash = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--legacy-rebuild") == 0) legacy_only = true;
+    if (std::strcmp(argv[i], "--legacy-rehash") == 0) legacy_rehash = true;
   }
 
   const std::vector<std::size_t> sizes =
@@ -149,6 +157,7 @@ int run(int argc, char** argv) {
     json.row()
         .field("n", n)
         .field("mode", mode)
+        .field("rehash", legacy_rehash ? "legacy" : "incremental")
         .field("requests", r.requests)
         .field("seconds", r.seconds)
         .field("p50_us", r.p50_us)
@@ -164,11 +173,11 @@ int run(int argc, char** argv) {
   for (const std::size_t n : sizes) {
     const auto trace = trace_for(n, /*churn=*/n / 2);
     if (legacy_only) {
-      emit_row(n, "legacy", run_mode(trace, true), 1.0);
+      emit_row(n, "legacy", run_mode(trace, true, legacy_rehash), 1.0);
       continue;
     }
-    const LatencyResult partitioned = run_mode(trace, false);
-    const LatencyResult legacy = run_mode(trace, true);
+    const LatencyResult partitioned = run_mode(trace, false, legacy_rehash);
+    const LatencyResult legacy = run_mode(trace, true, legacy_rehash);
     const double speedup =
         partitioned.max_ms > 0 ? legacy.max_ms / partitioned.max_ms : 0;
     emit_row(n, "partitioned", partitioned, speedup);

@@ -180,6 +180,7 @@ class AuditEngine {
     dirty_jobs_.clear();
     parked_ = 0;
     needs_full_ = false;
+    paced_ = false;
   }
   void seed_window(unsigned level, const WindowKey& w, std::int64_t jobs) {
     levels_[level].window_jobs[w] = jobs;
@@ -243,6 +244,10 @@ class AuditEngine {
     if (budget != 0 && categories > 0) {
       drain_rotation_ = (drain_rotation_ + 1) % categories;
     }
+    // Pacing releases once the backlog fits a single audit's budget — the
+    // carry-over (or the migration window's reinsertion burst) has been
+    // worked off and steady-state draining resumes unbounded.
+    if (paced_ && dirty_regions() <= budget) paced_ = false;
     return done;
   }
 
@@ -255,7 +260,17 @@ class AuditEngine {
     std::swap(parked_, other.parked_);
     std::swap(needs_full_, other.needs_full_);
     std::swap(drain_rotation_, other.drain_rotation_);
+    std::swap(paced_, other.paced_);
   }
+
+  /// Marks the current backlog as swap carry-over: until it drains to
+  /// zero, the owner caps each audit at AuditPolicy::post_swap_budget
+  /// regions instead of draining everything in one call. Called by the
+  /// owner right after swap_state_with at a generation flip. No-op when
+  /// there is nothing to pace.
+  void begin_paced_drain() { paced_ = dirty_regions() > 0; }
+  /// True while swap carry-over dirt is still being paced out.
+  [[nodiscard]] bool paced_drain() const noexcept { return paced_; }
 
   /// Folds another engine's accumulated work counters into this one and
   /// zeroes the source — called when a retiring migration shadow hands its
@@ -287,6 +302,7 @@ class AuditEngine {
   std::vector<LevelTracking> levels_;
   DirtyQueue<JobId> dirty_jobs_;
   std::size_t drain_rotation_ = 0;  // budgeted-drain fairness cursor
+  bool paced_ = false;              // swap carry-over dirt being paced out
   std::int64_t parked_ = 0;
   /// Attach-time state is unverified: the first audit is always a full
   /// sweep, whose success seeds the shadows (see mark_all / begin_reseed).

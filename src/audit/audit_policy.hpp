@@ -44,6 +44,19 @@ struct AuditPolicy {
   /// reinsertions. 0 = unbounded (drain everything every audit).
   std::size_t budget = 0;
 
+  /// Pace for draining migration-sized dirt bursts: a rebuild shadow
+  /// accumulates a whole cadence window's reinsertion dirt between parent
+  /// audits, and the generation swap hands the surviving engine the
+  /// remaining backlog wholesale (AuditEngine::swap_state_with). With
+  /// budget == 0 the next audit verified all of it in one call — the E15
+  /// incremental max-latency spike. Instead the owner arms pacing for
+  /// mid-migration shadow audits and for the post-swap carry-over: each
+  /// audit verifies at most this many regions until the backlog fits one
+  /// budget again, exactly like the rebuild itself spreads reinsertions
+  /// ("detection delayed, never lost"). 0 disables pacing (drain-all, the
+  /// pre-E16 behavior); an explicit `budget` below this value wins.
+  std::size_t post_swap_budget = 256;
+
   /// Differential mode (tests, bench_e15): after an incremental audit
   /// accepts, run the full sweep too and fail loudly if it disagrees — the
   /// incremental auditor must accept/reject exactly when the sweep does.

@@ -17,11 +17,14 @@
 // matching rollback, used by the service layer to unwind an optimistically
 // committed batch when a machine rejects one of its inserts.
 //
-// Determinism: all decisions are pure functions of the per-window operation
-// history (the donor's `any()` pick depends only on the per-window set's
-// own insert/erase sequence), so two ledgers fed the same per-window
-// sequences make identical choices — the property the sharded scheduler's
-// byte-identical guarantee rests on.
+// Determinism: all decisions are pure functions of the per-window
+// operation history. The donor pick is the pool's most recently added job
+// (DenseHashSet::back(), O(1)) — the pools are insertion-ordered dense
+// sets, so the pick depends only on the per-window set's own insert/erase
+// sequence and NEVER on hash layout or rehash mode. Two ledgers fed the
+// same per-window sequences make identical choices — the property both
+// the sharded scheduler's byte-identical guarantee and the
+// legacy-vs-incremental rehash differential tests rest on.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +52,17 @@ class BalanceLedger {
   /// when the ledger instance holds only a stripe of the window space).
   explicit BalanceLedger(unsigned machines = 1) : machines_(machines) {}
 
+  /// Stop-the-world growth for the window map and every per-machine pool
+  /// (the legacy_rehash escape hatch; see util/flat_hash.hpp). Pools
+  /// created later inherit the mode.
+  void set_legacy_rehash(bool legacy) {
+    legacy_rehash_ = legacy;
+    windows_.set_legacy_rehash(legacy);
+    windows_.for_each([&](const Window&, BalanceState& balance) {
+      for (auto& pool : balance.per_machine) pool.set_legacy_rehash(legacy);
+    });
+  }
+
   /// The §3 rebalance migration triggered by an erase, if any.
   struct Migration {
     bool needed = false;
@@ -67,7 +81,7 @@ class BalanceLedger {
   void commit_insert(JobId id, const Window& w, MachineId machine) {
     mark_dirty(w);
     BalanceState& balance = windows_[w];
-    if (balance.per_machine.empty()) balance.per_machine.resize(machines_);
+    ensure_pools(balance);
     ++balance.count;
     balance.per_machine[machine].insert(id);
   }
@@ -93,7 +107,11 @@ class BalanceLedger {
       const auto& pool = balance.per_machine[migration.donor];
       RS_CHECK(!pool.empty(), "rebalance: donor machine has no job of this window");
       migration.needed = true;
-      migration.moved = pool.any();
+      // Deterministic O(1) pick (see the determinism note above): the
+      // pool's most recently added job. A layout-dependent "first in
+      // iteration order" pick would leak the hash layout into the
+      // schedule.
+      migration.moved = pool.back();
     }
     return migration;
   }
@@ -112,7 +130,7 @@ class BalanceLedger {
   void rollback_erase(JobId id, const Window& w, MachineId machine) {
     mark_dirty(w);
     BalanceState& balance = windows_[w];
-    if (balance.per_machine.empty()) balance.per_machine.resize(machines_);
+    ensure_pools(balance);
     ++balance.count;
     balance.per_machine[machine].insert(id);
   }
@@ -211,7 +229,7 @@ class BalanceLedger {
       if (done || balance.count == 0) return;
       for (unsigned from = 0; from < machines_; ++from) {
         if (balance.per_machine[from].empty()) continue;
-        const JobId moved = balance.per_machine[from].any();
+        const JobId moved = balance.per_machine[from].back();
         balance.per_machine[from].erase(moved);
         balance.per_machine[(from + 1) % machines_].insert(moved);
         mark_dirty(w);
@@ -224,15 +242,26 @@ class BalanceLedger {
 
  private:
   struct BalanceState {
-    std::uint64_t count = 0;                      // n_W
-    std::vector<FlatHashSet<JobId>> per_machine;  // W-jobs per machine
+    std::uint64_t count = 0;                       // n_W
+    std::vector<DenseHashSet<JobId>> per_machine;  // W-jobs per machine
   };
 
   void mark_dirty(const Window& w) {
     if (track_dirty_) dirty_.mark(w);
   }
 
+  /// Materializes a fresh window's per-machine pools in the ledger's
+  /// configured rehash mode.
+  void ensure_pools(BalanceState& balance) {
+    if (!balance.per_machine.empty()) return;
+    balance.per_machine.resize(machines_);
+    if (legacy_rehash_) {
+      for (auto& pool : balance.per_machine) pool.set_legacy_rehash(true);
+    }
+  }
+
   unsigned machines_ = 1;
+  bool legacy_rehash_ = false;
   FlatHashMap<Window, BalanceState> windows_;
   /// Dirty-window queue for audit_incremental; off until the first
   /// incremental call so the sequential front end pays nothing by default.

@@ -51,9 +51,20 @@ ReservationScheduler::ReservationScheduler(SchedulerOptions options)
   RS_REQUIRE(options_.rebuild_batch > 0,
              "SchedulerOptions::rebuild_batch must be positive");
   const unsigned count = options_.levels.level_count();
+  if (options_.legacy_rehash) {
+    // Escape hatch: every hot-path table grows stop-the-world (the seed
+    // behavior; bench E16's in-binary baseline). Per-window slot sets are
+    // switched at window creation (insert_impl).
+    jobs_.set_legacy_rehash(true);
+    occ_.set_legacy_rehash(true);
+  }
   levels_.resize(count);
   for (unsigned level = 0; level < count; ++level) {
     auto& ls = levels_[level];
+    if (options_.legacy_rehash) {
+      ls.intervals.set_legacy_rehash(true);
+      ls.windows.set_legacy_rehash(true);
+    }
     ls.max_span = options_.levels.max_span(level);
     ls.max_span_log = floor_log2(ls.max_span);
     if (level >= 1) {
@@ -383,7 +394,11 @@ Time ReservationScheduler::acquire_slot(const WindowKey& w, unsigned level, Time
 
   // Fast path: an already-materialized free fulfilled slot. Prefer a truly
   // empty one among the first few probes (fewer displacements); any free
-  // fulfilled slot is valid per Figure 1 line 15.
+  // fulfilled slot is valid per Figure 1 line 15. The early-exit scan is
+  // cheap AND deterministic across rehash modes: free_assigned is a
+  // DenseHashSet, so iteration order is a pure function of the set's own
+  // insert/erase sequence — hash layout never leaks into the pick
+  // (tests/rehash_differential_test.cpp pins the byte-identity).
   Time empty_hit = kNoSlot;
   Time fallback = kNoSlot;
   int probes = 0;
@@ -816,7 +831,13 @@ void ReservationScheduler::insert_impl(JobId id, Window original) {
       const WindowKey w(trimmed);
       const auto [window_slot, activated] = ls.windows.try_emplace(w);
       ActiveWindow& window = *window_slot;
-      if (activated) note_window_activated(level, ls.class_of(w));
+      if (activated) {
+        note_window_activated(level, ls.class_of(w));
+        if (options_.legacy_rehash) {
+          window.assigned_slots.set_legacy_rehash(true);
+          window.free_assigned.set_legacy_rehash(true);
+        }
+      }
       const u64 x_old = window.jobs;
       window.jobs = x_old + 1;
       if (audit_engine_) audit_engine_->on_window_jobs(level, w, +1);
@@ -1182,6 +1203,11 @@ void ReservationScheduler::complete_migration() {
       // The retiring shadow's work history folds into the survivor so
       // audit_work() totals never move backwards across the flip.
       audit_engine_->absorb_stats(*shadow.audit_engine_);
+      // The swapped-in backlog is a whole migration window's dirt; pace it
+      // out at AuditPolicy::post_swap_budget regions per audit instead of
+      // verifying it all inside one post-swap call (the E15/E16 latency
+      // fix — the audit mirrors how the rebuild spread its reinsertions).
+      audit_engine_->begin_paced_drain();
     } else {
       // Engine attached mid-migration: the shadow generation was never
       // tracked, so the swapped-in state is unverified - escalate.
@@ -1672,11 +1698,28 @@ void ReservationScheduler::incremental_audit() {
     return;
   }
   audit_globals_scoped();
+  // While swap carry-over dirt is being paced out, cap the drain at the
+  // post-swap budget; an explicit (smaller) steady-state budget still wins.
+  std::size_t budget = engine.policy().budget;
+  const std::size_t swap_budget = engine.policy().post_swap_budget;
+  if (engine.paced_drain() && swap_budget != 0) {
+    budget = budget == 0 ? swap_budget : std::min(budget, swap_budget);
+  }
   engine.drain(
-      engine.policy().budget, [this](JobId id) { audit_job_scoped(id); },
+      budget, [this](JobId id) { audit_job_scoped(id); },
       [this](unsigned level, const WindowKey& w) { audit_window_scoped(level, w); },
       [this](unsigned level, Time base) { audit_interval_scoped(level, base); });
-  if (migration_ != nullptr) migration_->shadow->incremental_audit();
+  if (migration_ != nullptr) {
+    // The shadow accumulates a whole cadence window's reinsertion dirt
+    // between parent audits (rebuild_batch × cadence job placements) —
+    // draining that in one call was the dominant E15 incremental-latency
+    // spike, bigger than the post-swap carry-over itself. Arm the same
+    // pacing before every mid-migration shadow audit.
+    if (migration_->shadow->audit_engine_ != nullptr) {
+      migration_->shadow->audit_engine_->begin_paced_drain();
+    }
+    migration_->shadow->incremental_audit();
+  }
   // A budgeted drain may legitimately leave dirt behind ("detection
   // delayed, never lost" — audit_policy.hpp); only a fully drained pass
   // can promise agreement with the sweep, so the differential cross-check

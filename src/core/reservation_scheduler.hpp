@@ -352,11 +352,14 @@ class ReservationScheduler final : public IReallocScheduler {
   struct ActiveWindow {
     std::uint64_t jobs = 0;  // x
     /// All concrete fulfilled slots of this window (global coordinates).
-    FlatHashSet<Time> assigned_slots;
+    /// Dense sets: iteration is insertion-ordered and layout-independent,
+    /// so the acquire_slot fast-path pick stays deterministic across
+    /// rehash modes (util/flat_hash.hpp, DenseHashSet).
+    DenseHashSet<Time> assigned_slots;
     /// Subset of assigned_slots with no job of this level on them — the
     /// slots Invariant 6 / Lemma 8 hand out. (They may hold a higher-level
     /// job, which placement will displace.)
-    FlatHashSet<Time> free_assigned;
+    DenseHashSet<Time> free_assigned;
     std::uint64_t claim_cursor = 0;  // round-robin claim-scan position
   };
 

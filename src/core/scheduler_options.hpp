@@ -83,6 +83,17 @@ struct SchedulerOptions {
   /// and for the partitioned-rebuild differential tests.
   bool legacy_rebuild = false;
 
+  /// Stop-the-world flat-hash growth: the scheduler's hot-path tables
+  /// (job table, occupancy index, slot-run pages, interval and window
+  /// ledgers) rehash in place when they double (the seed behavior, a
+  /// Θ(table) latency cliff) instead of migrating through the two-table
+  /// incremental scheme (util/flat_hash.hpp, DESIGN.md §8). Schedules are
+  /// byte-identical on both paths — every layout-sensitive choice point
+  /// picks a canonical element — so this exists as the in-binary baseline
+  /// for the rehash-latency benchmark (EXPERIMENTS.md §E16, --legacy) and
+  /// for the rehash differential tests.
+  bool legacy_rehash = false;
+
   /// Partitioned-rebuild migration pace: work units (snapshot reinsertions
   /// or queued-request replays) performed per request while a rebuild
   /// migration is in flight. Also the synchronous-rebuild cutoff — active

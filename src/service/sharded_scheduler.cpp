@@ -32,6 +32,7 @@ ShardedScheduler::ShardedScheduler(unsigned machines, const Factory& factory,
       ledger_(machines, auto_stripes(options)),
       pool_(shards_ - 1) {
   RS_REQUIRE(machines >= 1, "ShardedScheduler: need at least one machine");
+  if (options.legacy_rehash) ledger_.set_legacy_rehash(true);
   machines_.reserve(machines);
   for (unsigned i = 0; i < machines; ++i) {
     auto scheduler = factory();

@@ -78,6 +78,10 @@ class ShardedScheduler final : public IReallocScheduler {
     /// Ledger stripes (rounded up to a power of two). 0 = auto:
     /// max(16, 4·shards), enough that concurrent planners rarely collide.
     std::size_t stripes = 0;
+    /// Stop-the-world growth for the striped ledger's tables (the
+    /// legacy_rehash escape hatch; see util/flat_hash.hpp). The machine
+    /// schedulers take the flag through their own SchedulerOptions.
+    bool legacy_rehash = false;
   };
 
   ShardedScheduler(unsigned machines, const Factory& factory, Options options);

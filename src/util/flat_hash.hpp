@@ -7,14 +7,45 @@
 // capacity, tombstone deletion) so a lookup is one hash, one masked index
 // and a short linear scan over adjacent memory.
 //
+// Growth is *incremental* by default (DESIGN.md §8). A stop-the-world
+// rehash of a large table is a latency cliff of exactly the shape the
+// paper's reallocation bounds amortize away — at n = 10⁵ the occupancy
+// table's doubling was the worst per-request latency left after the
+// partitioned n*-rebuild (bench E16). So growth mirrors the rebuild's
+// two-generation scheme: on reaching the load threshold the map allocates
+// the new table and *retires* the old one in place; every subsequent
+// insert/erase migrates a bounded batch of old buckets (kMigrateBatch),
+// lookups probe the new table first and fall back to the retiring one, and
+// an optional drain_rehash(budget) hook lets idle callers finish early.
+// Tables below kMinIncrementalCapacity still rehash in place — copying a
+// few hundred slots is not a cliff, and the scheduler's many small
+// per-window sets keep their seed-identical layouts. set_legacy_rehash()
+// restores the stop-the-world path wholesale (the in-binary baseline for
+// bench E16 and the rehash differential tests).
+//
 // Semantics that differ from the std containers — read before use:
-//   * References/iterators are invalidated by any insertion that rehashes
-//     (erase never moves elements: deletion is by tombstone). Do not hold a
-//     reference across an insert into the same container.
-//   * Keys and values must be default-constructible; erased slots are reset
-//     to a default-constructed state to release owned resources.
-//   * Iteration order is unspecified and changes across rehashes (exactly
-//     like the std containers — nothing in the scheduler may depend on it).
+//   * References/iterators are invalidated by any insertion that grows the
+//     table, and — while an incremental migration is in flight — by ANY
+//     insert or erase (each mutating call may relocate a batch of entries
+//     from the retiring table). A find()/try_emplace() that hits an
+//     existing key never relocates other entries: lookups of present keys
+//     are always reference-stable. Do not hold a reference across a
+//     mutating call into the same container.
+//   * erase() never moves elements when no migration is in flight
+//     (deletion is by tombstone) — the seed contract, unchanged in legacy
+//     mode.
+//   * Keys and values must be default-constructible. A slot object lives
+//     exactly while its control byte says so: erased slots are destroyed
+//     immediately (owned resources released), and slot arrays are
+//     allocated uninitialized — table growth never pays a zeroing or
+//     construction pass over the new array. The containers are move-only.
+//   * Iteration order is unspecified and changes across rehashes and
+//     migrations (exactly like the std containers). Nothing in the
+//     scheduler may depend on it: every layout-sensitive *choice* point
+//     (acquire_slot's fast path, the balance ledger's donor pick) selects a
+//     canonical element instead of "first in iteration order", which is
+//     what makes schedules byte-identical across rehash modes
+//     (tests/rehash_differential_test.cpp).
 //
 // The default hasher bit-mixes integral keys (std::hash is the identity for
 // them on common standard libraries, which clusters catastrophically under
@@ -25,6 +56,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -69,25 +101,169 @@ class FlatHashMap {
     V value{};
   };
 
+  /// Slots live in *uninitialized* storage: ctrl_ alone distinguishes live
+  /// slots, and a slot object exists exactly while its ctrl byte is kFull
+  /// (constructed in place on insert, destroyed on erase / table release).
+  /// Value-initializing a slot array would be pure waste — and at growth
+  /// time it is a cliff all of its own: zeroing (or worse,
+  /// default-constructing) the doubled array of a 10⁵-entry table is
+  /// multi-millisecond work, while an untouched allocation is O(1) with
+  /// the page faults amortized over the inserts that first touch it. For
+  /// trivially-copyable, trivially-destructible slots (every hot-path
+  /// table: occupancy, job states, intervals, bitmap pages) the
+  /// constructor/destructor calls compile away entirely and slots are
+  /// plain implicit-lifetime values.
+  static constexpr bool kTrivialSlots =
+      std::is_trivially_copyable_v<Slot> && std::is_trivially_destructible_v<Slot>;
+
+  struct SlotArray {
+    static_assert(alignof(Slot) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                  "raw slot storage relies on operator new's alignment");
+    std::unique_ptr<std::byte[]> bytes;
+
+    void allocate(std::size_t n) {
+      bytes = std::make_unique_for_overwrite<std::byte[]>(n * sizeof(Slot));
+    }
+    void reset() { bytes.reset(); }
+    [[nodiscard]] Slot* data() const noexcept {
+      return reinterpret_cast<Slot*>(bytes.get());
+    }
+    [[nodiscard]] Slot& operator[](std::size_t i) noexcept { return data()[i]; }
+    [[nodiscard]] const Slot& operator[](std::size_t i) const noexcept {
+      return data()[i];
+    }
+  };
+
+  /// Begins the lifetime of the slot at `idx` with `key` and a
+  /// default-constructed value. For trivial slots this is two assignments.
+  static void construct_slot(SlotArray& slots, std::size_t idx, const K& key) {
+    if constexpr (kTrivialSlots) {
+      slots[idx].key = key;
+      slots[idx].value = V{};
+    } else {
+      ::new (static_cast<void*>(&slots[idx])) Slot{key, V{}};
+    }
+  }
+
+  /// Moves the live slot `from` into the (dead) slot at `idx`, ending
+  /// `from`'s lifetime.
+  static void relocate_slot(SlotArray& slots, std::size_t idx, Slot& from) {
+    if constexpr (kTrivialSlots) {
+      slots[idx] = from;
+    } else {
+      ::new (static_cast<void*>(&slots[idx])) Slot{std::move(from)};
+      from.~Slot();
+    }
+  }
+
+  /// Ends the lifetime of the live slot at `idx` (releasing owned
+  /// resources immediately). No-op for trivial slots.
+  static void destroy_slot(SlotArray& slots, std::size_t idx) {
+    if constexpr (!kTrivialSlots) slots[idx].~Slot();
+  }
+
+  /// Destroys every live slot of a table (release / destruction paths).
+  static void destroy_live_slots(const std::vector<std::uint8_t>& ctrl,
+                                 SlotArray& slots) {
+    if constexpr (!kTrivialSlots) {
+      for (std::size_t i = 0; i < ctrl.size(); ++i) {
+        if (ctrl[i] == kFull) slots[i].~Slot();
+      }
+    }
+  }
+
  public:
+  /// Old buckets examined per mutating call while a migration is in
+  /// flight. The doubling invariant needs only 2 (old live <= 3/4·C drains
+  /// in C/B mutations, while the 2C table absorbs up to 3/4·C net inserts
+  /// before its own threshold); 8 keeps migrations an order of magnitude
+  /// ahead of the growth schedule at a few nanoseconds per call.
+  static constexpr std::size_t kMigrateBatch = 8;
+  /// Tables smaller than this rehash in place even in incremental mode:
+  /// copying a few hundred contiguous slots costs microseconds (no cliff),
+  /// and the scheduler's many small per-window sets keep their
+  /// seed-identical layouts.
+  static constexpr std::size_t kMinIncrementalCapacity = 1024;
+
   FlatHashMap() = default;
+  FlatHashMap(const FlatHashMap&) = delete;
+  FlatHashMap& operator=(const FlatHashMap&) = delete;
+  FlatHashMap(FlatHashMap&& other) noexcept : FlatHashMap() { swap(other); }
+  FlatHashMap& operator=(FlatHashMap&& other) noexcept {
+    if (this != &other) {
+      // this's tables move into `empty`, whose destructor destroys the
+      // live slots and frees the storage (exactly once).
+      FlatHashMap empty;
+      swap(empty);
+      swap(other);
+    }
+    return *this;
+  }
+  ~FlatHashMap() {
+    destroy_live_slots(old_ctrl_, old_slots_);
+    destroy_live_slots(ctrl_, slots_);
+  }
+
+  void swap(FlatHashMap& other) noexcept {
+    std::swap(ctrl_, other.ctrl_);
+    std::swap(slots_, other.slots_);
+    std::swap(old_ctrl_, other.old_ctrl_);
+    std::swap(old_slots_, other.old_slots_);
+    std::swap(migrate_pos_, other.migrate_pos_);
+    std::swap(old_live_, other.old_live_);
+    std::swap(size_, other.size_);
+    std::swap(used_, other.used_);
+    std::swap(incremental_, other.incremental_);
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] std::size_t capacity() const noexcept { return ctrl_.size(); }
 
+  /// Selects the stop-the-world growth path (the seed behavior and the
+  /// in-binary baseline for bench E16). Turning legacy mode on mid-stream
+  /// first completes any in-flight migration.
+  void set_legacy_rehash(bool legacy) {
+    if (legacy && migrating()) finish_migration();
+    incremental_ = !legacy;
+  }
+  [[nodiscard]] bool legacy_rehash() const noexcept { return !incremental_; }
+
+  /// True while a two-table migration is in flight (a retiring table still
+  /// holds entries to move).
+  [[nodiscard]] bool rehash_in_flight() const noexcept { return migrating(); }
+  /// Live entries still waiting in the retiring table. 0 when none.
+  [[nodiscard]] std::size_t migration_pending() const noexcept { return old_live_; }
+
+  /// Migrates up to `budget` retiring buckets now (0 = all) — the optional
+  /// idle-drain hook: callers with latency headroom can finish a migration
+  /// early instead of riding it out across future mutations. Returns the
+  /// number of live entries moved. No-op when no migration is in flight.
+  std::size_t drain_rehash(std::size_t budget) {
+    if (!migrating()) return 0;
+    const std::size_t live_before = old_live_;
+    migrate_step(budget == 0 ? old_ctrl_.size() : budget);
+    return live_before - old_live_;
+  }
+
   void clear() {
     // Capacity is retained: rebuild-heavy callers (n* resizing) refill to a
-    // similar size immediately.
+    // similar size immediately. A retiring table is dropped wholesale.
+    release_old_table();
     if (!ctrl_.empty()) {
+      destroy_live_slots(ctrl_, slots_);
       std::fill(ctrl_.begin(), ctrl_.end(), static_cast<std::uint8_t>(kEmpty));
-      for (Slot& slot : slots_) slot = Slot{};
     }
     size_ = 0;
     used_ = 0;
   }
 
+  /// Pre-sizes for `count` entries. Deliberately stop-the-world: reserve is
+  /// a bulk-load hint issued when the caller has latency headroom, and a
+  /// table sized up front never migrates at all (any in-flight migration is
+  /// completed first so the rehash sees one table).
   void reserve(std::size_t count) {
+    if (migrating()) finish_migration();
     std::size_t want = 16;
     while (want * 3 < count * 4) want *= 2;
     if (want > capacity()) rehash(want);
@@ -95,43 +271,54 @@ class FlatHashMap {
 
   [[nodiscard]] V* find(const K& key) noexcept {
     const std::size_t idx = find_index(key);
-    return idx == kNpos ? nullptr : &slots_[idx].value;
+    if (idx != kNpos) return &slots_[idx].value;
+    if (migrating()) {
+      const std::size_t old_idx = find_index_old(key);
+      if (old_idx != kNpos) return &old_slots_[old_idx].value;
+    }
+    return nullptr;
   }
   [[nodiscard]] const V* find(const K& key) const noexcept {
-    const std::size_t idx = find_index(key);
-    return idx == kNpos ? nullptr : &slots_[idx].value;
+    return const_cast<FlatHashMap*>(this)->find(key);
   }
   [[nodiscard]] bool contains(const K& key) const noexcept {
-    return find_index(key) != kNpos;
+    return find(key) != nullptr;
   }
 
   [[nodiscard]] V& at(const K& key) {
-    const std::size_t idx = find_index(key);
-    RS_CHECK(idx != kNpos, "FlatHashMap::at: key not found");
-    return slots_[idx].value;
+    V* value = find(key);
+    RS_CHECK(value != nullptr, "FlatHashMap::at: key not found");
+    return *value;
   }
   [[nodiscard]] const V& at(const K& key) const {
-    const std::size_t idx = find_index(key);
-    RS_CHECK(idx != kNpos, "FlatHashMap::at: key not found");
-    return slots_[idx].value;
+    const V* value = find(key);
+    RS_CHECK(value != nullptr, "FlatHashMap::at: key not found");
+    return *value;
   }
 
   /// Returns {value reference, inserted}. The reference is valid until the
-  /// next rehashing insertion. A call that finds an existing key never
-  /// rehashes (upholding the reference-invalidated-only-by-insertion
-  /// contract above), so growth is checked only once the key is known
-  /// absent.
+  /// next mutating call that relocates entries (growth, or any mutation
+  /// while a migration is in flight). A call that finds an existing key
+  /// never relocates *other* entries (upholding the present-key
+  /// reference-stability contract above): growth and migration stepping
+  /// are checked only once the key is known absent. A key found in the
+  /// retiring table is moved to the active table before its (fresh,
+  /// stable) address is returned.
   std::pair<V*, bool> try_emplace(const K& key) {
     if (!ctrl_.empty()) {
       const std::size_t existing = find_index(key);
       if (existing != kNpos) return {&slots_[existing].value, false};
     }
+    if (migrating()) {
+      const std::size_t old_idx = find_index_old(key);
+      if (old_idx != kNpos) return {relocate_from_old(old_idx), false};
+      migrate_step(kMigrateBatch);
+    }
     grow_if_needed();
     const std::size_t idx = probe_for_insert(key);
     const bool was_tombstone = ctrl_[idx] == kTombstone;
+    construct_slot(slots_, idx, key);
     ctrl_[idx] = kFull;
-    slots_[idx].key = key;
-    slots_[idx].value = V{};
     ++size_;
     if (!was_tombstone) ++used_;
     return {&slots_[idx].value, true};
@@ -145,24 +332,74 @@ class FlatHashMap {
     return inserted;
   }
 
+  /// erase(), but moves the value out first (one probe where a caller's
+  /// find-then-erase would pay two). Returns 1 iff the key was present.
+  std::size_t take(const K& key, V& out) {
+    const std::size_t idx = find_index(key);
+    if (idx != kNpos) {
+      out = std::move(slots_[idx].value);
+      return erase_active(idx);
+    }
+    if (migrating()) {
+      const std::size_t old_idx = find_index_old(key);
+      if (old_idx != kNpos) out = std::move(old_slots_[old_idx].value);
+      return erase_old(old_idx);
+    }
+    return 0;
+  }
+
   std::size_t erase(const K& key) {
     const std::size_t idx = find_index(key);
-    if (idx == kNpos) return 0;
+    if (idx != kNpos) return erase_active(idx);
+    if (migrating()) return erase_old(find_index_old(key));
+    return 0;
+  }
+
+ private:
+  std::size_t erase_active(std::size_t idx) {
+    destroy_slot(slots_, idx);  // release owned resources immediately
     ctrl_[idx] = kTombstone;
-    slots_[idx] = Slot{};  // release owned resources eagerly
     --size_;
+    if (migrating()) migrate_step(kMigrateBatch);
     return 1;
   }
 
-  /// f(const K&, V&) over every element, unspecified order.
+  /// Erase of a retiring-table slot (`old_idx` may be kNpos = key absent;
+  /// the mutation still advances the migration, like any other erase).
+  /// Tombstone, never empty: the retiring table's probe chains must
+  /// survive until every live entry behind them has migrated.
+  std::size_t erase_old(std::size_t old_idx) {
+    std::size_t erased = 0;
+    if (old_idx != kNpos) {
+      destroy_slot(old_slots_, old_idx);
+      old_ctrl_[old_idx] = kTombstone;
+      --old_live_;
+      --size_;
+      erased = 1;
+    }
+    migrate_step(kMigrateBatch);
+    return erased;
+  }
+
+ public:
+  /// f(const K&, V&) over every element, unspecified order. f must not
+  /// mutate the map itself.
   template <class F>
   void for_each(F&& f) {
+    for (std::size_t i = 0; i < old_ctrl_.size(); ++i) {
+      if (old_ctrl_[i] == kFull) {
+        f(const_cast<const K&>(old_slots_[i].key), old_slots_[i].value);
+      }
+    }
     for (std::size_t i = 0; i < ctrl_.size(); ++i) {
       if (ctrl_[i] == kFull) f(const_cast<const K&>(slots_[i].key), slots_[i].value);
     }
   }
   template <class F>
   void for_each(F&& f) const {
+    for (std::size_t i = 0; i < old_ctrl_.size(); ++i) {
+      if (old_ctrl_[i] == kFull) f(old_slots_[i].key, old_slots_[i].value);
+    }
     for (std::size_t i = 0; i < ctrl_.size(); ++i) {
       if (ctrl_[i] == kFull) f(slots_[i].key, slots_[i].value);
     }
@@ -172,6 +409,9 @@ class FlatHashMap {
   /// stopped the scan.
   template <class F>
   bool for_each_until(F&& f) const {
+    for (std::size_t i = 0; i < old_ctrl_.size(); ++i) {
+      if (old_ctrl_[i] == kFull && f(old_slots_[i].key, old_slots_[i].value)) return true;
+    }
     for (std::size_t i = 0; i < ctrl_.size(); ++i) {
       if (ctrl_[i] == kFull && f(slots_[i].key, slots_[i].value)) return true;
     }
@@ -181,12 +421,24 @@ class FlatHashMap {
  private:
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
+  [[nodiscard]] bool migrating() const noexcept { return !old_ctrl_.empty(); }
+
   [[nodiscard]] std::size_t find_index(const K& key) const noexcept {
     if (ctrl_.empty()) return kNpos;
     const std::size_t mask = ctrl_.size() - 1;
     std::size_t idx = Hash{}(key) & mask;
     while (ctrl_[idx] != kEmpty) {
       if (ctrl_[idx] == kFull && slots_[idx].key == key) return idx;
+      idx = (idx + 1) & mask;
+    }
+    return kNpos;
+  }
+
+  [[nodiscard]] std::size_t find_index_old(const K& key) const noexcept {
+    const std::size_t mask = old_ctrl_.size() - 1;
+    std::size_t idx = Hash{}(key) & mask;
+    while (old_ctrl_[idx] != kEmpty) {
+      if (old_ctrl_[idx] == kFull && old_slots_[idx].key == key) return idx;
       idx = (idx + 1) & mask;
     }
     return kNpos;
@@ -207,21 +459,106 @@ class FlatHashMap {
     return first_tombstone != kNpos ? first_tombstone : idx;
   }
 
+  /// Places a key known absent from the active table (a migrating or
+  /// relocating entry). Reuses the first tombstone on the probe path, like
+  /// probe_for_insert, but needs no key comparisons.
+  [[nodiscard]] std::size_t probe_for_absent(const K& key) const noexcept {
+    const std::size_t mask = ctrl_.size() - 1;
+    std::size_t idx = Hash{}(key) & mask;
+    std::size_t first_tombstone = kNpos;
+    while (ctrl_[idx] != kEmpty) {
+      if (ctrl_[idx] == kTombstone && first_tombstone == kNpos) first_tombstone = idx;
+      idx = (idx + 1) & mask;
+    }
+    return first_tombstone != kNpos ? first_tombstone : idx;
+  }
+
+  /// Moves the live retiring-table entry at `old_idx` into the active
+  /// table and returns its new value address.
+  V* relocate_from_old(std::size_t old_idx) {
+    const std::size_t idx = probe_for_absent(old_slots_[old_idx].key);
+    if (ctrl_[idx] != kTombstone) ++used_;
+    relocate_slot(slots_, idx, old_slots_[old_idx]);
+    ctrl_[idx] = kFull;
+    old_ctrl_[old_idx] = kTombstone;
+    --old_live_;
+    if (old_live_ == 0) release_old_table();
+    return &slots_[idx].value;
+  }
+
+  /// Examines up to `budget` retiring buckets from the scan cursor, moving
+  /// every live entry found; frees the retiring table once empty. Bucket
+  /// examinations (not moves) are the unit, so the per-call cost is a
+  /// bounded scan even over tombstone-riddled regions.
+  void migrate_step(std::size_t budget) {
+    while (budget > 0 && migrating()) {
+      if (old_live_ == 0 || migrate_pos_ >= old_ctrl_.size()) {
+        release_old_table();
+        return;
+      }
+      if (old_ctrl_[migrate_pos_] == kFull) {
+        relocate_from_old(migrate_pos_);
+        if (!migrating()) return;  // that was the last live entry
+      }
+      ++migrate_pos_;
+      --budget;
+    }
+  }
+
+  void finish_migration() { migrate_step(old_ctrl_.size()); }
+
+  void release_old_table() {
+    // clear() discards retiring tables wholesale, live entries included.
+    destroy_live_slots(old_ctrl_, old_slots_);
+    old_ctrl_ = std::vector<std::uint8_t>{};
+    old_slots_.reset();
+    old_live_ = 0;
+    migrate_pos_ = 0;
+  }
+
   void grow_if_needed() {
     // Max load factor 3/4 counting tombstones (they lengthen probe paths
     // just like live entries).
-    if ((used_ + 1) * 4 > capacity() * 3) {
-      const std::size_t base = capacity() == 0 ? 16 : capacity();
-      // If most of the load is tombstones, rehashing in place is enough.
-      rehash(size_ * 4 > base * 3 ? base * 2 : base);
+    if ((used_ + 1) * 4 <= capacity() * 3) return;
+    // Growth pressure while a migration is in flight is DEFERRED, not
+    // served: finishing or restarting a table move here would be exactly
+    // the cliff this scheme removes. The overshoot is bounded — a
+    // doubling's active table reaches at most ~0.44 load before the old
+    // table drains, a same-capacity purge at most ~0.88 (old live
+    // <= 3/4·C plus the <= C/kMigrateBatch mutations the drain takes) —
+    // and the first mutation after completion grows normally.
+    if (migrating()) return;
+    const std::size_t base = capacity() == 0 ? 16 : capacity();
+    // Double unless tombstones dominate the load (then rehashing at the
+    // same capacity purges them). The incoming insert is counted: at a
+    // pure-insert threshold size_·4 == base·3 exactly, and the seed's
+    // strict > chose a futile same-capacity rehash one insert before
+    // doubling anyway.
+    const std::size_t target = (size_ + 1) * 4 > base * 3 ? base * 2 : base;
+    if (incremental_ && base >= kMinIncrementalCapacity) {
+      start_migration(target);
+    } else {
+      rehash(target);
     }
+  }
+
+  /// Retires the active table and installs a fresh one of `new_capacity`;
+  /// entries move over incrementally (migrate_step / drain_rehash).
+  void start_migration(std::size_t new_capacity) {
+    old_ctrl_ = std::move(ctrl_);
+    old_slots_ = std::move(slots_);
+    old_live_ = size_;
+    migrate_pos_ = 0;
+    ctrl_.assign(new_capacity, static_cast<std::uint8_t>(kEmpty));
+    slots_.allocate(new_capacity);
+    used_ = 0;
   }
 
   void rehash(std::size_t new_capacity) {
     std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
-    std::vector<Slot> old_slots = std::move(slots_);
+    SlotArray old_slots = std::move(slots_);
     ctrl_.assign(new_capacity, static_cast<std::uint8_t>(kEmpty));
-    slots_.assign(new_capacity, Slot{});
+    slots_.allocate(new_capacity);
     size_ = 0;
     used_ = 0;
     const std::size_t mask = new_capacity - 1;
@@ -229,17 +566,25 @@ class FlatHashMap {
       if (old_ctrl[i] != kFull) continue;
       std::size_t idx = Hash{}(old_slots[i].key) & mask;
       while (ctrl_[idx] == kFull) idx = (idx + 1) & mask;
+      relocate_slot(slots_, idx, old_slots[i]);
       ctrl_[idx] = kFull;
-      slots_[idx] = std::move(old_slots[i]);
       ++size_;
       ++used_;
     }
   }
 
   std::vector<std::uint8_t> ctrl_;
-  std::vector<Slot> slots_;
-  std::size_t size_ = 0;  // live entries
-  std::size_t used_ = 0;  // live entries + tombstones
+  SlotArray slots_;
+  /// Retiring table of an in-flight incremental migration (empty when
+  /// none). Never inserted into; erased entries become tombstones so the
+  /// remaining probe chains stay intact.
+  std::vector<std::uint8_t> old_ctrl_;
+  SlotArray old_slots_;
+  std::size_t migrate_pos_ = 0;  // scan cursor into old_ctrl_
+  std::size_t old_live_ = 0;     // live entries left in the retiring table
+  std::size_t size_ = 0;  // live entries across both tables
+  std::size_t used_ = 0;  // active-table live entries + tombstones
+  bool incremental_ = true;
 };
 
 template <class K, class Hash = FlatHash<K>>
@@ -252,6 +597,14 @@ class FlatHashSet {
 
   void clear() { map_.clear(); }
   void reserve(std::size_t count) { map_.reserve(count); }
+
+  void set_legacy_rehash(bool legacy) { map_.set_legacy_rehash(legacy); }
+  [[nodiscard]] bool legacy_rehash() const noexcept { return map_.legacy_rehash(); }
+  [[nodiscard]] bool rehash_in_flight() const noexcept { return map_.rehash_in_flight(); }
+  [[nodiscard]] std::size_t migration_pending() const noexcept {
+    return map_.migration_pending();
+  }
+  std::size_t drain_rehash(std::size_t budget) { return map_.drain_rehash(budget); }
 
   /// Returns true iff the key was newly inserted.
   bool insert(const K& key) { return map_.try_emplace(key).second; }
@@ -271,7 +624,11 @@ class FlatHashSet {
     return map_.for_each_until([&](const K& key, const Empty&) { return f(key); });
   }
 
-  /// Some element (unspecified which); the set must be non-empty.
+  /// Some element (unspecified which); the set must be non-empty. The pick
+  /// depends on table layout — a caller whose *behavior* feeds off the
+  /// choice must use an insertion-ordered DenseHashSet (back(), or a
+  /// deterministic scan) instead, as acquire_slot and the balance ledger
+  /// do (see the iteration-order note above).
   [[nodiscard]] K any() const {
     RS_CHECK(!map_.empty(), "FlatHashSet::any: empty set");
     K out{};
@@ -284,6 +641,88 @@ class FlatHashSet {
 
  private:
   FlatHashMap<K, Empty, Hash> map_;
+};
+
+/// Hash set with *insertion-ordered, layout-independent* iteration: a dense
+/// vector of keys plus a FlatHashMap from key to dense index. erase is
+/// swap-with-last (O(1), order changes deterministically). Iteration walks
+/// the dense vector, so the order — and therefore any "first element
+/// satisfying P" pick — is a pure function of the set's insert/erase
+/// sequence, never of hash layout, rehash mode, or migration state. The
+/// scheduler's choice points that want a cheap early-exit scan (the
+/// acquire_slot fast path, the balance ledger's donor pick) use this
+/// container; that is what keeps schedules byte-identical across rehash
+/// modes (tests/rehash_differential_test.cpp) without paying a full-scan
+/// canonical minimum per pick. Dense iteration is also faster than probing
+/// a sparse table: no empty slots to skip.
+template <class K, class Hash = FlatHash<K>>
+class DenseHashSet {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return dense_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return dense_.empty(); }
+
+  void clear() {
+    dense_.clear();
+    index_.clear();
+  }
+  void reserve(std::size_t count) {
+    dense_.reserve(count);
+    index_.reserve(count);
+  }
+
+  void set_legacy_rehash(bool legacy) { index_.set_legacy_rehash(legacy); }
+
+  /// Returns true iff the key was newly inserted (appended at the back).
+  bool insert(const K& key) {
+    const auto [slot, inserted] = index_.try_emplace(key);
+    if (!inserted) return false;
+    *slot = static_cast<std::uint32_t>(dense_.size());
+    dense_.push_back(key);
+    return true;
+  }
+
+  /// Swap-with-last removal; the displaced last key keeps its identity but
+  /// takes the erased key's dense position (a deterministic reordering).
+  std::size_t erase(const K& key) {
+    std::uint32_t hole = 0;
+    if (index_.take(key, hole) == 0) return 0;
+    const K moved = dense_.back();
+    dense_[hole] = moved;
+    dense_.pop_back();
+    if (!(moved == key)) index_.at(moved) = hole;
+    return 1;
+  }
+
+  [[nodiscard]] bool contains(const K& key) const noexcept {
+    return index_.contains(key);
+  }
+
+  /// Some element in O(1) — the most recently appended. Deterministic
+  /// given the set's operation sequence (see the class comment).
+  [[nodiscard]] const K& back() const {
+    RS_CHECK(!dense_.empty(), "DenseHashSet::back: empty set");
+    return dense_.back();
+  }
+
+  /// f(const K&) in insertion order (as reshuffled by swap-pop erases).
+  template <class F>
+  void for_each(F&& f) const {
+    for (const K& key : dense_) f(key);
+  }
+
+  /// Like for_each, but stops early when f returns true. Returns whether f
+  /// stopped the scan.
+  template <class F>
+  bool for_each_until(F&& f) const {
+    for (const K& key : dense_) {
+      if (f(key)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<K> dense_;
+  FlatHashMap<K, std::uint32_t, Hash> index_;
 };
 
 }  // namespace reasched

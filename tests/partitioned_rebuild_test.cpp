@@ -299,6 +299,63 @@ TEST(PartitionedRebuild, HalvingBoundariesMigrateToo) {
   EXPECT_EQ(s.active_jobs(), active.size());
 }
 
+// Runs an insert ramp until one partitioned migration completes (the
+// generation swap carried the shadow's audit dirt across); returns the
+// scheduler mid-story. The policy never audits on its own (cadence 0), so
+// the carried-over backlog is intact for the caller to drain by hand.
+std::unique_ptr<ReservationScheduler> ramp_past_one_swap(std::size_t post_swap_budget) {
+  SchedulerOptions options = base_options();
+  options.rebuild_batch = 16;
+  options.audit_policy.mode = audit::Mode::kIncremental;
+  options.audit_policy.cadence = 0;  // engine ingests; the test drains
+  options.audit_policy.post_swap_budget = post_swap_budget;
+  auto s = std::make_unique<ReservationScheduler>(options);
+
+  const auto trace = churn_trace(4242, 2'000, 900);
+  bool was_in_flight = false;
+  for (const Request& r : trace) {
+    serve(*s, r);
+    const bool in_flight = s->rebuild_in_flight();
+    if (was_in_flight && !in_flight) return s;  // swap happened this request
+    was_in_flight = in_flight;
+  }
+  ADD_FAILURE() << "trace never completed a partitioned migration";
+  return s;
+}
+
+TEST(PartitionedRebuild, PostSwapAuditDrainIsPaced) {
+  // The generation flip hands the live engine a whole migration window's
+  // dirt. With a post_swap_budget the backlog must drain at most
+  // budget-regions per audit call — across calls, never inside one — and
+  // still converge to a clean, fully verified state.
+  constexpr std::size_t kBudget = 8;
+  auto s = ramp_past_one_swap(kBudget);
+  const std::size_t backlog = s->audit_backlog();
+  ASSERT_GT(backlog, 4 * kBudget) << "swap carried too little dirt to test pacing";
+
+  std::size_t calls = 0;
+  while (s->audit_backlog() > 0) {
+    const std::uint64_t before = s->audit_work().regions_checked;
+    ASSERT_NO_THROW(s->incremental_audit());
+    const std::uint64_t checked = s->audit_work().regions_checked - before;
+    ASSERT_LE(checked, kBudget) << "post-swap drain exceeded the pacing budget";
+    ASSERT_LT(++calls, backlog + 16) << "paced drain failed to converge";
+  }
+  EXPECT_GE(calls, backlog / kBudget) << "backlog drained in too few calls";
+  // Once the carry-over clears, pacing disengages and the state is clean.
+  ASSERT_NO_THROW(s->audit());
+  ASSERT_NO_THROW(s->verify_fulfillment_cache());
+}
+
+TEST(PartitionedRebuild, PostSwapPacingDisabledDrainsInOneCall) {
+  // post_swap_budget = 0 restores the pre-pacing behavior: the first audit
+  // after the swap verifies the entire carried-over backlog at once.
+  auto s = ramp_past_one_swap(0);
+  ASSERT_GT(s->audit_backlog(), 0u);
+  ASSERT_NO_THROW(s->incremental_audit());
+  EXPECT_EQ(s->audit_backlog(), 0u);
+}
+
 TEST(IncrementalRebuildAdapter, AdaptivePaceAvoidsWholeSetBursts) {
   // The even/odd adapter must never reach a re-trigger with a backlog (the
   // old "flush the whole pending set in one burst" path) on realistic
