@@ -1,6 +1,7 @@
 // Trace replay CLI: turn the library into a command-line tool.
 //
 //   $ ./example_trace_replay <trace-file> [scheduler] [machines]
+//       [--record-trace FILE] [--replay-trace FILE]
 //
 //   scheduler: reservation (default) | incremental | naive | edf-repair |
 //              latest-fit | opt-rebuild
@@ -9,6 +10,12 @@
 // "I <id> <arrival> <deadline>" and "D <id>"), replays it with continuous
 // validation, and prints the cost summary. Use `-` to read from stdin.
 // Generate traces programmatically or dump one with write_trace().
+//
+// --replay-trace FILE reads the trace from a *binary* WAL-format file
+// instead of the positional text trace (a durability log file works as-is:
+// a crash's surviving request stream is a ready-made reproducer);
+// --record-trace FILE writes the served stream to FILE in that format.
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -53,19 +60,47 @@ std::unique_ptr<reasched::IReallocScheduler> make_scheduler(const std::string& k
 
 int main(int argc, char** argv) {
   using namespace reasched;
-  if (argc < 2) {
+  std::string record_path;
+  std::string replay_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--record-trace") == 0 && i + 1 < argc) {
+      record_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay-trace") == 0 && i + 1 < argc) {
+      replay_path = argv[++i];
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (positional.empty() && replay_path.empty()) {
     std::cerr << "usage: " << argv[0]
               << " <trace-file|-> [reservation|incremental|naive|edf-repair|"
-                 "latest-fit|opt-rebuild] [machines]\n";
+                 "latest-fit|opt-rebuild] [machines]"
+                 " [--record-trace FILE] [--replay-trace FILE]\n"
+                 "with --replay-trace the trace comes from FILE (WAL format);"
+                 " omit <trace-file>\n";
     return 2;
   }
-  const std::string path = argv[1];
-  const std::string kind = argc > 2 ? argv[2] : "reservation";
-  const unsigned machines = argc > 3 ? static_cast<unsigned>(std::stoul(argv[3])) : 1;
+  std::size_t arg = 0;
+  const std::string path =
+      replay_path.empty() ? positional[arg++] : std::string{};
+  const std::string kind = positional.size() > arg ? positional[arg++] : "reservation";
+  unsigned machines = 1;
+  if (positional.size() > arg) {
+    try {
+      machines = static_cast<unsigned>(std::stoul(positional[arg]));
+    } catch (const std::exception&) {
+      std::cerr << "bad machines argument: " << positional[arg]
+                << " (with --replay-trace, omit <trace-file>)\n";
+      return 2;
+    }
+  }
 
   std::vector<Request> trace;
   try {
-    if (path == "-") {
+    if (!replay_path.empty()) {
+      trace = read_trace_wal(replay_path);
+    } else if (path == "-") {
       trace = read_trace(std::cin);
     } else {
       std::ifstream file(path);
@@ -88,6 +123,7 @@ int main(int argc, char** argv) {
 
   SimOptions sim;
   sim.validate_every = 100;
+  sim.record_trace = record_path;
   const auto report = replay_trace(*scheduler, trace, sim);
 
   Table table("replay: " + scheduler->name());

@@ -112,6 +112,19 @@ unsigned ReservationScheduler::block_floor(const JobState& job) const noexcept {
 // Interval state
 // ---------------------------------------------------------------------------
 
+void ReservationScheduler::carve_interval_block(LevelState& ls, Interval& interval) {
+  // One zeroed carve materializes all three per-interval arrays; the
+  // zero state is exactly "no assignments, no lower occupancy, cache
+  // invalid" (ful_state lives in the Interval view itself).
+  std::byte* block = ls.arena.carve();
+  interval.slots = reinterpret_cast<SlotInfo*>(block);
+  interval.ful_cache =
+      reinterpret_cast<FulRow*>(block + ls.interval_size * sizeof(SlotInfo));
+  interval.assigned_by_class = reinterpret_cast<std::uint32_t*>(
+      block + ls.interval_size * sizeof(SlotInfo) +
+      ls.class_count() * sizeof(FulRow));
+}
+
 ReservationScheduler::Interval& ReservationScheduler::get_or_create_interval(
     unsigned level, Time base) {
   auto& ls = levels_[level];
@@ -120,16 +133,7 @@ ReservationScheduler::Interval& ReservationScheduler::get_or_create_interval(
   if (inserted) {
     interval->base = base;
     mark_interval_dirty(level, base);
-    // One zeroed carve materializes all three per-interval arrays; the
-    // zero state is exactly "no assignments, no lower occupancy, cache
-    // invalid" (ful_state lives in the Interval view itself).
-    std::byte* block = ls.arena.carve();
-    interval->slots = reinterpret_cast<SlotInfo*>(block);
-    interval->ful_cache =
-        reinterpret_cast<FulRow*>(block + ls.interval_size * sizeof(SlotInfo));
-    interval->assigned_by_class = reinterpret_cast<std::uint32_t*>(
-        block + ls.interval_size * sizeof(SlotInfo) +
-        ls.class_count() * sizeof(FulRow));
+    carve_interval_block(ls, *interval);
     // Initialize occupancy flags from the live schedule; the occupancy
     // bitmap skips free stretches page-at-a-time and probes only populated
     // pages, so materialization costs O(populated pages + occupants).

@@ -121,6 +121,10 @@
 
 namespace reasched {
 
+namespace durability {
+struct SchedulerPersist;
+}  // namespace durability
+
 class ReservationScheduler final : public IReallocScheduler {
  public:
   explicit ReservationScheduler(SchedulerOptions options = {});
@@ -148,6 +152,8 @@ class ReservationScheduler final : public IReallocScheduler {
   /// fully valid) old generation.
   [[nodiscard]] Schedule snapshot() const override;
   [[nodiscard]] std::size_t active_jobs() const override { return jobs_.size(); }
+  /// O(1): whether `id` is currently active (insert accepted, not erased).
+  [[nodiscard]] bool contains(JobId id) const noexcept { return jobs_.contains(id); }
   [[nodiscard]] unsigned machines() const override { return 1; }
   [[nodiscard]] std::string name() const override { return "reservation-pecking-order"; }
 
@@ -274,6 +280,13 @@ class ReservationScheduler final : public IReallocScheduler {
   std::size_t verify_fulfillment_cache() const;
 
  private:
+  /// Deep logical-state serialization for snapshots (DESIGN.md §9):
+  /// durability/scheduler_persist.cpp reads and rebuilds the private state
+  /// below through this friend, keeping the scheduler itself free of
+  /// serialization code. Precondition for saving: no migration in flight
+  /// (the snapshot trigger waits for the generation flip).
+  friend struct durability::SchedulerPersist;
+
   static constexpr Time kNoSlot = std::numeric_limits<Time>::min();
 
   struct JobState {
@@ -421,6 +434,11 @@ class ReservationScheduler final : public IReallocScheduler {
   [[nodiscard]] unsigned block_floor(const JobState& job) const noexcept;
 
   // -- interval state --
+  /// Carves one zeroed arena block and wires the interval's three array
+  /// pointers into it (the block layout documented on Interval). Shared by
+  /// get_or_create_interval and the snapshot loader, so the layout
+  /// knowledge lives in exactly one place.
+  static void carve_interval_block(LevelState& ls, Interval& interval);
   Interval& get_or_create_interval(unsigned level, Time base);
   [[nodiscard]] Interval* find_interval(unsigned level, Time base);
   /// Recomputation straight off the ledgers into `out`, reusing its

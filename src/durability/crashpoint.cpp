@@ -1,0 +1,71 @@
+#include "durability/crashpoint.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace reasched::durability {
+
+namespace {
+
+// The armed site name is written under the mutex and read lock-free on the
+// hot path via the atomic countdown: countdown <= 0 (the common, unarmed
+// state) short-circuits before the name is ever inspected. Sites can fire
+// from shard workers concurrently; fetch_sub makes exactly one of them the
+// killer.
+std::mutex g_mutex;
+char g_name[128] = {0};
+std::atomic<std::int64_t> g_countdown{0};
+std::atomic<bool> g_env_checked{false};
+
+}  // namespace
+
+void CrashPoint::arm(const std::string& name, std::uint64_t countdown) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::strncpy(g_name, name.c_str(), sizeof(g_name) - 1);
+  g_name[sizeof(g_name) - 1] = '\0';
+  g_countdown.store(countdown == 0 ? 1 : static_cast<std::int64_t>(countdown),
+                    std::memory_order_release);
+  g_env_checked.store(true, std::memory_order_release);  // explicit arm wins
+}
+
+void CrashPoint::disarm() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_countdown.store(0, std::memory_order_release);
+  g_name[0] = '\0';
+  g_env_checked.store(true, std::memory_order_release);
+}
+
+void CrashPoint::arm_from_env() {
+  const char* spec = std::getenv("REASCHED_CRASHPOINT");
+  if (spec == nullptr || spec[0] == '\0') return;
+  std::string name(spec);
+  std::uint64_t countdown = 1;
+  if (const auto colon = name.rfind(':'); colon != std::string::npos) {
+    const char* digits = name.c_str() + colon + 1;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(digits, &end, 10);
+    if (end != digits && *end == '\0' && parsed > 0) {
+      countdown = parsed;
+      name.resize(colon);
+    }
+  }
+  arm(name, countdown);
+}
+
+bool CrashPoint::due(const char* name) {
+  if (!g_env_checked.exchange(true, std::memory_order_acq_rel)) arm_from_env();
+  if (g_countdown.load(std::memory_order_acquire) <= 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (std::strcmp(g_name, name) != 0) return false;
+  }
+  return g_countdown.fetch_sub(1, std::memory_order_acq_rel) == 1;
+}
+
+void CrashPoint::die() { ::_exit(kExitStatus); }
+
+}  // namespace reasched::durability

@@ -1,0 +1,47 @@
+// Crashpoint hooks: deterministic kill-at-named-point fault injection for
+// the crash-recovery harness (tests/crash_recovery_test.cpp, DESIGN.md §9).
+//
+// A crashpoint is armed with a name and a countdown; the Nth time the
+// running process reaches the matching `due(name)` site, the site performs
+// its last half-done durable effect (e.g. a torn half-frame write) and the
+// process dies via _exit — no destructors, no buffer flushing, exactly
+// like a SIGKILL landing mid-syscall. Sites are compiled in
+// unconditionally: an unarmed check is one relaxed atomic load, invisible
+// next to the I/O it guards.
+//
+// Arming is programmatic (the fork-based kill-matrix tests) or via the
+// environment: REASCHED_CRASHPOINT="<name>:<countdown>" arms any binary in
+// the repository from the outside — `tools/crashpoint` wraps exactly that
+// for command-line use against the examples and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace reasched::durability {
+
+class CrashPoint {
+ public:
+  /// Exit status a crashpoint kill dies with (distinguishes an injected
+  /// crash from an ordinary failure in the harness's waitpid).
+  static constexpr int kExitStatus = 137;
+
+  /// Arms `name` to fire on its `countdown`-th hit (countdown >= 1).
+  /// Re-arming replaces any previous arming.
+  static void arm(const std::string& name, std::uint64_t countdown);
+  static void disarm();
+
+  /// Parses REASCHED_CRASHPOINT ("name" or "name:countdown"); no-op when
+  /// unset or malformed. Called lazily by the first due() check, so any
+  /// binary honors the variable without wiring.
+  static void arm_from_env();
+
+  /// True exactly once: when this site's hit count reaches the armed
+  /// countdown. The caller then performs its torn half-effect and calls
+  /// die(). Never true for unarmed or differently-named sites.
+  [[nodiscard]] static bool due(const char* name);
+
+  [[noreturn]] static void die();
+};
+
+}  // namespace reasched::durability

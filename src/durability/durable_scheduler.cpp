@@ -1,0 +1,208 @@
+#include "durability/durable_scheduler.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/reservation_scheduler.hpp"
+#include "durability/crashpoint.hpp"
+#include "durability/snapshot.hpp"
+#include "util/assert.hpp"
+
+namespace reasched::durability {
+
+DurableScheduler::DurableScheduler(DurabilityPolicy policy, SchedulerOptions options)
+    : policy_(std::move(policy)) {
+  ensure_dir(policy_.dir);
+  Recovery::Recovered recovered = Recovery::load(policy_, options);
+  report_ = recovered.report;
+  reservation_ = recovered.scheduler.get();
+  inner_ = std::move(recovered.scheduler);
+  csn_ = report_.last_csn;
+  seed_live_set();
+  wal_.open(wal_path(policy_.dir, 0), policy_);
+}
+
+DurableScheduler::DurableScheduler(DurabilityPolicy policy, const Factory& factory)
+    : policy_(std::move(policy)) {
+  ensure_dir(policy_.dir);
+  // Snapshot-capable factories get the snapshot fast path; a failed load
+  // leaves the target half-written, so each attempt rebuilds from scratch.
+  for (const std::uint64_t csn : list_snapshots(policy_.dir)) {
+    std::unique_ptr<IReallocScheduler> candidate = factory();
+    auto* reservation = dynamic_cast<ReservationScheduler*>(candidate.get());
+    if (reservation == nullptr) break;  // WAL-only tier; snapshots ignored
+    if (load_snapshot(snapshot_path(policy_.dir, csn), *reservation)) {
+      inner_ = std::move(candidate);
+      reservation_ = reservation;
+      report_.snapshot_csn = csn;
+      report_.last_csn = csn;
+      break;
+    }
+    ++report_.snapshots_skipped;
+  }
+  if (!inner_) {
+    inner_ = factory();
+    reservation_ = dynamic_cast<ReservationScheduler*>(inner_.get());
+  }
+  const std::string log = wal_path(policy_.dir, 0);
+  WalReadResult wal = read_wal(log);
+  if (wal.torn_tail) {
+    report_.torn_tail = true;
+    truncate_wal(log, wal.valid_end);
+  }
+  replay_records(*inner_, wal.records, report_.snapshot_csn, report_);
+  csn_ = report_.last_csn;
+  seed_live_set();
+  wal_.open(log, policy_);
+}
+
+void DurableScheduler::seed_live_set() {
+  // Reservation mode asks the inner scheduler directly (contains() is an
+  // O(1) table lookup), so there is no mirror to seed — only the generic
+  // tier keeps its own live set.
+  if (reservation_ != nullptr) return;
+  // Materialize the Schedule: snapshot() returns by value, and iterating
+  // `snapshot().assignments()` directly would walk a map inside an
+  // already-destroyed temporary (the C++20 range-for dangling-range trap).
+  const Schedule schedule = inner_->snapshot();
+  for (const auto& [job, placement] : schedule.assignments()) {
+    static_cast<void>(placement);
+    live_.insert(job);
+  }
+}
+
+DurableScheduler::~DurableScheduler() = default;  // WalWriter flushes on close
+
+std::string DurableScheduler::name() const { return "durable(" + inner_->name() + ")"; }
+
+RequestStats DurableScheduler::insert(JobId id, Window window) {
+  RS_REQUIRE(window.valid(), "DurableScheduler::insert: empty window");
+  // Precondition gate in front of the log. Reservation mode relies on the
+  // inner scheduler's own fresh-id check instead of a lookup here: the
+  // record is only buffered until commit_record(), so a ContractViolation
+  // from the inner insert rolls it back — nothing precondition-violating
+  // ever reaches disk, with zero extra hash probes on the hot path.
+  if (reservation_ == nullptr) {
+    RS_REQUIRE(!live_.contains(id), "DurableScheduler::insert: job already active");
+  }
+  ++csn_;
+  const std::size_t mark = wal_.mark();
+  wal_.append_insert(csn_, id, window);
+  RequestStats stats;
+  try {
+    stats = inner_->insert(id, window);
+  } catch (const InfeasibleError&) {
+    // Rejected inserts stay logged and consume their CSN: replay re-runs
+    // them and deterministically re-rejects, so recovered state is
+    // unaffected.
+    wal_.commit_record();
+    throw;
+  } catch (...) {
+    wal_.rollback_to(mark);
+    --csn_;
+    throw;
+  }
+  wal_.commit_record();
+  if (reservation_ == nullptr) live_.insert(id);
+  maybe_snapshot(stats);
+  return stats;
+}
+
+RequestStats DurableScheduler::erase(JobId id) {
+  if (reservation_ == nullptr) {
+    RS_REQUIRE(live_.contains(id), "DurableScheduler::erase: job not active");
+  }
+  ++csn_;
+  const std::size_t mark = wal_.mark();
+  wal_.append_erase(csn_, id);
+  RequestStats stats;
+  try {
+    stats = inner_->erase(id);
+  } catch (...) {
+    // Erase of a non-live job: the inner scheduler's precondition check
+    // throws before mutating anything, and the buffered record is rolled
+    // back — it never reaches the log.
+    wal_.rollback_to(mark);
+    --csn_;
+    throw;
+  }
+  wal_.commit_record();
+  if (reservation_ == nullptr) live_.erase(id);
+  maybe_snapshot(stats);
+  return stats;
+}
+
+BatchResult DurableScheduler::apply(std::span<const Request> batch) {
+  BatchResult result;
+  result.stats.resize(batch.size());
+  const std::uint64_t start_csn = csn_;
+  FlatHashSet<JobId> rejected_ids;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& request = batch[i];
+    if (request.kind == RequestKind::kInsert) {
+      try {
+        result.stats[i] = insert(request.job, request.window);
+      } catch (const InfeasibleError&) {
+        result.rejected.push_back(static_cast<std::uint32_t>(i));
+        rejected_ids.insert(request.job);
+        continue;
+      }
+      rejected_ids.erase(request.job);
+    } else {
+      if (rejected_ids.contains(request.job)) {
+        // Moot delete of a rejected insert: never served, never logged —
+        // it consumes no CSN (mirrors the sequential batch semantics).
+        result.rejected.push_back(static_cast<std::uint32_t>(i));
+        rejected_ids.erase(request.job);
+        continue;
+      }
+      result.stats[i] = erase(request.job);
+    }
+    result.total += result.stats[i];
+  }
+  if (csn_ > start_csn) {
+    result.first_csn = start_csn + 1;
+    result.last_csn = csn_;
+  }
+  wal_.flush();  // batch boundary = frame boundary (prompt durability)
+  return result;
+}
+
+void DurableScheduler::maybe_snapshot(const RequestStats& stats) {
+  if (reservation_ == nullptr) return;
+  if (policy_.snapshot_every > 0 && csn_ % policy_.snapshot_every == 0) {
+    snapshot_pending_ = true;  // deferred while a migration is in flight
+  }
+  const bool quiescent = !reservation_->rebuild_in_flight();
+  const bool flip = policy_.snapshot_on_flip && stats.rebuilt && quiescent;
+  if (!flip && !(snapshot_pending_ && quiescent)) return;
+  write_snapshot_now();
+  snapshot_pending_ = false;
+}
+
+void DurableScheduler::write_snapshot_now() {
+  // The log must be durable through csn_ before a snapshot claims that
+  // CSN — otherwise a crash right after the snapshot could recover state
+  // the (shorter) log can no longer extend consistently.
+  wal_.sync();
+  if (CrashPoint::due("flip")) {
+    // Fault injection: die at the generation flip, after the request and
+    // its log record but before the flip snapshot — recovery must come up
+    // from the previous snapshot plus the full surviving suffix.
+    CrashPoint::die();
+  }
+  write_snapshot(policy_.dir, csn_, *reservation_, policy_);
+  ++snapshots_written_;
+}
+
+bool DurableScheduler::checkpoint() {
+  wal_.sync();
+  if (reservation_ == nullptr || reservation_->rebuild_in_flight()) return false;
+  write_snapshot_now();
+  snapshot_pending_ = false;
+  return true;
+}
+
+}  // namespace reasched::durability

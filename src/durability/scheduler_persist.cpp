@@ -1,0 +1,268 @@
+#include "durability/scheduler_persist.hpp"
+
+#include "core/reservation_scheduler.hpp"
+#include "util/assert.hpp"
+
+namespace reasched::durability {
+
+namespace {
+
+constexpr std::uint64_t kStateMagic = 0x5253534E41503031ULL;  // "RSSNAP01"
+constexpr std::uint32_t kStateVersion = 1;
+
+void put_window_key(ByteSink& sink, const WindowKey& w) {
+  sink.i64(w.start);
+  sink.u8(w.span_log);
+}
+
+WindowKey get_window_key(ByteSource& source) {
+  WindowKey w;
+  w.start = source.i64();
+  w.span_log = source.u8();
+  return w;
+}
+
+void put_time_key(ByteSink& sink, const Time& t) {
+  sink.i64(t);
+}
+
+}  // namespace
+
+std::uint64_t SchedulerPersist::options_fingerprint(const SchedulerOptions& o) {
+  // FNV-1a over the fields that shape placements and replay determinism.
+  // The legacy_* toggles and audit policy are deliberately absent: both
+  // rehash modes and both fulfillment paths produce byte-identical
+  // schedules (the differential suites' contract), so a snapshot written
+  // under one loads correctly under the other.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(o.gamma);
+  mix(o.trimming ? 1 : 0);
+  mix(static_cast<std::uint64_t>(o.overflow));
+  mix(static_cast<std::uint64_t>(o.placement));
+  mix(o.rebuild_batch);
+  const unsigned count = o.levels.level_count();
+  mix(count);
+  for (unsigned level = 0; level < count; ++level) {
+    mix(o.levels.max_span(level));
+    if (level >= 1) mix(o.levels.interval_size(level));
+  }
+  return h;
+}
+
+void SchedulerPersist::save(const ReservationScheduler& s, ByteSink& sink) {
+  RS_REQUIRE(s.migration_ == nullptr,
+             "SchedulerPersist::save: rebuild migration in flight (snapshot "
+             "only at quiescent points)");
+  sink.u64(kStateMagic);
+  sink.u32(kStateVersion);
+  sink.u64(options_fingerprint(s.options_));
+  sink.u64(s.n_star_);
+  sink.u64(s.parked_count_);
+  sink.u64(s.audit_request_index_);
+
+  s.jobs_.serialize(sink, [](ByteSink& out, const JobId& id,
+                             const ReservationScheduler::JobState& job) {
+    out.u64(id.value);
+    put_window(out, job.original);
+    put_window(out, job.window);
+    out.u32(job.level);
+    out.i64(job.slot);
+    out.u8(job.parked ? 1 : 0);
+  });
+
+  s.occ_.serialize(sink);
+
+  sink.u64(s.levels_.size());
+  for (const auto& ls : s.levels_) {
+    const unsigned class_count = ls.interval_size > 0 ? ls.class_count() : 0;
+    sink.u64(ls.intervals.size());
+    ls.intervals.for_each([&](const Time& base,
+                              const ReservationScheduler::Interval& interval) {
+      static_cast<void>(base);
+      sink.i64(interval.base);
+      sink.u32(interval.lower_count);
+      sink.u32(interval.assigned_count);
+      sink.u64(interval.assigned_class_mask);
+      for (unsigned c = 0; c < class_count; ++c) sink.u32(interval.assigned_by_class[c]);
+      // Sparse slot table: only slots carrying state. The fulfillment
+      // cache is skipped — kInvalid on load, recomputed on first touch.
+      std::uint32_t interesting = 0;
+      for (u64 i = 0; i < ls.interval_size; ++i) {
+        const auto& slot = interval.slots[i];
+        if (slot.lower_occupied || slot.assigned) ++interesting;
+      }
+      sink.u32(interesting);
+      for (u64 i = 0; i < ls.interval_size; ++i) {
+        const auto& slot = interval.slots[i];
+        if (!slot.lower_occupied && !slot.assigned) continue;
+        sink.u32(static_cast<std::uint32_t>(i));
+        sink.u8(static_cast<std::uint8_t>((slot.lower_occupied ? 1 : 0) |
+                                          (slot.assigned ? 2 : 0)));
+        if (slot.assigned) put_window_key(sink, slot.owner);
+      }
+    });
+    // Interval-map layout: serialize the FlatHashMap shell separately so
+    // ctrl/probe state round-trips exactly. The values were written above
+    // in for_each (index) order; writing them inline through the map's own
+    // serialize would work too, but the split keeps the value codec free
+    // of Sink-template plumbing for the arena re-carve on load.
+    ls.intervals.serialize(sink, [](ByteSink& out, const Time& base,
+                                    const ReservationScheduler::Interval&) {
+      put_time_key(out, base);
+    });
+
+    ls.windows.serialize(sink, [](ByteSink& out, const WindowKey& key,
+                                  const ReservationScheduler::ActiveWindow& window) {
+      put_window_key(out, key);
+      out.u64(window.jobs);
+      out.u64(window.claim_cursor);
+      window.assigned_slots.serialize(out,
+                                      [](ByteSink& o, const Time& t) { o.i64(t); });
+      window.free_assigned.serialize(out,
+                                     [](ByteSink& o, const Time& t) { o.i64(t); });
+    });
+
+    sink.u64(ls.active_per_class.size());
+    for (const std::uint32_t census : ls.active_per_class) sink.u32(census);
+    sink.u32(ls.active_bound);
+  }
+}
+
+void SchedulerPersist::load(ReservationScheduler& s, ByteSource& source) {
+  RS_REQUIRE(s.jobs_.empty() && s.migration_ == nullptr && s.retiring_.empty(),
+             "SchedulerPersist::load: target must be freshly constructed");
+  if (source.u64() != kStateMagic) throw CorruptInput("snapshot: bad state magic");
+  if (source.u32() != kStateVersion) {
+    throw CorruptInput("snapshot: unsupported state version");
+  }
+  if (source.u64() != options_fingerprint(s.options_)) {
+    throw CorruptInput(
+        "snapshot: scheduler options mismatch (saved under a different "
+        "configuration)");
+  }
+  s.n_star_ = source.u64();
+  s.parked_count_ = source.u64();
+  s.audit_request_index_ = source.u64();
+
+  s.jobs_.deserialize(source, [](ByteSource& in, JobId& id,
+                                 ReservationScheduler::JobState& job) {
+    id.value = in.u64();
+    job.original = get_window(in);
+    job.window = get_window(in);
+    job.level = in.u32();
+    job.slot = in.i64();
+    job.parked = in.u8() != 0;
+  });
+
+  s.occ_.deserialize(source);
+
+  const std::uint64_t level_count = source.u64();
+  if (level_count != s.levels_.size()) {
+    throw CorruptInput("snapshot: level-count mismatch");
+  }
+  for (auto& ls : s.levels_) {
+    const unsigned class_count = ls.interval_size > 0 ? ls.class_count() : 0;
+    // Interval payloads arrive before the map shell (the write order
+    // above); stage them by base, then wire each into a fresh arena block
+    // as the shell deserializes.
+    const std::uint64_t interval_count = source.u64();
+    FlatHashMap<Time, ReservationScheduler::Interval> staged;
+    staged.reserve(static_cast<std::size_t>(interval_count));
+    for (std::uint64_t n = 0; n < interval_count; ++n) {
+      ReservationScheduler::Interval interval;
+      interval.base = source.i64();
+      interval.lower_count = source.u32();
+      interval.assigned_count = source.u32();
+      interval.assigned_class_mask = source.u64();
+      if (ls.interval_size == 0) {
+        throw CorruptInput("snapshot: interval on a level without intervals");
+      }
+      ReservationScheduler::carve_interval_block(ls, interval);
+      for (unsigned c = 0; c < class_count; ++c) {
+        interval.assigned_by_class[c] = source.u32();
+      }
+      const std::uint32_t interesting = source.u32();
+      for (std::uint32_t e = 0; e < interesting; ++e) {
+        const std::uint32_t offset = source.u32();
+        if (offset >= ls.interval_size) {
+          throw CorruptInput("snapshot: slot offset out of range");
+        }
+        const std::uint8_t flags = source.u8();
+        auto& slot = interval.slots[offset];
+        slot.lower_occupied = (flags & 1) != 0;
+        slot.assigned = (flags & 2) != 0;
+        if (slot.assigned) slot.owner = get_window_key(source);
+      }
+      const bool fresh = staged.insert_or_assign(interval.base, interval);
+      if (!fresh) throw CorruptInput("snapshot: duplicate interval base");
+    }
+    ls.intervals.deserialize(
+        source, [&staged](ByteSource& in, Time& base,
+                          ReservationScheduler::Interval& interval) {
+          base = in.i64();
+          ReservationScheduler::Interval* found = staged.find(base);
+          if (found == nullptr) {
+            throw CorruptInput("snapshot: interval shell without payload");
+          }
+          interval = *found;
+        });
+    if (ls.intervals.size() != static_cast<std::size_t>(interval_count)) {
+      throw CorruptInput("snapshot: interval shell/payload count mismatch");
+    }
+
+    const bool legacy = s.options_.legacy_rehash;
+    ls.windows.deserialize(
+        source, [legacy](ByteSource& in, WindowKey& key,
+                         ReservationScheduler::ActiveWindow& window) {
+          key = get_window_key(in);
+          window.jobs = in.u64();
+          window.claim_cursor = in.u64();
+          if (legacy) {
+            window.assigned_slots.set_legacy_rehash(true);
+            window.free_assigned.set_legacy_rehash(true);
+          }
+          window.assigned_slots.deserialize(
+              in, [](ByteSource& i, Time& t) { t = i.i64(); });
+          window.free_assigned.deserialize(
+              in, [](ByteSource& i, Time& t) { t = i.i64(); });
+        });
+
+    const std::uint64_t census_size = source.u64();
+    if (census_size != ls.active_per_class.size()) {
+      throw CorruptInput("snapshot: census size mismatch");
+    }
+    for (auto& census : ls.active_per_class) census = source.u32();
+    ls.active_bound = source.u32();
+    if (ls.active_bound > census_size) {
+      throw CorruptInput("snapshot: active bound out of range");
+    }
+  }
+  if (!source.exhausted()) throw CorruptInput("snapshot: trailing bytes");
+
+  // Tables deserialize with the rehash mode they were *saved* under (part
+  // of the exact-layout round-trip); the target's configured mode governs
+  // future growth. Schedules are identical either way — the rehash
+  // differential contract — so a snapshot written under one mode loads
+  // correctly under the other; in legacy mode this completes any in-flight
+  // table migrations the snapshot carried.
+  if (s.options_.legacy_rehash) {
+    s.jobs_.set_legacy_rehash(true);
+    s.occ_.set_legacy_rehash(true);
+    for (auto& ls : s.levels_) {
+      ls.intervals.set_legacy_rehash(true);
+      ls.windows.set_legacy_rehash(true);
+    }
+  }
+
+  // Wholesale state change under an attached engine: escalate so the next
+  // incremental audit runs one full sweep and reseeds the dirty-tracking
+  // shadows from the recovered ledgers (the same path a fresh attach or an
+  // emergency rebuild takes).
+  if (s.audit_engine_) s.audit_engine_->mark_all();
+}
+
+}  // namespace reasched::durability

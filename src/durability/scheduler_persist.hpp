@@ -1,0 +1,55 @@
+// Deep logical-state serialization of a ReservationScheduler — the payload
+// of every snapshot file (DESIGN.md §9).
+//
+// What is saved is the scheduler's *behavior-relevant* state, exactly:
+// the job table, the occupancy map, every level's interval slot tables and
+// window ledgers (insertion order of the per-window dense sets included —
+// that order feeds acquire_slot's pick), the active-window census, and the
+// scalar counters (n*, parked count, audit cadence position). Flat-hash
+// tables round-trip with their exact ctrl layout (util/flat_hash.hpp), so
+// a recovered scheduler is bit-compatible in probe behavior too.
+//
+// What is deliberately NOT saved, because it is recomputable or inert:
+//   * fulfillment caches — a pure function of the ledgers (Observation 7);
+//     every interval reloads as kInvalid and recomputes on first touch;
+//   * the occupancy run index — rebuilt from the occupant map;
+//   * retired generations awaiting deferred trimming — memory bookkeeping
+//     with no schedule effect;
+//   * the audit engine's shadows — the loader escalates via mark_all(), so
+//     the first post-recovery audit is a full sweep that reseeds them
+//     (the same escalation path a fresh engine attach uses).
+//
+// Saving requires a quiescent scheduler: no partitioned-rebuild migration
+// in flight. The snapshot trigger guarantees that by firing at the
+// generation flip (src/durability/durable_scheduler.*).
+#pragma once
+
+#include <cstdint>
+
+#include "durability/codec.hpp"
+
+namespace reasched {
+
+class ReservationScheduler;
+struct SchedulerOptions;
+
+namespace durability {
+
+struct SchedulerPersist {
+  /// Serializes `s` into `sink`. Precondition: !s.rebuild_in_flight().
+  static void save(const ReservationScheduler& s, ByteSink& sink);
+
+  /// Rebuilds the serialized state into `s`, which must be freshly
+  /// constructed with the same SchedulerOptions the saved instance ran
+  /// under (verified via fingerprint; mismatch throws CorruptInput, as
+  /// does any malformed input). On success the attached audit engine (if
+  /// any) is escalated with mark_all().
+  static void load(ReservationScheduler& s, ByteSource& source);
+
+  /// Fingerprint of the options fields that shape serialized state and
+  /// replay determinism. Stored in every snapshot and checked on load.
+  [[nodiscard]] static std::uint64_t options_fingerprint(const SchedulerOptions& o);
+};
+
+}  // namespace durability
+}  // namespace reasched

@@ -1,0 +1,53 @@
+// Snapshot files: SchedulerPersist payloads with crash-safe framing.
+//
+// A snapshot is written to `snap-<csn>.snap` where <csn> is the commit
+// sequence number of the last request folded into the state. The file is
+//
+//   payload (SchedulerPersist::save bytes) | payload_len u64 | crc32c u32
+//
+// written to a `.tmp` sibling first, fsynced, then renamed into place —
+// the snapshot either exists completely or not at all; a crash mid-write
+// leaves only a tmp file that recovery ignores. The trailer (rather than
+// a header) lets the writer stream the payload without a second pass.
+//
+// Corruption of any committed snapshot is survivable: load_snapshot
+// returns false instead of throwing for anything wrong with the *file*
+// (short, bad CRC, garbled payload, options mismatch), and Recovery falls
+// back to the next-older snapshot, or to an empty scheduler plus full WAL
+// replay. Only programming errors (I/O syscall failures) abort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "durability/wal.hpp"
+
+namespace reasched {
+
+class ReservationScheduler;
+
+namespace durability {
+
+/// `dir`/snap-<csn>.snap
+[[nodiscard]] std::string snapshot_path(const std::string& dir, std::uint64_t csn);
+
+/// CSNs of every committed (renamed) snapshot in `dir`, newest first.
+/// Tmp leftovers and foreign files are ignored. Missing dir → empty.
+[[nodiscard]] std::vector<std::uint64_t> list_snapshots(const std::string& dir);
+
+/// Serializes `s` (which must be quiescent — no rebuild migration in
+/// flight) as the state after CSN `csn`, atomically, then prunes committed
+/// snapshots beyond policy.keep_snapshots (newest kept). Crashpoints:
+/// "snapshot.mid" dies with a half-written tmp file, "snapshot.rename"
+/// dies after the tmp is durable but before the rename.
+void write_snapshot(const std::string& dir, std::uint64_t csn,
+                    const ReservationScheduler& s, const DurabilityPolicy& policy);
+
+/// Loads `path` into the freshly constructed scheduler `s`. Returns false
+/// (leaving `s` unspecified — discard it) on any corruption or mismatch;
+/// true on success.
+[[nodiscard]] bool load_snapshot(const std::string& path, ReservationScheduler& s);
+
+}  // namespace durability
+}  // namespace reasched

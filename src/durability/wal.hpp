@@ -1,0 +1,212 @@
+// Write-ahead log for the scheduler's request-event stream (DESIGN.md §9).
+//
+// The WAL is event-sourced at the *request* level: every client-visible
+// insert/erase is one record ⟨type, csn, job, window⟩, where the commit
+// sequence number (CSN) is a dense 1-based counter over the request
+// stream. Nothing internal is ever logged — shadow-generation
+// reinsertions, migration replays and rehash traffic are deterministic
+// functions of the request stream, so replaying the requests through the
+// normal apply path reproduces the exact scheduler state (the same
+// determinism argument the partitioned-rebuild differential tests rest
+// on). Under the sharded service each shard appends to its own log file
+// and recovery merges the per-shard streams by CSN, taking the longest
+// gap-free prefix — the cross-shard ordering BatchResult::first_csn /
+// last_csn expose to callers.
+//
+// On-disk format. A log file is a 16-byte header
+//
+//   "RSWAL001" (8)  |  version u32  |  shard u32
+//
+// followed by frames, each
+//
+//   payload_len u32  |  crc32c(payload) u32  |  payload
+//
+// where the payload is a batch of consecutive records (fixed-width codec,
+// durability/codec.hpp). Records are buffered and cut into a frame when
+// the buffer reaches DurabilityPolicy::frame_bytes (or on flush/sync);
+// fsync runs every `sync_every` frames (0 = leave syncing to the OS). A
+// torn tail — half-written header, short payload, checksum mismatch — is
+// detected by the reader, which reports every record before the tear and
+// the byte offset the file must be truncated to before appending resumes
+// (the recovery path does exactly that; "truncate at bad checksum, never
+// crash").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/window.hpp"
+#include "durability/codec.hpp"
+
+namespace reasched::durability {
+
+/// Knobs of the durability tier. `dir` hosts the log + snapshot files.
+struct DurabilityPolicy {
+  std::string dir;
+  /// fsync the log every N flushed frames (1 = every frame, 0 = never
+  /// explicitly — buffered durability, the OS decides).
+  std::uint64_t sync_every = 0;
+  /// Cut a frame once the buffered payload reaches this size.
+  std::size_t frame_bytes = 16 * 1024;
+  /// Also snapshot every N logged records (0 = only at generation flips).
+  std::uint64_t snapshot_every = 0;
+  /// Snapshot when a partitioned n*-rebuild completes its generation flip
+  /// (the state is quiescent and the request already carries rebuild-scale
+  /// work, so the serialization pass hides in the boundary the legacy
+  /// rebuild paid Θ(n) on anyway).
+  bool snapshot_on_flip = true;
+  /// Snapshots retained per directory; older ones are pruned after each
+  /// successful write (>= 1; the previous snapshot is the fallback when a
+  /// crash lands mid-snapshot-write).
+  std::size_t keep_snapshots = 2;
+};
+
+enum class WalRecordType : std::uint8_t { kInsert = 1, kErase = 2 };
+
+/// Bytes of the per-frame header (payload_len u32 + crc32c u32) — shared
+/// by the writer's inline frame-cut check and the reader.
+inline constexpr std::size_t kWalFrameHeaderBytes = 8;
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kInsert;
+  std::uint64_t csn = 0;
+  JobId job{};
+  Window window{};  ///< inserts only
+
+  [[nodiscard]] static WalRecord insert(std::uint64_t csn, JobId id, Window w) {
+    return WalRecord{WalRecordType::kInsert, csn, id, w};
+  }
+  [[nodiscard]] static WalRecord erase(std::uint64_t csn, JobId id) {
+    return WalRecord{WalRecordType::kErase, csn, id, {}};
+  }
+  [[nodiscard]] Request to_request() const {
+    return type == WalRecordType::kInsert ? Request::insert(job, window)
+                                          : Request::erase(job);
+  }
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+void put_record(ByteSink& sink, const WalRecord& record);
+[[nodiscard]] WalRecord get_record(ByteSource& source);
+
+/// Append-side of one log file. Not thread-safe (per-shard discipline:
+/// exactly one writer per file).
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  WalWriter(WalWriter&& other) noexcept { *this = std::move(other); }
+  WalWriter& operator=(WalWriter&& other) noexcept;
+
+  /// Creates the file (with header) or appends to an existing one after
+  /// validating its header. Throws CorruptInput on a foreign/garbled
+  /// header and ContractViolation on I/O errors.
+  void open(const std::string& path, const DurabilityPolicy& policy,
+            std::uint32_t shard = 0);
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+
+  /// Buffers one record; cuts a frame at the policy's frame_bytes.
+  void append(const WalRecord& record);
+  /// Fast-path appends — identical bytes to append(WalRecord::insert(...))
+  /// / append(WalRecord::erase(...)), encoded straight into the frame
+  /// buffer with no intermediate record. These are the per-request calls
+  /// on the durable hot path (E17 gates their overhead); keep them inline.
+  ///
+  /// Unlike append(), the record is only *buffered*: nothing can reach
+  /// disk until the matching commit_record(), so a caller that interleaves
+  /// the append with a fallible operation (DurableScheduler's write-ahead
+  /// ordering around the inner scheduler) can still rollback_to(mark) — a
+  /// precondition-violating request then never touches the log.
+  [[nodiscard]] std::size_t mark() const noexcept { return buffer_.size(); }
+  void append_insert(std::uint64_t csn, JobId id, Window window) {
+    std::byte* out = buffer_.grow(33);
+    out[0] = static_cast<std::byte>(WalRecordType::kInsert);
+    store_u64(out + 1, csn);
+    store_u64(out + 9, id.value);
+    store_u64(out + 17, static_cast<std::uint64_t>(window.start));
+    store_u64(out + 25, static_cast<std::uint64_t>(window.end));
+  }
+  void append_erase(std::uint64_t csn, JobId id) {
+    std::byte* out = buffer_.grow(17);
+    out[0] = static_cast<std::byte>(WalRecordType::kErase);
+    store_u64(out + 1, csn);
+    store_u64(out + 9, id.value);
+  }
+  /// Counts the buffered record and cuts a frame at frame_bytes.
+  void commit_record() { appended(); }
+  /// Drops everything buffered since `mark` (still in this frame — commit
+  /// has not run, so none of it has been written).
+  void rollback_to(std::size_t mark) { buffer_.truncate(mark); }
+  /// Writes any buffered records out as a frame (no fsync of its own).
+  void flush();
+  /// flush() + fsync, unconditionally.
+  void sync();
+  void close();
+
+  struct Stats {
+    std::uint64_t records = 0;
+    std::uint64_t frames = 0;
+    std::uint64_t syncs = 0;
+    std::uint64_t bytes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  static void store_u64(std::byte* out, std::uint64_t v) noexcept {
+    // Byte-shift store (not memcpy) so the encoding is little-endian on
+    // any host; compilers merge it into one 8-byte store where possible.
+    for (int i = 0; i < 8; ++i) {
+      out[i] = static_cast<std::byte>(v >> (8 * i));
+    }
+  }
+  /// Shared tail of every append: counters + the frame-cut check.
+  void appended() {
+    ++buffered_records_;
+    ++stats_.records;
+    if (buffer_.size() - kWalFrameHeaderBytes >= policy_.frame_bytes) flush();
+  }
+
+  void write_all(const void* data, std::size_t len);
+  void reset_frame();
+
+  int fd_ = -1;
+  DurabilityPolicy policy_{};
+  ByteSink buffer_;
+  std::uint64_t buffered_records_ = 0;
+  std::uint64_t frames_since_sync_ = 0;
+  Stats stats_{};
+};
+
+/// Result of scanning one log file.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// Byte offset of the end of the last valid frame — where appending must
+  /// resume (the torn tail, if any, lies beyond it).
+  std::uint64_t valid_end = 0;
+  /// True when the file ended in a torn/corrupt frame that was ignored.
+  bool torn_tail = false;
+  /// True when the file was missing entirely (records empty, valid_end 0).
+  bool missing = false;
+};
+
+/// Reads every intact frame of a log file, stopping at the first torn or
+/// corrupt one. Throws CorruptInput only for a garbled file *header* (a
+/// foreign file — silently truncating it would destroy data); everything
+/// after a valid header degrades to a shorter record stream.
+[[nodiscard]] WalReadResult read_wal(const std::string& path);
+
+/// Truncates the log to `valid_end` (drops a torn tail) so a writer can
+/// append cleanly. No-op when the file is already that size.
+void truncate_wal(const std::string& path, std::uint64_t valid_end);
+
+/// Path of shard `shard`'s log file inside `dir` ("wal-000.log", ...).
+[[nodiscard]] std::string wal_path(const std::string& dir, std::uint32_t shard);
+
+/// mkdir -p: creates every missing component of `dir`.
+void ensure_dir(const std::string& dir);
+
+}  // namespace reasched::durability

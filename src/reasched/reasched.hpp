@@ -27,6 +27,12 @@
 #include "baseline/opt_rebuild_scheduler.hpp"
 #include "baseline/rigid_block_sim.hpp"
 
+#include "durability/crashpoint.hpp"
+#include "durability/durable_scheduler.hpp"
+#include "durability/recovery.hpp"
+#include "durability/snapshot.hpp"
+#include "durability/wal.hpp"
+
 #include "feasibility/edf.hpp"
 #include "feasibility/hall.hpp"
 #include "feasibility/matching.hpp"

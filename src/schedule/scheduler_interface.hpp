@@ -32,6 +32,14 @@ struct BatchResult {
   std::vector<std::uint32_t> rejected;  ///< indices of rejected requests, ascending
   RequestStats total;                   ///< sum over served requests
 
+  /// Commit sequence numbers assigned to this batch's requests by an
+  /// attached write-ahead log (durability/wal.hpp): the batch covers CSNs
+  /// [first_csn, last_csn], dense and in batch order. Both stay 0 when no
+  /// WAL is attached (the common in-memory configuration) or the batch is
+  /// empty.
+  std::uint64_t first_csn = 0;
+  std::uint64_t last_csn = 0;
+
   [[nodiscard]] bool all_served() const noexcept { return rejected.empty(); }
 };
 

@@ -56,10 +56,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "durability/recovery.hpp"
+#include "durability/wal.hpp"
 #include "schedule/scheduler_interface.hpp"
 #include "service/striped_ledger.hpp"
 #include "util/flat_hash.hpp"
@@ -82,6 +85,17 @@ class ShardedScheduler final : public IReallocScheduler {
     /// legacy_rehash escape hatch; see util/flat_hash.hpp). The machine
     /// schedulers take the flag through their own SchedulerOptions.
     bool legacy_rehash = false;
+    /// Durability tier (DESIGN.md §9): when set, every request is appended
+    /// write-ahead to one of `shards` per-shard log files in wal->dir
+    /// (routed by window stripe; CSNs are assigned globally on the caller
+    /// thread, so the merged streams order totally) and *construction is
+    /// recovery* — the surviving gap-free CSN prefix of the per-shard logs
+    /// is compacted and replayed through the sequential request path
+    /// before any new request is accepted. BatchResult::first_csn /
+    /// last_csn report each batch's CSN range. Snapshots are not taken at
+    /// this layer (per-machine generation boundaries are not service-wide
+    /// quiescent points); recovery cost grows with the log.
+    std::optional<durability::DurabilityPolicy> wal;
   };
 
   ShardedScheduler(unsigned machines, const Factory& factory, Options options);
@@ -127,6 +141,18 @@ class ShardedScheduler final : public IReallocScheduler {
   /// holds no movable job.
   bool corrupt_balance_for_test() { return ledger_.corrupt_for_test(); }
 
+  // ---- durability tier (Options::wal) ----
+
+  /// What construction-time recovery found; all zeros when Options::wal is
+  /// unset or the directory was fresh.
+  [[nodiscard]] const durability::RecoveryReport& recovery_report() const noexcept {
+    return recovery_report_;
+  }
+  /// CSN of the last logged request (0 when no WAL is attached).
+  [[nodiscard]] std::uint64_t csn() const noexcept { return csn_; }
+  /// Flushes and fsyncs every shard log.
+  void sync_wal();
+
  private:
   /// One machine-level operation planned for a batch.
   struct Op {
@@ -164,6 +190,20 @@ class ShardedScheduler final : public IReallocScheduler {
   /// the rest on their pinned pool workers. Joins all before returning.
   void run_sharded(const std::function<void(unsigned)>& task);
 
+  /// Recovers from + resumes the per-shard logs (ctor tail when
+  /// Options::wal is set): merge by CSN, compact the gap-free prefix into
+  /// shard 0's log, replay it sequentially (logging suspended), open the
+  /// writers.
+  void init_wal(const durability::DurabilityPolicy& policy);
+  /// Appends one record to the shard log owning `window`, write-ahead on
+  /// the caller thread. No-op while logging is suspended (recovery replay,
+  /// sub-batch sequential re-run).
+  void log_insert(JobId id, Window window);
+  void log_erase(JobId id, Window window);
+  [[nodiscard]] unsigned wal_shard_of(Window window) const {
+    return static_cast<unsigned>(ledger_.stripe_of(window)) % shards_;
+  }
+
   std::size_t scan_subbatch(std::span<const Request> batch, std::size_t first,
                             std::vector<Resolved>& resolved,
                             std::vector<std::uint8_t>& status,
@@ -188,6 +228,12 @@ class ShardedScheduler final : public IReallocScheduler {
   std::vector<unsigned> shard_begin_;  // size shards_+1: machine range bounds
   ShardedThreadPool pool_;
   std::string label_;
+
+  // Durability tier (empty/zero when Options::wal is unset).
+  std::vector<durability::WalWriter> wal_;  // one writer per shard
+  durability::RecoveryReport recovery_report_{};
+  std::uint64_t csn_ = 0;
+  bool wal_logging_ = false;
 };
 
 }  // namespace reasched

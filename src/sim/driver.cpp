@@ -7,6 +7,7 @@
 #include "schedule/validator.hpp"
 #include "util/assert.hpp"
 #include "util/flat_hash.hpp"
+#include "workload/trace_io.hpp"
 
 namespace reasched {
 
@@ -190,6 +191,9 @@ SimReport replay_batched(IReallocScheduler& scheduler, std::span<const Request> 
 SimReport replay_trace(IReallocScheduler& scheduler, std::span<const Request> trace,
                        const SimOptions& options) {
   const auto start = std::chrono::steady_clock::now();
+  if (!options.record_trace.empty()) {
+    write_trace_wal(options.record_trace, {trace.begin(), trace.end()});
+  }
   SimReport report;
   if (options.batch_size > 0) {
     report = replay_batched(scheduler, trace, options);
@@ -208,10 +212,13 @@ SimReport run_adaptive(IReallocScheduler& scheduler, const AdversaryFn& next,
   const auto start = std::chrono::steady_clock::now();
   Runner runner(scheduler, options);
   Schedule current = scheduler.snapshot();
+  std::vector<Request> emitted;
   while (const auto request = next(current)) {
     runner.serve(*request);
+    if (!options.record_trace.empty()) emitted.push_back(*request);
     current = scheduler.snapshot();
   }
+  if (!options.record_trace.empty()) write_trace_wal(options.record_trace, emitted);
   SimReport report = std::move(runner).finish();
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();

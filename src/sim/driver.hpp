@@ -44,6 +44,11 @@ struct SimOptions {
   std::function<void()> audit_hook;
   /// Per-request hook (request index, request, stats) for series plots.
   std::function<void(std::size_t, const Request&, const RequestStats&)> on_request;
+  /// When non-empty, the served request stream is written to this file in
+  /// the binary WAL trace format (workload/trace_io.hpp:
+  /// write_trace_wal) — replay_trace records the whole trace up front;
+  /// run_adaptive records the adversary's emitted requests at the end.
+  std::string record_trace;
 };
 
 struct SimReport {

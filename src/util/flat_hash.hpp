@@ -418,7 +418,84 @@ class FlatHashMap {
     return false;
   }
 
+  // ---- serialization (durability tier, DESIGN.md §9) ----
+  //
+  // The on-disk form is the table's exact layout: each table's capacity and
+  // full ctrl array (kEmpty/kFull/kTombstone bytes) plus the live slots in
+  // index order — a mid-flight incremental migration round-trips with both
+  // its tables, cursor included. Reconstructing ctrl verbatim (tombstones
+  // too) makes the deserialized table *bit-identical* in probe behavior and
+  // iteration order to the original, so recovered schedulers cannot diverge
+  // from their uninterrupted twin even through layout-sensitive code.
+  // Key/value encoding stays with the caller: `write(sink, key, value)` /
+  // `read(source, key&, value&)`. Sink needs u64(v)/byte_block(p, n);
+  // Source needs u64()/byte_block(p, n) (see durability/codec.hpp).
+
+  template <class Sink, class WriteSlot>
+  void serialize(Sink& sink, WriteSlot&& write) const {
+    serialize_table(sink, ctrl_, slots_, write);
+    serialize_table(sink, old_ctrl_, old_slots_, write);
+    sink.u64(migrate_pos_);
+    sink.u64(incremental_ ? 1 : 0);
+  }
+
+  /// Rebuilds the exact serialized state into *this (any prior contents are
+  /// discarded). Throws whatever Source throws on truncated/corrupt input;
+  /// ctrl bytes are validated so corrupt input cannot fabricate slots.
+  template <class Source, class ReadSlot>
+  void deserialize(Source& source, ReadSlot&& read) {
+    FlatHashMap fresh;
+    fresh.size_ = 0;
+    fresh.used_ = deserialize_table(source, fresh.ctrl_, fresh.slots_, read,
+                                    fresh.size_);
+    std::size_t old_used = 0;  // retiring tables track no tombstone budget
+    fresh.old_live_ = 0;
+    old_used = deserialize_table(source, fresh.old_ctrl_, fresh.old_slots_, read,
+                                 fresh.old_live_);
+    static_cast<void>(old_used);
+    fresh.size_ += fresh.old_live_;
+    fresh.migrate_pos_ = static_cast<std::size_t>(source.u64());
+    fresh.incremental_ = source.u64() != 0;
+    *this = std::move(fresh);
+  }
+
  private:
+  template <class Sink, class WriteSlot>
+  static void serialize_table(Sink& sink, const std::vector<std::uint8_t>& ctrl,
+                              const SlotArray& slots, WriteSlot& write) {
+    sink.u64(ctrl.size());
+    if (ctrl.empty()) return;
+    sink.byte_block(ctrl.data(), ctrl.size());
+    for (std::size_t i = 0; i < ctrl.size(); ++i) {
+      if (ctrl[i] == kFull) write(sink, slots[i].key, slots[i].value);
+    }
+  }
+
+  /// Returns used (kFull + kTombstone); live count accumulates into `live`.
+  template <class Source, class ReadSlot>
+  static std::size_t deserialize_table(Source& source,
+                                       std::vector<std::uint8_t>& ctrl,
+                                       SlotArray& slots, ReadSlot& read,
+                                       std::size_t& live) {
+    const std::uint64_t capacity = source.u64();
+    RS_CHECK(capacity == 0 || ((capacity & (capacity - 1)) == 0),
+             "FlatHashMap::deserialize: capacity must be a power of two");
+    ctrl.assign(static_cast<std::size_t>(capacity), kEmpty);
+    if (capacity == 0) return 0;
+    source.byte_block(ctrl.data(), ctrl.size());
+    slots.allocate(ctrl.size());
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < ctrl.size(); ++i) {
+      RS_CHECK(ctrl[i] <= kTombstone, "FlatHashMap::deserialize: bad ctrl byte");
+      if (ctrl[i] != kEmpty) ++used;
+      if (ctrl[i] != kFull) continue;
+      construct_slot(slots, i, K{});
+      read(source, slots[i].key, slots[i].value);
+      ++live;
+    }
+    return used;
+  }
+
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
   [[nodiscard]] bool migrating() const noexcept { return !old_ctrl_.empty(); }
@@ -624,6 +701,17 @@ class FlatHashSet {
     return map_.for_each_until([&](const K& key, const Empty&) { return f(key); });
   }
 
+  /// Exact-layout round-trip, like FlatHashMap::serialize; `write(sink,
+  /// key)` / `read(source, key&)` encode the elements.
+  template <class Sink, class WriteKey>
+  void serialize(Sink& sink, WriteKey&& write) const {
+    map_.serialize(sink, [&](Sink& s, const K& key, const Empty&) { write(s, key); });
+  }
+  template <class Source, class ReadKey>
+  void deserialize(Source& source, ReadKey&& read) {
+    map_.deserialize(source, [&](Source& s, K& key, Empty&) { read(s, key); });
+  }
+
   /// Some element (unspecified which); the set must be non-empty. The pick
   /// depends on table layout — a caller whose *behavior* feeds off the
   /// choice must use an insertion-ordered DenseHashSet (back(), or a
@@ -702,6 +790,34 @@ class DenseHashSet {
   [[nodiscard]] const K& back() const {
     RS_CHECK(!dense_.empty(), "DenseHashSet::back: empty set");
     return dense_.back();
+  }
+
+  /// Serializes the dense vector — the container's entire behavior-visible
+  /// state. Iteration order (and therefore every back()/first-satisfying-P
+  /// pick a recovered scheduler will make) round-trips exactly; the key →
+  /// index map is rebuilt by re-insertion on load, since its layout feeds
+  /// no decision (class comment). `write(sink, key)` encodes one element.
+  template <class Sink, class WriteKey>
+  void serialize(Sink& sink, WriteKey&& write) const {
+    sink.u64(dense_.size());
+    for (const K& key : dense_) write(sink, key);
+  }
+  template <class Source, class ReadKey>
+  void deserialize(Source& source, ReadKey&& read) {
+    const bool legacy = index_.legacy_rehash();
+    clear();
+    index_.set_legacy_rehash(legacy);
+    const std::uint64_t count = source.u64();
+    dense_.reserve(static_cast<std::size_t>(count));
+    index_.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      K key{};
+      read(source, key);
+      const auto [slot, inserted] = index_.try_emplace(key);
+      RS_CHECK(inserted, "DenseHashSet::deserialize: duplicate key");
+      *slot = static_cast<std::uint32_t>(dense_.size());
+      dense_.push_back(key);
+    }
   }
 
   /// f(const K&) in insertion order (as reshuffled by swap-pop erases).

@@ -1,9 +1,11 @@
 #include "workload/trace_io.hpp"
 
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "durability/wal.hpp"
 #include "util/assert.hpp"
 
 namespace reasched {
@@ -48,6 +50,37 @@ std::vector<Request> read_trace(std::istream& is) {
       RS_REQUIRE(false, "trace line " + std::to_string(line_number) +
                             ": unknown record type");
     }
+  }
+  return trace;
+}
+
+void write_trace_wal(const std::string& path, const std::vector<Request>& trace) {
+  std::remove(path.c_str());  // the trace replaces the file, never appends
+  durability::WalWriter writer;
+  writer.open(path, durability::DurabilityPolicy{});
+  std::uint64_t csn = 0;
+  for (const Request& request : trace) {
+    ++csn;
+    writer.append(request.kind == RequestKind::kInsert
+                      ? durability::WalRecord::insert(csn, request.job, request.window)
+                      : durability::WalRecord::erase(csn, request.job));
+  }
+  writer.sync();
+  writer.close();
+}
+
+std::vector<Request> read_trace_wal(const std::string& path) {
+  durability::WalReadResult wal;
+  try {
+    wal = durability::read_wal(path);
+  } catch (const durability::CorruptInput& bad) {
+    RS_REQUIRE(false, std::string("trace: ") + bad.what());
+  }
+  RS_REQUIRE(!wal.missing, "trace: no such file: " + path);
+  std::vector<Request> trace;
+  trace.reserve(wal.records.size());
+  for (const durability::WalRecord& record : wal.records) {
+    trace.push_back(record.to_request());
   }
   return trace;
 }

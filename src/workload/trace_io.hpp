@@ -1,11 +1,13 @@
 // Request-trace serialization: a minimal line format so traces can be
-// saved, diffed, and replayed across runs (and shared as bug reproducers).
+// saved, diffed, and replayed across runs (and shared as bug reproducers),
+// plus a binary format sharing the durability tier's WAL framing.
 //
 //   I <id> <arrival> <deadline>
 //   D <id>
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "base/window.hpp"
@@ -16,5 +18,17 @@ void write_trace(std::ostream& os, const std::vector<Request>& trace);
 
 /// Parses a trace; throws ContractViolation on malformed input.
 [[nodiscard]] std::vector<Request> read_trace(std::istream& is);
+
+/// Binary trace: exactly the WAL file format (durability/wal.hpp —
+/// checksummed length-prefixed frames of ⟨type, csn, job, window⟩ records,
+/// csn = 1-based trace index), so any WAL file doubles as a replayable
+/// trace (a crash's surviving request stream IS a bug reproducer) and any
+/// recorded trace can seed a durability directory.
+void write_trace_wal(const std::string& path, const std::vector<Request>& trace);
+
+/// Reads a binary trace / WAL file. Throws ContractViolation on a garbled
+/// file header; a torn tail is tolerated and simply ends the trace early
+/// (exactly the recovery semantics).
+[[nodiscard]] std::vector<Request> read_trace_wal(const std::string& path);
 
 }  // namespace reasched

@@ -1,0 +1,686 @@
+// Durability tier (DESIGN.md §9): WAL framing + checksums, snapshot
+// round-trips, recovery differentials, graceful degradation on corrupt or
+// missing durable state, and the audit engine's post-recovery reseed.
+// Kill-at-random-point process crashes live in crash_recovery_test.cpp;
+// this suite covers everything reachable without dying.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/reallocating_scheduler.hpp"
+#include "core/reservation_scheduler.hpp"
+#include "durability/durable_scheduler.hpp"
+#include "durability/recovery.hpp"
+#include "durability/snapshot.hpp"
+#include "durability/wal.hpp"
+#include "schedule/validator.hpp"
+#include "service/sharded_scheduler.hpp"
+#include "sim/driver.hpp"
+#include "util/crc32c.hpp"
+#include "workload/churn.hpp"
+#include "workload/trace_io.hpp"
+
+namespace reasched {
+namespace {
+
+using durability::DurabilityPolicy;
+using durability::DurableScheduler;
+using durability::Recovery;
+using durability::WalReadResult;
+using durability::WalRecord;
+using durability::WalWriter;
+
+// Unique scratch directory per test, removed on destruction.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/reasched-dur-XXXXXX";
+    char* made = ::mkdtemp(tmpl);
+    EXPECT_NE(made, nullptr);
+    path = made;
+  }
+  ~TempDir() {
+    const std::string cmd = "rm -rf '" + path + "'";
+    std::system(cmd.c_str());  // NOLINT: test scratch cleanup
+  }
+};
+
+std::vector<Request> churn_trace(std::uint64_t seed, std::size_t requests,
+                                 std::size_t target = 512) {
+  ChurnParams params;
+  params.seed = seed;
+  params.requests = requests;
+  params.target_active = target;
+  params.min_span = 64;
+  params.max_span = 4096;
+  params.aligned = true;
+  params.placement = WindowPlacement::kNestedHotspots;
+  return make_churn_trace(params);
+}
+
+SchedulerOptions base_options() {
+  SchedulerOptions options;
+  options.overflow = OverflowPolicy::kBestEffort;
+  options.rebuild_batch = 32;  // migrations genuinely span requests
+  return options;
+}
+
+RequestStats serve(IReallocScheduler& s, const Request& r) {
+  return r.kind == RequestKind::kInsert ? s.insert(r.job, r.window) : s.erase(r.job);
+}
+
+void expect_identical_schedules(const Schedule& sa, const Schedule& sb,
+                                const char* where) {
+  ASSERT_EQ(sa.size(), sb.size()) << where;
+  for (const auto& [id, placement] : sa.assignments()) {
+    const auto other = sb.find(id);
+    ASSERT_TRUE(other.has_value()) << where << ": job " << id.value;
+    EXPECT_EQ(placement.machine, other->machine) << where << ": job " << id.value;
+    EXPECT_EQ(placement.slot, other->slot) << where << ": job " << id.value;
+  }
+}
+
+// ------------------------------------------------------------------ crc32c
+
+TEST(Crc32c, KnownVector) {
+  // The canonical CRC32C check value (RFC 3720 appendix B.4).
+  const char digits[] = "123456789";
+  EXPECT_EQ(crc32c(digits, 9), 0xE3069283u);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32c(data.data(), data.size());
+  std::uint32_t chunked = 0;
+  for (std::size_t split = 1; split < data.size(); ++split) {
+    chunked = crc32c_update(0, data.data(), split);
+    chunked = crc32c_update(chunked, data.data() + split, data.size() - split);
+    EXPECT_EQ(chunked, whole) << "split " << split;
+  }
+  EXPECT_NE(crc32c(data.data(), data.size() - 1), whole);
+}
+
+// --------------------------------------------------------------------- WAL
+
+std::vector<WalRecord> sample_records(std::size_t count) {
+  std::vector<WalRecord> records;
+  for (std::size_t i = 1; i <= count; ++i) {
+    if (i % 3 == 0) {
+      records.push_back(WalRecord::erase(i, JobId{i / 3}));
+    } else {
+      records.push_back(WalRecord::insert(
+          i, JobId{i}, Window{static_cast<Time>(i * 64), static_cast<Time>(i * 64 + 64)}));
+    }
+  }
+  return records;
+}
+
+TEST(Wal, RoundTripAcrossFramesAndReopen) {
+  TempDir dir;
+  const std::string path = durability::wal_path(dir.path, 0);
+  DurabilityPolicy policy;
+  policy.dir = dir.path;
+  policy.frame_bytes = 128;  // force many frames
+  policy.sync_every = 2;
+
+  const std::vector<WalRecord> records = sample_records(100);
+  {
+    WalWriter writer;
+    writer.open(path, policy);
+    for (std::size_t i = 0; i < 60; ++i) writer.append(records[i]);
+    writer.sync();
+  }
+  {
+    // Append more after a clean close — the reader sees one stream.
+    WalWriter writer;
+    writer.open(path, policy);
+    for (std::size_t i = 60; i < records.size(); ++i) writer.append(records[i]);
+    EXPECT_GE(writer.stats().frames, 2u);
+    EXPECT_GE(writer.stats().syncs, 1u);
+  }
+  const WalReadResult result = durability::read_wal(path);
+  EXPECT_FALSE(result.missing);
+  EXPECT_FALSE(result.torn_tail);
+  ASSERT_EQ(result.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(result.records[i], records[i]) << "record " << i;
+  }
+}
+
+TEST(Wal, TornTailIsTruncatedAndAppendResumes) {
+  TempDir dir;
+  const std::string path = durability::wal_path(dir.path, 0);
+  DurabilityPolicy policy;
+  policy.dir = dir.path;
+  policy.frame_bytes = 64;
+
+  const std::vector<WalRecord> records = sample_records(40);
+  {
+    WalWriter writer;
+    writer.open(path, policy);
+    for (std::size_t i = 0; i < 20; ++i) writer.append(records[i]);
+  }
+  // Simulate a torn write: a frame header promising more payload than the
+  // file holds.
+  {
+    std::ofstream torn(path, std::ios::binary | std::ios::app);
+    const char garbage[] = "\x40\x00\x00\x00\xde\xad\xbe\xef half a frame";
+    torn.write(garbage, sizeof(garbage) - 1);
+  }
+  WalReadResult result = durability::read_wal(path);
+  EXPECT_TRUE(result.torn_tail);
+  ASSERT_EQ(result.records.size(), 20u);
+
+  // Truncate-at-bad-checksum, then appending resumes cleanly.
+  durability::truncate_wal(path, result.valid_end);
+  {
+    WalWriter writer;
+    writer.open(path, policy);
+    for (std::size_t i = 20; i < records.size(); ++i) writer.append(records[i]);
+  }
+  result = durability::read_wal(path);
+  EXPECT_FALSE(result.torn_tail);
+  ASSERT_EQ(result.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(result.records[i], records[i]) << "record " << i;
+  }
+}
+
+TEST(Wal, CorruptPayloadByteStopsAtThatFrame) {
+  TempDir dir;
+  const std::string path = durability::wal_path(dir.path, 0);
+  DurabilityPolicy policy;
+  policy.dir = dir.path;
+  policy.frame_bytes = 64;
+  {
+    WalWriter writer;
+    writer.open(path, policy);
+    for (const WalRecord& record : sample_records(40)) writer.append(record);
+  }
+  const WalReadResult intact = durability::read_wal(path);
+  ASSERT_FALSE(intact.torn_tail);
+  ASSERT_EQ(intact.records.size(), 40u);
+
+  // Flip one byte two thirds in: every frame before it survives, the rest
+  // is reported as a tear — never a crash, never garbage records.
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(file.tellg());
+    file.seekp(size * 2 / 3);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(size * 2 / 3);
+    byte = static_cast<char>(byte ^ 0x01);
+    file.write(&byte, 1);
+  }
+  const WalReadResult result = durability::read_wal(path);
+  EXPECT_TRUE(result.torn_tail);
+  EXPECT_LT(result.records.size(), 40u);
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    EXPECT_EQ(result.records[i], intact.records[i]);
+  }
+}
+
+TEST(Wal, MissingFileAndForeignHeader) {
+  TempDir dir;
+  const WalReadResult missing = durability::read_wal(dir.path + "/nope.log");
+  EXPECT_TRUE(missing.missing);
+  EXPECT_TRUE(missing.records.empty());
+
+  const std::string foreign = dir.path + "/foreign.log";
+  {
+    std::ofstream file(foreign, std::ios::binary);
+    file << "definitely not a WAL file, much longer than a header";
+  }
+  EXPECT_THROW(durability::read_wal(foreign), durability::CorruptInput);
+  WalWriter writer;
+  EXPECT_THROW(writer.open(foreign, DurabilityPolicy{.dir = dir.path}),
+               durability::CorruptInput);
+}
+
+// --------------------------------------------------------------- snapshots
+
+TEST(Snapshot, RoundTripIsByteIdenticalAndContinuesInLockstep) {
+  TempDir dir;
+  const SchedulerOptions options = base_options();
+  const std::vector<Request> trace = churn_trace(41, 4'000);
+
+  ReservationScheduler original(options);
+  std::size_t cut = 0;
+  for (; cut < trace.size(); ++cut) {
+    serve(original, trace[cut]);
+    // Snapshot at an arbitrary quiescent point mid-trace.
+    if (cut >= 2'500 && !original.rebuild_in_flight()) break;
+  }
+  DurabilityPolicy policy;
+  policy.dir = dir.path;
+  durability::write_snapshot(dir.path, 1, original, policy);
+
+  ReservationScheduler recovered(options);
+  ASSERT_TRUE(
+      durability::load_snapshot(durability::snapshot_path(dir.path, 1), recovered));
+  expect_identical_schedules(original.snapshot(), recovered.snapshot(), "post-load");
+  EXPECT_EQ(original.n_star(), recovered.n_star());
+  EXPECT_EQ(original.parked_jobs(), recovered.parked_jobs());
+  EXPECT_EQ(original.active_jobs(), recovered.active_jobs());
+  recovered.audit();  // full invariant sweep on the recovered state
+
+  // The two instances must now be indistinguishable request by request —
+  // including through n*-rebuilds and rehashes the suffix triggers.
+  for (std::size_t i = cut + 1; i < trace.size(); ++i) {
+    const RequestStats a = serve(original, trace[i]);
+    const RequestStats b = serve(recovered, trace[i]);
+    EXPECT_EQ(a.reallocations, b.reallocations) << "request " << i;
+    EXPECT_EQ(a.levels_touched, b.levels_touched) << "request " << i;
+    EXPECT_EQ(a.degraded, b.degraded) << "request " << i;
+    EXPECT_EQ(a.rebuilt, b.rebuilt) << "request " << i;
+  }
+  expect_identical_schedules(original.snapshot(), recovered.snapshot(), "post-suffix");
+  recovered.audit();
+}
+
+TEST(Snapshot, CorruptionIsDetectedNotTrusted) {
+  TempDir dir;
+  const SchedulerOptions options = base_options();
+  ReservationScheduler s(options);
+  for (const Request& r : churn_trace(7, 800)) serve(s, r);
+  ASSERT_FALSE(s.rebuild_in_flight());
+  DurabilityPolicy policy;
+  policy.dir = dir.path;
+  durability::write_snapshot(dir.path, 5, s, policy);
+  const std::string path = durability::snapshot_path(dir.path, 5);
+
+  // Bit flip in the middle: CRC catches it.
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(file.tellg());
+    file.seekp(size / 2);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(size / 2);
+    byte = static_cast<char>(byte ^ 0x10);
+    file.write(&byte, 1);
+  }
+  {
+    ReservationScheduler fresh(options);
+    EXPECT_FALSE(durability::load_snapshot(path, fresh));
+  }
+
+  // Truncation (a crash mid-rename of a future overwrite, disk trouble):
+  // the length/CRC trailer no longer matches.
+  durability::write_snapshot(dir.path, 5, s, policy);  // rewrite intact
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(file.tellg());
+    ASSERT_EQ(::truncate(path.c_str(), size / 2), 0);
+  }
+  {
+    ReservationScheduler fresh(options);
+    EXPECT_FALSE(durability::load_snapshot(path, fresh));
+  }
+
+  // Missing file.
+  {
+    ReservationScheduler fresh(options);
+    EXPECT_FALSE(durability::load_snapshot(dir.path + "/snap-99.snap", fresh));
+  }
+}
+
+TEST(Snapshot, OptionsFingerprintMismatchRefusesToLoad) {
+  TempDir dir;
+  SchedulerOptions options = base_options();
+  ReservationScheduler s(options);
+  for (const Request& r : churn_trace(9, 400)) serve(s, r);
+  ASSERT_FALSE(s.rebuild_in_flight());
+  DurabilityPolicy policy;
+  policy.dir = dir.path;
+  durability::write_snapshot(dir.path, 1, s, policy);
+
+  SchedulerOptions other = options;
+  other.gamma = 16;  // placement-shaping knob → incompatible state
+  ReservationScheduler fresh(other);
+  EXPECT_FALSE(
+      durability::load_snapshot(durability::snapshot_path(dir.path, 1), fresh));
+
+  // The legacy_* toggles are deliberately NOT in the fingerprint (both
+  // modes produce byte-identical schedules).
+  SchedulerOptions legacy = options;
+  legacy.legacy_rehash = true;
+  legacy.legacy_fulfillment = true;
+  ReservationScheduler crossmode(legacy);
+  EXPECT_TRUE(
+      durability::load_snapshot(durability::snapshot_path(dir.path, 1), crossmode));
+  expect_identical_schedules(s.snapshot(), crossmode.snapshot(), "cross-mode");
+}
+
+TEST(Snapshot, ListAndPruneKeepNewest) {
+  TempDir dir;
+  const SchedulerOptions options = base_options();
+  ReservationScheduler s(options);
+  for (const Request& r : churn_trace(3, 300)) serve(s, r);
+  ASSERT_FALSE(s.rebuild_in_flight());
+  DurabilityPolicy policy;
+  policy.dir = dir.path;
+  policy.keep_snapshots = 2;
+  for (std::uint64_t csn : {10u, 20u, 30u, 40u}) {
+    durability::write_snapshot(dir.path, csn, s, policy);
+  }
+  const std::vector<std::uint64_t> kept = durability::list_snapshots(dir.path);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], 40u);
+  EXPECT_EQ(kept[1], 30u);
+}
+
+// ---------------------------------------------------------------- recovery
+
+TEST(Recovery, ColdStartOnFreshDirectory) {
+  TempDir dir;
+  DurabilityPolicy policy;
+  policy.dir = dir.path + "/does/not/exist/yet";
+  DurableScheduler durable(policy, base_options());
+  EXPECT_TRUE(durable.recovery_report().cold_start());
+  EXPECT_EQ(durable.csn(), 0u);
+  EXPECT_EQ(durable.active_jobs(), 0u);
+}
+
+TEST(Recovery, WalOnlyReplayMatchesTwin) {
+  TempDir dir;
+  const SchedulerOptions options = base_options();
+  const std::vector<Request> trace = churn_trace(11, 2'000);
+  DurabilityPolicy policy;
+  policy.dir = dir.path;
+  policy.snapshot_on_flip = false;  // force pure WAL replay
+  {
+    DurableScheduler durable(policy, options);
+    for (const Request& r : trace) serve(durable, r);
+    durable.sync();
+    EXPECT_EQ(durable.csn(), trace.size());
+    EXPECT_EQ(durable.snapshots_written(), 0u);
+  }
+  DurableScheduler recovered(policy, options);
+  EXPECT_EQ(recovered.recovery_report().replayed, trace.size());
+  EXPECT_EQ(recovered.csn(), trace.size());
+
+  ReservationScheduler twin(options);
+  for (const Request& r : trace) serve(twin, r);
+  expect_identical_schedules(twin.snapshot(), recovered.snapshot(), "wal-only");
+  ASSERT_NE(recovered.reservation(), nullptr);
+  recovered.reservation()->audit();
+}
+
+TEST(Recovery, SnapshotPlusSuffixMatchesTwinAndContinues) {
+  TempDir dir;
+  const SchedulerOptions options = base_options();
+  const std::vector<Request> trace = churn_trace(13, 6'000, 768);
+  DurabilityPolicy policy;
+  policy.dir = dir.path;
+  policy.frame_bytes = 1024;
+  {
+    DurableScheduler durable(policy, options);
+    for (const Request& r : trace) serve(durable, r);
+    durable.sync();
+    // Churn at this scale doubles n* several times; at least one flip
+    // snapshot must have fired, so recovery replays a proper suffix.
+    EXPECT_GT(durable.snapshots_written(), 0u);
+  }
+  DurableScheduler recovered(policy, options);
+  EXPECT_GT(recovered.recovery_report().snapshot_csn, 0u);
+  EXPECT_LT(recovered.recovery_report().replayed, trace.size());
+  EXPECT_EQ(recovered.csn(), trace.size());
+
+  ReservationScheduler twin(options);
+  for (const Request& r : trace) serve(twin, r);
+  expect_identical_schedules(twin.snapshot(), recovered.snapshot(), "snap+suffix");
+  EXPECT_EQ(twin.n_star(), recovered.reservation()->n_star());
+  EXPECT_EQ(twin.parked_jobs(), recovered.reservation()->parked_jobs());
+
+  // Keep running BOTH — the recovered instance and the twin must stay in
+  // lockstep on a fresh suffix (and keep logging: a second recovery works).
+  const std::vector<Request> more = churn_trace(14, 1'000);
+  for (const Request& r : more) {
+    if (r.kind == RequestKind::kInsert) {
+      const JobId id{r.job.value + 1'000'000};  // avoid collisions
+      const RequestStats a = recovered.insert(id, r.window);
+      const RequestStats b = twin.insert(id, r.window);
+      EXPECT_EQ(a.reallocations, b.reallocations);
+    }
+  }
+  expect_identical_schedules(twin.snapshot(), recovered.snapshot(), "post-continue");
+  recovered.reservation()->audit();
+}
+
+TEST(Recovery, CorruptNewestSnapshotFallsBackToOlder) {
+  TempDir dir;
+  const SchedulerOptions options = base_options();
+  const std::vector<Request> trace = churn_trace(17, 3'000);
+  DurabilityPolicy policy;
+  policy.dir = dir.path;
+  policy.snapshot_every = 500;  // several snapshots at known CSNs
+  policy.keep_snapshots = 8;
+  {
+    DurableScheduler durable(policy, options);
+    for (const Request& r : trace) serve(durable, r);
+    durable.sync();
+  }
+  std::vector<std::uint64_t> snaps = durability::list_snapshots(dir.path);
+  ASSERT_GE(snaps.size(), 2u);
+  // Corrupt the newest snapshot.
+  {
+    const std::string newest = durability::snapshot_path(dir.path, snaps[0]);
+    std::fstream file(newest, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(100);
+    file.write("\xff\xff\xff\xff", 4);
+  }
+  DurableScheduler recovered(policy, options);
+  EXPECT_EQ(recovered.recovery_report().snapshots_skipped, 1u);
+  EXPECT_EQ(recovered.recovery_report().snapshot_csn, snaps[1]);
+  EXPECT_EQ(recovered.csn(), trace.size());
+
+  ReservationScheduler twin(options);
+  for (const Request& r : trace) serve(twin, r);
+  expect_identical_schedules(twin.snapshot(), recovered.snapshot(), "fallback");
+}
+
+TEST(Recovery, AuditEngineReseedsAfterRecovery) {
+  TempDir dir;
+  SchedulerOptions options = base_options();
+  options.audit_policy.mode = audit::Mode::kIncremental;
+  options.audit_policy.cadence = 0;  // driven manually
+  const std::vector<Request> trace = churn_trace(19, 2'000);
+  DurabilityPolicy policy;
+  policy.dir = dir.path;
+  {
+    DurableScheduler durable(policy, options);
+    for (const Request& r : trace) serve(durable, r);
+    durable.sync();
+  }
+  DurableScheduler recovered(policy, options);
+  ASSERT_NE(recovered.reservation(), nullptr);
+  ReservationScheduler& rs = *recovered.reservation();
+
+  // The loader escalated via mark_all: the first incremental audit after
+  // recovery is a full sweep that reseeds the dirty-tracking shadows.
+  const auto before = rs.audit_work();
+  rs.incremental_audit();
+  const auto after_first = rs.audit_work();
+  EXPECT_GT(after_first.full_sweeps, before.full_sweeps);
+
+  // From then on the engine runs incrementally and stays clean.
+  std::size_t served = 0;
+  for (const Request& r : churn_trace(23, 500)) {
+    if (r.kind != RequestKind::kInsert) continue;
+    recovered.insert(JobId{r.job.value + 2'000'000}, r.window);
+    if (++served % 100 == 0) rs.incremental_audit();
+  }
+  const auto after_churn = rs.audit_work();
+  EXPECT_EQ(after_churn.full_sweeps, after_first.full_sweeps);
+  EXPECT_GT(after_churn.incremental_audits, after_first.incremental_audits);
+  rs.audit();  // and the full sweep agrees
+}
+
+// --------------------------------------------------------- generic wrapper
+
+TEST(Recovery, GenericFactoryModeIsWalOnly) {
+  TempDir dir;
+  DurabilityPolicy policy;
+  policy.dir = dir.path;
+  const auto factory = [] {
+    return std::make_unique<ReallocatingScheduler>(2, SchedulerOptions{
+                                                          .overflow =
+                                                              OverflowPolicy::kBestEffort,
+                                                      });
+  };
+  ChurnParams params;
+  params.seed = 29;
+  params.requests = 1'500;
+  params.target_active = 256;
+  params.machines = 2;
+  params.min_span = 64;
+  params.max_span = 2048;
+  const std::vector<Request> trace = make_churn_trace(params);
+  {
+    DurableScheduler durable(policy, factory);
+    EXPECT_EQ(durable.reservation(), nullptr);  // multi-machine: WAL-only
+    EXPECT_EQ(durable.machines(), 2u);
+    for (const Request& r : trace) serve(durable, r);
+    durable.sync();
+    EXPECT_EQ(durable.snapshots_written(), 0u);
+  }
+  DurableScheduler recovered(policy, factory);
+  EXPECT_EQ(recovered.recovery_report().replayed, trace.size());
+
+  auto twin = factory();
+  for (const Request& r : trace) serve(*twin, r);
+  expect_identical_schedules(twin->snapshot(), recovered.snapshot(), "generic");
+}
+
+// ------------------------------------------------------------ sharded WAL
+
+TEST(Recovery, ShardedPerShardLogsMergeByCsn) {
+  TempDir dir;
+  const SchedulerOptions machine_options = base_options();
+  ShardedScheduler::Options options;
+  options.shards = 4;
+  options.wal = DurabilityPolicy{};
+  options.wal->dir = dir.path;
+  const auto factory = [&] {
+    return std::make_unique<ReservationScheduler>(machine_options);
+  };
+
+  ChurnParams params;
+  params.seed = 31;
+  params.requests = 2'000;
+  params.target_active = 512;
+  params.machines = 8;
+  params.min_span = 64;
+  params.max_span = 2048;
+  const std::vector<Request> trace = make_churn_trace(params);
+
+  BatchResult last;
+  {
+    ShardedScheduler sharded(8, factory, options);
+    // Batched feeding: CSNs must come back dense across batches.
+    std::uint64_t expect_csn = 1;
+    for (std::size_t i = 0; i < trace.size(); i += 64) {
+      const std::size_t n = std::min<std::size_t>(64, trace.size() - i);
+      last = sharded.apply({trace.data() + i, n});
+      if (last.first_csn != 0) {
+        EXPECT_EQ(last.first_csn, expect_csn);
+        expect_csn = last.last_csn + 1;
+      }
+    }
+    sharded.sync_wal();
+    EXPECT_GT(sharded.csn(), 0u);
+    // Several shard files actually exist.
+    const durability::MergedWal merged = durability::merge_sharded_wal(dir.path);
+    EXPECT_GT(merged.shards.size(), 1u);
+    EXPECT_EQ(merged.last_csn, sharded.csn());
+    EXPECT_EQ(merged.dropped, 0u);
+  }
+
+  // Construction is recovery: the per-shard logs replay to the same state.
+  ShardedScheduler recovered(8, factory, options);
+  EXPECT_GT(recovered.recovery_report().replayed, 0u);
+  recovered.audit_balance();
+
+  ShardedScheduler::Options no_wal;
+  no_wal.shards = 4;
+  ShardedScheduler twin(8, factory, no_wal);
+  for (std::size_t i = 0; i < trace.size(); i += 64) {
+    const std::size_t n = std::min<std::size_t>(64, trace.size() - i);
+    twin.apply({trace.data() + i, n});
+  }
+  expect_identical_schedules(twin.snapshot(), recovered.snapshot(), "sharded");
+  EXPECT_EQ(twin.active_jobs(), recovered.active_jobs());
+}
+
+// ------------------------------------------------------------ trace format
+
+TEST(TraceWal, BinaryTraceRoundTrips) {
+  TempDir dir;
+  const std::string path = dir.path + "/trace.wal";
+  const std::vector<Request> trace = churn_trace(37, 1'000);
+  write_trace_wal(path, trace);
+  const std::vector<Request> loaded = read_trace_wal(path);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded[i].kind, trace[i].kind) << i;
+    EXPECT_EQ(loaded[i].job, trace[i].job) << i;
+    if (trace[i].kind == RequestKind::kInsert) {
+      EXPECT_EQ(loaded[i].window.start, trace[i].window.start) << i;
+      EXPECT_EQ(loaded[i].window.end, trace[i].window.end) << i;
+    }
+  }
+}
+
+TEST(TraceWal, WalFileDoublesAsTrace) {
+  // A durability log read back as a trace replays to the recovered state —
+  // the "surviving request stream is a bug reproducer" property.
+  TempDir dir;
+  const SchedulerOptions options = base_options();
+  const std::vector<Request> trace = churn_trace(43, 1'200);
+  DurabilityPolicy policy;
+  policy.dir = dir.path;
+  policy.snapshot_on_flip = false;
+  {
+    DurableScheduler durable(policy, options);
+    for (const Request& r : trace) serve(durable, r);
+    durable.sync();
+  }
+  const std::vector<Request> replayed =
+      read_trace_wal(durability::wal_path(dir.path, 0));
+  ASSERT_EQ(replayed.size(), trace.size());
+
+  ReservationScheduler a(options);
+  ReservationScheduler b(options);
+  for (const Request& r : trace) serve(a, r);
+  for (const Request& r : replayed) serve(b, r);
+  expect_identical_schedules(a.snapshot(), b.snapshot(), "wal-as-trace");
+}
+
+TEST(TraceWal, SimDriverRecordsServedStream) {
+  TempDir dir;
+  const std::string path = dir.path + "/recorded.wal";
+  const std::vector<Request> trace = churn_trace(47, 600);
+  ReservationScheduler s(base_options());
+  SimOptions sim;
+  sim.record_trace = path;
+  const SimReport report = replay_trace(s, trace, sim);
+  EXPECT_TRUE(report.clean());
+  const std::vector<Request> recorded = read_trace_wal(path);
+  EXPECT_EQ(recorded.size(), trace.size());
+}
+
+}  // namespace
+}  // namespace reasched

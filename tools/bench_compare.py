@@ -71,6 +71,14 @@ REGISTRY = {
         "keys": ["n", "mode", "cadence"],
         "metrics": {"speedup_mean_vs_full": ("higher", None)},
     },
+    "e17_durability": {
+        # WAL overhead is an in-binary ratio (the same churn served with
+        # and without the durable wrapper in one process), so it is
+        # machine-speed-independent and gated. Absolute recovery_ms scales
+        # with the host and is recorded but not gated.
+        "keys": ["case", "n", "mode", "suffix"],
+        "metrics": {"overhead_ratio": ("lower", None)},
+    },
     "e16_rehash": {
         # Only the absolute incremental-row max is gated: the cliff being
         # guarded is "incremental growth stays sub-millisecond", and a
@@ -171,7 +179,18 @@ def main():
         label = " ".join(f"{key}={value}" for key, value in identity)
         absolute_modes = spec.get("absolute_modes")
         for metric, (direction, floor) in spec["metrics"].items():
-            if metric not in row or metric not in base_row:
+            if metric not in base_row:
+                # Not applicable to this row shape (e.g. a recovery row has
+                # no overhead ratio) — the baseline never carried it either.
+                continue
+            if metric not in row:
+                # The baseline gates this metric but the fresh run no longer
+                # reports it: a silent skip here would let a bench refactor
+                # (or a typo in a field name) disable the gate unnoticed.
+                regressions += 1
+                compared += 1
+                print(f"[   MISSING] {bench} {label} {metric}: present in "
+                      f"baseline but absent from current run")
                 continue
             # Absolute (lower-is-better) metrics gate only the optimized
             # mode's rows; ratio metrics gate every row.
