@@ -24,17 +24,36 @@ const std::vector<Request>& trace_for(std::size_t n) {
   return it->second;
 }
 
+/// The standard per-request latency block (ISSUE 7), exported as gbench
+/// user counters so --benchmark_format=json carries it like the JsonRows
+/// benches do.
+void export_latency_counters(benchmark::State& state,
+                             const telemetry::LatencyHistogram& latency) {
+  if (latency.total() == 0) return;
+  const auto us = [&](std::uint64_t ns) { return static_cast<double>(ns) / 1e3; };
+  state.counters["lat_p50_us"] = us(latency.percentile(0.50));
+  state.counters["lat_p90_us"] = us(latency.percentile(0.90));
+  state.counters["lat_p99_us"] = us(latency.percentile(0.99));
+  state.counters["lat_p999_us"] = us(latency.percentile(0.999));
+  state.counters["lat_max_us"] = us(latency.max());
+}
+
 template <typename MakeScheduler>
 void run_trace_benchmark(benchmark::State& state, MakeScheduler make) {
   const auto& trace = trace_for(static_cast<std::size_t>(state.range(0)));
   std::uint64_t requests = 0;
+  telemetry::LatencyHistogram latency;
+  SimOptions options;
+  options.record_latency = true;
   for (auto _ : state) {
     auto scheduler = make();
-    const auto report = replay_trace(*scheduler, trace);
+    const auto report = replay_trace(*scheduler, trace, options);
     benchmark::DoNotOptimize(report.metrics.requests());
     requests += report.metrics.requests();
+    latency.merge(report.metrics.latency_hist());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+  export_latency_counters(state, latency);
 }
 
 void BM_ReservationScheduler(benchmark::State& state) {
@@ -83,14 +102,18 @@ void BM_MultiMachineInsertErase(benchmark::State& state) {
   std::vector<JobId> ring;
   for (std::uint64_t v = 1; v < next; ++v) ring.push_back(JobId{v});
   std::size_t cursor = 0;
+  telemetry::LatencyHistogram latency;
   for (auto _ : state) {
+    const std::uint64_t start = telemetry::now_ns();
     scheduler.erase(ring[cursor]);
     const JobId fresh{next++};
     scheduler.insert(fresh, Window{0, 4096});
+    latency.record(telemetry::now_ns() - start);
     ring[cursor] = fresh;
     cursor = (cursor + 1) % ring.size();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 2));
+  export_latency_counters(state, latency);
 }
 BENCHMARK(BM_MultiMachineInsertErase)->Arg(1)->Arg(4)->Arg(16);
 

@@ -35,6 +35,10 @@ int run(const Args& args) {
     variants = {trimmed, untrimmed, avoid};
   }
 
+  JsonRows json("e11_ablations");
+  SimOptions sim;
+  sim.record_latency = true;  // feeds the standard --json latency block
+
   for (const bool aligned : {true, false}) {
     ChurnParams params;
     params.seed = 77;
@@ -47,12 +51,21 @@ int run(const Args& args) {
 
     for (const auto& variant : variants) {
       ReallocatingScheduler scheduler(1, variant.options);
-      const auto report = replay_trace(scheduler, trace);
+      const auto report = replay_trace(scheduler, trace, sim);
       table.add_row({variant.label, aligned ? "aligned" : "unaligned",
                      Table::num(report.metrics.steady_reallocations(), 3),
                      Table::num(report.metrics.p99_reallocations()),
                      Table::num(report.metrics.max_reallocations()),
                      Table::num(report.metrics.rebuilds())});
+      auto& row = json.row()
+                      .field("variant", variant.label)
+                      .field("workload", aligned ? "aligned" : "unaligned")
+                      .field("mean_reallocations",
+                             report.metrics.steady_reallocations())
+                      .field("p99_reallocations", report.metrics.p99_reallocations())
+                      .field("max_reallocations", report.metrics.max_reallocations())
+                      .field("rebuilds", report.metrics.rebuilds());
+      latency_fields(row, report.metrics.latency_hist());
     }
   }
   emit(table, args);
@@ -77,11 +90,18 @@ int run(const Args& args) {
       SchedulerOptions options;
       options.overflow = OverflowPolicy::kBestEffort;
       ReallocatingScheduler amortized(1, options);
-      const auto report = replay_trace(amortized, trace);
+      const auto report = replay_trace(amortized, trace, sim);
       deamortized.add_row({"amortized rebuilds (default)",
                            Table::num(report.metrics.amortized_reallocations(), 3),
                            Table::num(report.metrics.max_reallocations()),
                            Table::num(report.metrics.rebuilds())});
+      auto& row = json.row()
+                      .field("variant", "amortized-rebuilds")
+                      .field("mean_reallocations",
+                             report.metrics.amortized_reallocations())
+                      .field("max_reallocations", report.metrics.max_reallocations())
+                      .field("rebuilds", report.metrics.rebuilds());
+      latency_fields(row, report.metrics.latency_hist());
     }
     {
       SchedulerOptions options;
@@ -90,14 +110,22 @@ int run(const Args& args) {
           1,
           [options] { return std::make_unique<IncrementalRebuildScheduler>(options); },
           "incremental");
-      const auto report = replay_trace(incremental, trace);
+      const auto report = replay_trace(incremental, trace, sim);
       deamortized.add_row({"incremental even/odd (deamortized, §4)",
                            Table::num(report.metrics.amortized_reallocations(), 3),
                            Table::num(report.metrics.max_reallocations()),
                            Table::num(report.metrics.rebuilds())});
+      auto& row = json.row()
+                      .field("variant", "incremental-even-odd")
+                      .field("mean_reallocations",
+                             report.metrics.amortized_reallocations())
+                      .field("max_reallocations", report.metrics.max_reallocations())
+                      .field("rebuilds", report.metrics.rebuilds());
+      latency_fields(row, report.metrics.latency_hist());
     }
   }
   emit(deamortized, args);
+  json.emit(args, "BENCH_ablations.json");
   return 0;
 }
 

@@ -36,6 +36,9 @@ struct SegmentResult {
   double seconds = 0;
   std::uint64_t requests = 0;
   double ops_per_sec = 0;
+  // Sequential mode: per-request; batched mode: per-apply() batch (the
+  // batch is the serving unit; per-request attribution would be fiction).
+  telemetry::LatencyHistogram latency;
 };
 
 std::vector<Request> trace_for(std::size_t n, WindowPlacement placement,
@@ -84,11 +87,13 @@ ModeResult run_mode(const std::vector<Request>& trace, std::size_t warmup,
 
   std::size_t i = 0;
   bool audit_batches = false;
+  telemetry::LatencyHistogram* lat = nullptr;  // timed segments only
   // Serves `count` requests; sequential mode one by one, batched mode via
   // apply() in kBatchSize chunks (with the per-batch audit when enabled).
   const auto serve = [&](std::size_t count) {
     std::uint64_t served = 0;
     while (i < trace.size() && served < count) {
+      const std::uint64_t start = lat != nullptr ? telemetry::now_ns() : 0;
       if (sharded == nullptr) {
         const Request& request = trace[i++];
         if (request.kind == RequestKind::kInsert) {
@@ -110,11 +115,13 @@ ModeResult run_mode(const std::vector<Request>& trace, std::size_t warmup,
           sharded->audit_balance();
         }
       }
+      if (lat != nullptr) lat->record(telemetry::now_ns() - start);
     }
     return served;
   };
   const auto timed_segment = [&](std::size_t count) {
     SegmentResult segment;
+    lat = &segment.latency;
     const auto start = std::chrono::steady_clock::now();
     segment.requests = serve(count);
     const auto stop = std::chrono::steady_clock::now();
@@ -122,6 +129,7 @@ ModeResult run_mode(const std::vector<Request>& trace, std::size_t warmup,
     segment.ops_per_sec =
         segment.seconds > 0 ? static_cast<double>(segment.requests) / segment.seconds
                             : 0;
+    lat = nullptr;
     return segment;
   };
 
@@ -166,17 +174,18 @@ int run(int argc, char** argv) {
     std::snprintf(speedup_str, sizeof(speedup_str), "%.2fx", speedup);
     table.add_row({std::to_string(n), placement, audit ? "continuous" : "off", mode,
                    std::to_string(segment.requests), seconds, ops, speedup_str});
-    json.row()
-        .field("n", n)
-        .field("placement", placement)
-        .field("audit", audit)
-        .field("mode", mode)
-        .field("shards", shards)
-        .field("batch", shards == 0 ? std::size_t{1} : kBatchSize)
-        .field("requests", segment.requests)
-        .field("seconds", segment.seconds)
-        .field("ops_per_sec", segment.ops_per_sec)
-        .field("speedup_vs_sequential", speedup);
+    auto& row = json.row()
+                    .field("n", n)
+                    .field("placement", placement)
+                    .field("audit", audit)
+                    .field("mode", mode)
+                    .field("shards", shards)
+                    .field("batch", shards == 0 ? std::size_t{1} : kBatchSize)
+                    .field("requests", segment.requests)
+                    .field("seconds", segment.seconds)
+                    .field("ops_per_sec", segment.ops_per_sec)
+                    .field("speedup_vs_sequential", speedup);
+    latency_fields(row, segment.latency);
   };
 
   for (const std::size_t n : sizes) {

@@ -30,6 +30,7 @@ struct AuditCost {
   double p50_us = 0;
   double max_us = 0;
   std::uint64_t regions = 0;  // dirty regions verified (incremental mode)
+  telemetry::LatencyHistogram serve_latency;  // per serve call, audits excluded
 };
 
 std::vector<Request> trace_for(std::size_t n) {
@@ -69,9 +70,11 @@ AuditCost run_mode(const std::vector<Request>& trace, std::size_t cadence,
         std::chrono::duration<double, std::micro>(Clock::now() - start).count());
   };
 
+  AuditCost cost;
   const auto wall_start = Clock::now();
   std::size_t served = 0;
   for (const Request& request : trace) {
+    const std::uint64_t serve_start = telemetry::now_ns();
     try {
       if (request.kind == RequestKind::kInsert) {
         scheduler.insert(request.job, request.window);
@@ -81,11 +84,11 @@ AuditCost run_mode(const std::vector<Request>& trace, std::size_t cadence,
     } catch (const InfeasibleError&) {
       continue;
     }
+    cost.serve_latency.record(telemetry::now_ns() - serve_start);
     if (++served % cadence == 0) audit_now();
   }
   audit_now();  // final state
 
-  AuditCost cost;
   cost.serve_seconds =
       std::chrono::duration<double>(Clock::now() - wall_start).count();
   cost.audits = audit_us.size();
@@ -262,6 +265,7 @@ int run(int argc, char** argv) {
         .field("max_per_audit_us", cost.max_us)
         .field("regions_checked", cost.regions)
         .field("speedup_mean_vs_full", speedup);
+    latency_fields(json, cost.serve_latency);
   };
 
   for (const std::size_t n : sizes) {

@@ -54,6 +54,7 @@ struct LatencyResult {
   double seconds = 0;
   std::uint64_t requests = 0;
   double p50_us = 0;
+  double p90_us = 0;
   double p99_us = 0;
   double p999_us = 0;
   double max_ms = 0;
@@ -107,6 +108,7 @@ LatencyResult run_single(const std::vector<Request>& trace, bool legacy) {
     return lat[static_cast<std::size_t>(p * static_cast<double>(lat.size() - 1))];
   };
   result.p50_us = pct(0.50);
+  result.p90_us = pct(0.90);
   result.p99_us = pct(0.99);
   result.p999_us = pct(0.999);
   result.max_ms = lat.back() / 1000.0;
@@ -177,6 +179,7 @@ int run(int argc, char** argv) {
         .field("requests", r.requests)
         .field("seconds", r.seconds)
         .field("p50_us", r.p50_us)
+        .field("p90_us", r.p90_us)
         .field("p99_us", r.p99_us)
         .field("p999_us", r.p999_us)
         .field("max_ms", r.max_ms)

@@ -92,6 +92,7 @@ struct ModeRun {
   std::size_t cursor = 0;
   std::vector<ChurnRun> reps;
   ChurnRun best;
+  telemetry::LatencyHistogram latency;  // per request, all timed segments
 };
 
 // Interleaved kChurnReps segments: every mode serves the *same* trace, and
@@ -116,7 +117,9 @@ void timed_churn_interleaved(std::vector<ModeRun>& modes,
           rep + 1 == kChurnReps ? trace.size() : m.cursor + per_rep;
       const auto start = std::chrono::steady_clock::now();
       for (; m.cursor < stop; ++m.cursor) {
+        const std::uint64_t serve_start = telemetry::now_ns();
         serve_one(*m.scheduler, trace[m.cursor]);
+        m.latency.record(telemetry::now_ns() - serve_start);
         ++run.requests;
       }
       run.seconds =
@@ -171,9 +174,9 @@ int run(int argc, char** argv) {
     sync_policy.sync_every = 1;  // every frame fsync'd before ack
     DurableScheduler synced(sync_policy, scheduler_options());
 
-    std::vector<ModeRun> modes = {{"off", &plain, 0, {}, {}},
-                                  {"wal", &buffered, 0, {}, {}},
-                                  {"wal-sync", &synced, 0, {}, {}}};
+    std::vector<ModeRun> modes = {{"off", &plain, 0, {}, {}, {}},
+                                  {"wal", &buffered, 0, {}, {}, {}},
+                                  {"wal-sync", &synced, 0, {}, {}, {}}};
     timed_churn_interleaved(modes, trace, n);
 
     for (const ModeRun& m : modes) {
@@ -193,6 +196,7 @@ int run(int argc, char** argv) {
                       .field("seconds", run.seconds)
                       .field("ops_per_sec", run.ops_per_sec);
       if (std::string(m.mode) != "off") row.field("overhead_ratio", ratio);
+      latency_fields(row, m.latency);
     }
   }
 

@@ -57,7 +57,9 @@ int run(const Args& args) {
 
     const auto add = [&](std::string label,
                          std::function<std::unique_ptr<IReallocScheduler>()> make) {
-      jobs.push_back(SweepJob{std::move(make), trace, SimOptions{}});
+      SimOptions sim;
+      sim.record_latency = true;  // feeds the standard --json latency block
+      jobs.push_back(SweepJob{std::move(make), trace, sim});
       cells.push_back(Cell{n, std::move(label)});
     };
     add("reservation (paper)", [options] {
@@ -103,6 +105,7 @@ int run(const Args& args) {
   }
 
   const auto reports = replay_sweep(jobs);
+  JsonRows json("e1_cost_vs_n");
   for (std::size_t i = 0; i < reports.size(); ++i) {
     const auto& metrics = reports[i].metrics;
     table.add_row({Table::num(cells[i].n), cells[i].label,
@@ -112,8 +115,19 @@ int run(const Args& args) {
                    Table::num(metrics.rebuilds()),
                    metrics.max_migrations() <= 1 ? "yes" : "NO",
                    Table::num(metrics.degraded())});
+    auto& row = json.row()
+                    .field("n", cells[i].n)
+                    .field("scheduler", cells[i].label)
+                    .field("mean_reallocations", metrics.amortized_reallocations())
+                    .field("p99_reallocations", metrics.p99_reallocations())
+                    .field("steady_max_reallocations",
+                           metrics.steady_max_reallocations())
+                    .field("rebuilds", metrics.rebuilds())
+                    .field("degraded", metrics.degraded());
+    latency_fields(row, metrics.latency_hist());
   }
   emit(table, args);
+  json.emit(args, "BENCH_e1_cost.json");
   return 0;
 }
 

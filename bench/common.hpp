@@ -117,6 +117,48 @@ class JsonRows {
   std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };
 
+/// Per-request wall-clock sampler behind the standard latency block every
+/// bench_e1* --json output carries (ISSUE 7): wrap the serve call, then
+/// append the block to the row with latency_fields(). Buckets are the
+/// telemetry tier's log-spaced HDR scheme (<= 3% relative error), so the
+/// sampler is allocation-free no matter how long the run is.
+class LatencySampler {
+ public:
+  template <class Fn>
+  decltype(auto) sample(Fn&& fn) {
+    const std::uint64_t start = telemetry::now_ns();
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      hist_.record(telemetry::now_ns() - start);
+    } else {
+      decltype(auto) result = fn();
+      hist_.record(telemetry::now_ns() - start);
+      return result;
+    }
+  }
+  void reset() noexcept { hist_ = telemetry::LatencyHistogram{}; }
+  [[nodiscard]] const telemetry::LatencyHistogram& hist() const noexcept {
+    return hist_;
+  }
+
+ private:
+  telemetry::LatencyHistogram hist_;
+};
+
+/// The standard p50/p90/p99/p999/max latency block, in microseconds.
+/// Omitted entirely when the histogram is empty (e.g. a mode that never
+/// sampled), so baselines do not grow all-zero noise fields.
+inline JsonRows& latency_fields(JsonRows& json,
+                                const telemetry::LatencyHistogram& hist) {
+  if (hist.total() == 0) return json;
+  const auto us = [&](std::uint64_t ns) { return static_cast<double>(ns) / 1e3; };
+  return json.field("latency_p50_us", us(hist.percentile(0.50)))
+      .field("latency_p90_us", us(hist.percentile(0.90)))
+      .field("latency_p99_us", us(hist.percentile(0.99)))
+      .field("latency_p999_us", us(hist.percentile(0.999)))
+      .field("latency_max_us", us(hist.max()));
+}
+
 inline void emit(const Table& table, const Args& args) {
   if (args.csv) {
     table.print_csv(std::cout);

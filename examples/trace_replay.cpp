@@ -1,20 +1,38 @@
 // Trace replay CLI: turn the library into a command-line tool.
 //
-//   $ ./example_trace_replay <trace-file> [scheduler] [machines]
-//       [--record-trace FILE] [--replay-trace FILE]
+//   $ ./trace_replay <trace-file> [scheduler] [machines]
+//       [--record-trace FILE] [--replay-trace FILE] [--churn N]
+//       [--telemetry] [--trace] [--metrics-out FILE] [--trace-out FILE]
+//       [--shards N] [--batch N] [--wal-dir DIR]
 //
 //   scheduler: reservation (default) | incremental | naive | edf-repair |
-//              latest-fit | opt-rebuild
+//              latest-fit | opt-rebuild | sharded
 //
 // Reads a request trace (see workload/trace_io.hpp for the format: lines of
 // "I <id> <arrival> <deadline>" and "D <id>"), replays it with continuous
 // validation, and prints the cost summary. Use `-` to read from stdin.
-// Generate traces programmatically or dump one with write_trace().
+// Generate traces programmatically, dump one with write_trace(), or pass
+// --churn N to synthesize an N-request churn workload in-process (omit
+// <trace-file>).
 //
 // --replay-trace FILE reads the trace from a *binary* WAL-format file
 // instead of the positional text trace (a durability log file works as-is:
 // a crash's surviving request stream is a ready-made reproducer);
 // --record-trace FILE writes the served stream to FILE in that format.
+//
+// Observability (DESIGN.md §10): --telemetry turns on the process-wide
+// metric registry, --trace additionally records span/instant events;
+// --metrics-out FILE writes the Registry snapshot as JSON and --trace-out
+// FILE writes a chrome://tracing-loadable trace (and implies --trace).
+// The `sharded` kind serves the trace through ShardedScheduler (--shards,
+// --batch control the service shape; --wal-dir attaches the durability
+// tier), so one run exercises request, rebuild-flip, rehash-drain,
+// audit-drain, and WAL-fsync record sites:
+//
+//   $ ./trace_replay sharded 8 --churn 20000 --shards 4
+//       --wal-dir /tmp/replay-wal --metrics-out metrics.json
+//       --trace-out trace.json            (one command line)
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -24,11 +42,20 @@
 
 namespace {
 
+struct CliOptions {
+  unsigned shards = 4;
+  std::size_t batch = 64;
+  std::string wal_dir;
+  reasched::telemetry::TelemetryOptions telemetry;
+};
+
 std::unique_ptr<reasched::IReallocScheduler> make_scheduler(const std::string& kind,
-                                                            unsigned machines) {
+                                                            unsigned machines,
+                                                            const CliOptions& cli) {
   using namespace reasched;
   SchedulerOptions options;
   options.overflow = OverflowPolicy::kBestEffort;
+  options.telemetry = cli.telemetry;
   if (kind == "reservation") {
     return std::make_unique<ReallocatingScheduler>(machines, options);
   }
@@ -53,7 +80,42 @@ std::unique_ptr<reasched::IReallocScheduler> make_scheduler(const std::string& k
   if (kind == "opt-rebuild") {
     return std::make_unique<OptRebuildScheduler>(machines);
   }
+  if (kind == "sharded") {
+    // The service pipeline with every instrumented tier live: incremental
+    // audits at a visible cadence, partitioned rebuilds and incremental
+    // rehash by default, and (with --wal-dir) the per-shard WAL.
+    options.audit_policy.mode = audit::Mode::kIncremental;
+    options.audit_policy.cadence = 64;
+    ShardedScheduler::Options service;
+    service.shards = cli.shards;
+    service.telemetry = cli.telemetry;
+    if (!cli.wal_dir.empty()) {
+      durability::DurabilityPolicy wal;
+      wal.dir = cli.wal_dir;
+      wal.sync_every = 1;
+      service.wal = wal;
+    }
+    return std::make_unique<ShardedScheduler>(
+        machines, [options] { return std::make_unique<ReservationScheduler>(options); },
+        service);
+  }
   return nullptr;
+}
+
+/// Matches `--name VALUE` and `--name=VALUE`; advances i past a detached
+/// value.
+bool take_value(int argc, char** argv, int& i, const char* name, std::string& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(argv[i], name, len) != 0) return false;
+  if (argv[i][len] == '=') {
+    out = argv[i] + len + 1;
+    return true;
+  }
+  if (argv[i][len] == '\0' && i + 1 < argc) {
+    out = argv[++i];
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -62,28 +124,51 @@ int main(int argc, char** argv) {
   using namespace reasched;
   std::string record_path;
   std::string replay_path;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string shards_arg;
+  std::string batch_arg;
+  std::string churn_arg;
+  CliOptions cli;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--record-trace") == 0 && i + 1 < argc) {
-      record_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--replay-trace") == 0 && i + 1 < argc) {
-      replay_path = argv[++i];
+    if (take_value(argc, argv, i, "--record-trace", record_path) ||
+        take_value(argc, argv, i, "--replay-trace", replay_path) ||
+        take_value(argc, argv, i, "--metrics-out", metrics_out) ||
+        take_value(argc, argv, i, "--trace-out", trace_out) ||
+        take_value(argc, argv, i, "--wal-dir", cli.wal_dir) ||
+        take_value(argc, argv, i, "--shards", shards_arg) ||
+        take_value(argc, argv, i, "--batch", batch_arg) ||
+        take_value(argc, argv, i, "--churn", churn_arg)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--telemetry") == 0) {
+      cli.telemetry.enabled = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      cli.telemetry.trace = true;
     } else {
       positional.emplace_back(argv[i]);
     }
   }
-  if (positional.empty() && replay_path.empty()) {
+  // Output files imply the corresponding recording tier.
+  if (!metrics_out.empty()) cli.telemetry.enabled = true;
+  if (!trace_out.empty()) cli.telemetry.trace = true;
+
+  const bool synthetic = !replay_path.empty() || !churn_arg.empty();
+  if (positional.empty() && !synthetic) {
     std::cerr << "usage: " << argv[0]
               << " <trace-file|-> [reservation|incremental|naive|edf-repair|"
-                 "latest-fit|opt-rebuild] [machines]"
-                 " [--record-trace FILE] [--replay-trace FILE]\n"
-                 "with --replay-trace the trace comes from FILE (WAL format);"
+                 "latest-fit|opt-rebuild|sharded] [machines]\n"
+                 "  [--record-trace FILE] [--replay-trace FILE] [--churn N]\n"
+                 "  [--telemetry] [--trace] [--metrics-out FILE] "
+                 "[--trace-out FILE]\n"
+                 "  [--shards N] [--batch N] [--wal-dir DIR]\n"
+                 "with --replay-trace or --churn the trace is synthetic;"
                  " omit <trace-file>\n";
     return 2;
   }
   std::size_t arg = 0;
-  const std::string path =
-      replay_path.empty() ? positional[arg++] : std::string{};
+  const std::string path = synthetic ? std::string{} : positional[arg++];
   const std::string kind = positional.size() > arg ? positional[arg++] : "reservation";
   unsigned machines = 1;
   if (positional.size() > arg) {
@@ -91,14 +176,28 @@ int main(int argc, char** argv) {
       machines = static_cast<unsigned>(std::stoul(positional[arg]));
     } catch (const std::exception&) {
       std::cerr << "bad machines argument: " << positional[arg]
-                << " (with --replay-trace, omit <trace-file>)\n";
+                << " (with --replay-trace or --churn, omit <trace-file>)\n";
       return 2;
     }
+  }
+  try {
+    if (!shards_arg.empty()) cli.shards = static_cast<unsigned>(std::stoul(shards_arg));
+    if (!batch_arg.empty()) cli.batch = std::stoul(batch_arg);
+  } catch (const std::exception&) {
+    std::cerr << "bad --shards/--batch argument\n";
+    return 2;
   }
 
   std::vector<Request> trace;
   try {
-    if (!replay_path.empty()) {
+    if (!churn_arg.empty()) {
+      ChurnParams params;
+      params.seed = 1;
+      params.requests = std::stoul(churn_arg);
+      params.target_active = std::max<std::size_t>(64, params.requests / 8);
+      params.machines = machines;
+      trace = make_churn_trace(params);
+    } else if (!replay_path.empty()) {
       trace = read_trace_wal(replay_path);
     } else if (path == "-") {
       trace = read_trace(std::cin);
@@ -113,9 +212,12 @@ int main(int argc, char** argv) {
   } catch (const ContractViolation& error) {
     std::cerr << "malformed trace: " << error.what() << '\n';
     return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "bad --churn argument: " << error.what() << '\n';
+    return 2;
   }
 
-  auto scheduler = make_scheduler(kind, machines);
+  auto scheduler = make_scheduler(kind, machines, cli);
   if (!scheduler) {
     std::cerr << "unknown scheduler kind: " << kind << '\n';
     return 2;
@@ -124,7 +226,13 @@ int main(int argc, char** argv) {
   SimOptions sim;
   sim.validate_every = 100;
   sim.record_trace = record_path;
+  sim.record_latency = true;
+  sim.telemetry = cli.telemetry;
+  if (kind == "sharded") sim.batch_size = cli.batch;
   const auto report = replay_trace(*scheduler, trace, sim);
+  if (kind == "sharded" && !cli.wal_dir.empty()) {
+    static_cast<ShardedScheduler&>(*scheduler).sync_wal();
+  }
 
   Table table("replay: " + scheduler->name());
   table.set_header({"metric", "value"});
@@ -137,8 +245,37 @@ int main(int argc, char** argv) {
   table.add_row({"max migrations", Table::num(report.metrics.max_migrations())});
   table.add_row({"degraded placements", Table::num(report.metrics.degraded())});
   table.add_row({"rebuild events", Table::num(report.metrics.rebuilds())});
+  const auto& latency = report.metrics.latency_hist();
+  if (latency.total() > 0) {
+    const char* unit = sim.batch_size > 0 ? " us/batch" : " us/req";
+    const auto us = [](std::uint64_t ns) { return Table::num(ns / 1e3, 1); };
+    table.add_row({"latency p50", us(latency.percentile(0.50)) + unit});
+    table.add_row({"latency p99", us(latency.percentile(0.99)) + unit});
+    table.add_row({"latency p999", us(latency.percentile(0.999)) + unit});
+    table.add_row({"latency max", us(latency.max()) + unit});
+  }
   table.add_row({"wall seconds", Table::num(report.seconds, 3)});
   table.print(std::cout);
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "cannot write " << metrics_out << '\n';
+      return 2;
+    }
+    telemetry::Registry::global().write_snapshot_json(out);
+    std::cout << "telemetry snapshot written to " << metrics_out << '\n';
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "cannot write " << trace_out << '\n';
+      return 2;
+    }
+    telemetry::Registry::global().write_trace_json(out);
+    std::cout << "chrome trace written to " << trace_out
+              << " (load via chrome://tracing or tools/trace_summarize.py)\n";
+  }
 
   if (!report.clean()) {
     std::cerr << "\nVALIDATION PROBLEM: " << report.first_issue << '\n';

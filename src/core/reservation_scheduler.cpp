@@ -5,6 +5,7 @@
 #include <type_traits>
 #include <unordered_map>
 
+#include "telemetry/registry.hpp"
 #include "util/assert.hpp"
 
 #include "feasibility/edf.hpp"
@@ -50,6 +51,9 @@ ReservationScheduler::ReservationScheduler(SchedulerOptions options)
              "windows aligned)");
   RS_REQUIRE(options_.rebuild_batch > 0,
              "SchedulerOptions::rebuild_batch must be positive");
+#if RS_TELEM_COMPILED
+  telemetry::enable(options_.telemetry);
+#endif
   const unsigned count = options_.levels.level_count();
   if (options_.legacy_rehash) {
     // Escape hatch: every hot-path table grows stop-the-world (the seed
@@ -1115,6 +1119,9 @@ void ReservationScheduler::begin_partitioned_rebuild(u64 new_n_star) {
   // becomes the target immediately so trimming of interim inserts and the
   // next trigger evaluation behave exactly as on the legacy path.
   n_star_ = new_n_star;
+  RS_TELEM_COUNTER(kBegins, "rebuild.begins");
+  RS_TELEM_ADD(kBegins, 1);
+  RS_TELEM_INSTANT("rebuild.begin");
   auto migration = std::make_unique<Migration>();
   migration->reinsert = sorted_active_set();
 
@@ -1141,6 +1148,11 @@ void ReservationScheduler::begin_partitioned_rebuild(u64 new_n_star) {
 void ReservationScheduler::step_migration(std::size_t budget) {
   Migration& m = *migration_;
   ReservationScheduler& shadow = *m.shadow;
+  RS_TELEM_DURATION(kStepHist, "rebuild.step");
+  RS_TELEM_SPAN(step_span, kStepHist, "rebuild.step");
+#if RS_TELEM_COMPILED
+  const std::size_t work_before = m.reinsert_next + m.replay_next;
+#endif
 
   // Phase 1: reinsert the boundary snapshot in JobId order — the same
   // insert_impl-with-in_rebuild_ loop the legacy rebuild runs, just sliced.
@@ -1173,6 +1185,11 @@ void ReservationScheduler::step_migration(std::size_t budget) {
     }
     --budget;
   }
+
+#if RS_TELEM_COMPILED
+  RS_TELEM_HISTOGRAM(kStepWork, "rebuild.step_work");
+  RS_TELEM_RECORD(kStepWork, m.reinsert_next + m.replay_next - work_before);
+#endif
 
   if (m.reinsert_next == m.reinsert.size() && m.replay_next == m.replay.size()) {
     complete_migration();
@@ -1229,6 +1246,9 @@ void ReservationScheduler::complete_migration() {
   // inside this request.
   retiring_.push_back(std::move(migration_->shadow));
   migration_.reset();
+  RS_TELEM_COUNTER(kFlips, "rebuild.flips");
+  RS_TELEM_ADD(kFlips, 1);
+  RS_TELEM_INSTANT("rebuild.flip");
 }
 
 void ReservationScheduler::flush_migration() {
@@ -1274,6 +1294,15 @@ RequestStats ReservationScheduler::insert(JobId id, Window window) {
              "ReservationScheduler::insert: span exceeds the level table limit");
   RS_REQUIRE(!jobs_.contains(id), "ReservationScheduler::insert: id already active");
 
+  // Request-rate sites sample their duration 1-in-8 (exact when tracing);
+  // rs.requests carries the exact hit count the sampled histogram lacks,
+  // and the cascade histogram records only requests that touched a level
+  // (the common zero would be a fetch_add per request for no information —
+  // the zero count is rs.requests minus the histogram's count).
+  RS_TELEM_COUNTER(kRequests, "rs.requests");
+  RS_TELEM_ADD(kRequests, 1);
+  RS_TELEM_DURATION(kRequestHist, "rs.request");
+  RS_TELEM_SAMPLED_SPAN(request_span, kRequestHist, "rs.insert", 7);
   current_ = RequestStats{};
   touched_levels_mask_ = 0;
   trim_retired_step();
@@ -1284,12 +1313,20 @@ RequestStats ReservationScheduler::insert(JobId id, Window window) {
     migration_->replay.push_back(QueuedRequest{true, id, window});
   }
   current_.levels_touched = static_cast<u64>(std::popcount(touched_levels_mask_));
+  if (current_.levels_touched > 0) {
+    RS_TELEM_HISTOGRAM(kCascadeHist, "rs.cascade_levels");
+    RS_TELEM_RECORD(kCascadeHist, current_.levels_touched);
+  }
   maybe_audit();
   return current_;
 }
 
 RequestStats ReservationScheduler::erase(JobId id) {
   RS_REQUIRE(jobs_.contains(id), "ReservationScheduler::erase: id not active");
+  RS_TELEM_COUNTER(kRequests, "rs.requests");
+  RS_TELEM_ADD(kRequests, 1);
+  RS_TELEM_DURATION(kRequestHist, "rs.request");
+  RS_TELEM_SAMPLED_SPAN(request_span, kRequestHist, "rs.erase", 7);
   current_ = RequestStats{};
   touched_levels_mask_ = 0;
   trim_retired_step();
@@ -1300,6 +1337,10 @@ RequestStats ReservationScheduler::erase(JobId id) {
   }
   maybe_rebuild_on_erase();
   current_.levels_touched = static_cast<u64>(std::popcount(touched_levels_mask_));
+  if (current_.levels_touched > 0) {
+    RS_TELEM_HISTOGRAM(kCascadeHist, "rs.cascade_levels");
+    RS_TELEM_RECORD(kCascadeHist, current_.levels_touched);
+  }
   maybe_audit();
   return current_;
 }
@@ -1709,10 +1750,16 @@ void ReservationScheduler::incremental_audit() {
   if (engine.paced_drain() && swap_budget != 0) {
     budget = budget == 0 ? swap_budget : std::min(budget, swap_budget);
   }
-  engine.drain(
-      budget, [this](JobId id) { audit_job_scoped(id); },
-      [this](unsigned level, const WindowKey& w) { audit_window_scoped(level, w); },
-      [this](unsigned level, Time base) { audit_interval_scoped(level, base); });
+  {
+    RS_TELEM_DURATION(kDrainHist, "audit.drain");
+    RS_TELEM_SPAN(drain_span, kDrainHist, "audit.drain");
+    engine.drain(
+        budget, [this](JobId id) { audit_job_scoped(id); },
+        [this](unsigned level, const WindowKey& w) { audit_window_scoped(level, w); },
+        [this](unsigned level, Time base) { audit_interval_scoped(level, base); });
+  }
+  RS_TELEM_HISTOGRAM(kBacklogHist, "audit.backlog");
+  RS_TELEM_RECORD(kBacklogHist, audit_backlog());
   if (migration_ != nullptr) {
     // The shadow accumulates a whole cadence window's reinsertion dirt
     // between parent audits (rebuild_batch × cadence job placements) —

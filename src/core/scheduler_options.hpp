@@ -7,6 +7,7 @@
 
 #include "audit/audit_policy.hpp"
 #include "core/levels.hpp"
+#include "telemetry/options.hpp"
 
 namespace reasched {
 
@@ -93,6 +94,13 @@ struct SchedulerOptions {
   /// for the rehash-latency benchmark (EXPERIMENTS.md §E16, --legacy) and
   /// for the rehash differential tests.
   bool legacy_rehash = false;
+
+  /// Runtime gate for the telemetry tier (src/telemetry/, DESIGN.md §10).
+  /// Constructing a scheduler with `telemetry.enabled` flips the
+  /// process-wide recording switches (turn-on only); the RS_TELEM_* record
+  /// sites must also be compiled in (REASCHED_TELEMETRY) to observe
+  /// anything.
+  telemetry::TelemetryOptions telemetry{};
 
   /// Partitioned-rebuild migration pace: work units (snapshot reinsertions
   /// or queued-request replays) performed per request while a rebuild

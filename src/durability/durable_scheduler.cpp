@@ -8,6 +8,7 @@
 #include "core/reservation_scheduler.hpp"
 #include "durability/crashpoint.hpp"
 #include "durability/snapshot.hpp"
+#include "telemetry/registry.hpp"
 #include "util/assert.hpp"
 
 namespace reasched::durability {
@@ -183,6 +184,8 @@ void DurableScheduler::maybe_snapshot(const RequestStats& stats) {
 }
 
 void DurableScheduler::write_snapshot_now() {
+  RS_TELEM_DURATION(kSnapshotHist, "wal.snapshot");
+  RS_TELEM_SPAN(snapshot_span, kSnapshotHist, "wal.snapshot");
   // The log must be durable through csn_ before a snapshot claims that
   // CSN — otherwise a crash right after the snapshot could recover state
   // the (shorter) log can no longer extend consistently.

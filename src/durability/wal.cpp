@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "durability/crashpoint.hpp"
+#include "telemetry/registry.hpp"
 #include "util/assert.hpp"
 #include "util/crc32c.hpp"
 
@@ -149,12 +150,18 @@ void WalWriter::open(const std::string& path, const DurabilityPolicy& policy,
 
 void WalWriter::append(const WalRecord& record) {
   RS_REQUIRE(is_open(), "wal: append on closed writer");
+  RS_TELEM_DURATION(kAppendHist, "wal.append");
+  RS_TELEM_SPAN(append_span, kAppendHist, "wal.append");
   put_record(buffer_, record);
   appended();
+  RS_TELEM_COUNTER(kRecords, "wal.records");
+  RS_TELEM_ADD(kRecords, 1);
 }
 
 void WalWriter::flush() {
   if (buffered_records_ == 0) return;
+  RS_TELEM_DURATION(kFlushHist, "wal.flush");
+  RS_TELEM_SPAN(flush_span, kFlushHist, "wal.flush");
   // The frame is assembled in place: buffer_ starts with an 8-byte header
   // slot (reset_frame) that the length and checksum are patched into, so a
   // flush is one write of bytes already laid out — no second buffer, no
@@ -175,9 +182,13 @@ void WalWriter::flush() {
   write_all(buffer_.bytes().data(), buffer_.size());
   ++stats_.frames;
   stats_.bytes += buffer_.size();
+  RS_TELEM_COUNTER(kBytes, "wal.bytes");
+  RS_TELEM_ADD(kBytes, buffer_.size());
   reset_frame();
   buffered_records_ = 0;
   if (policy_.sync_every > 0 && ++frames_since_sync_ >= policy_.sync_every) {
+    RS_TELEM_DURATION(kFsyncHist, "wal.fsync");
+    RS_TELEM_SPAN(fsync_span, kFsyncHist, "wal.fsync");
     if (::fsync(fd_) != 0) throw_errno("wal: cannot sync", "(fd)");
     frames_since_sync_ = 0;
     ++stats_.syncs;
@@ -187,6 +198,8 @@ void WalWriter::flush() {
 void WalWriter::sync() {
   RS_REQUIRE(is_open(), "wal: sync on closed writer");
   flush();
+  RS_TELEM_DURATION(kFsyncHist, "wal.fsync");
+  RS_TELEM_SPAN(fsync_span, kFsyncHist, "wal.fsync");
   if (::fsync(fd_) != 0) throw_errno("wal: cannot sync", "(fd)");
   frames_since_sync_ = 0;
   ++stats_.syncs;

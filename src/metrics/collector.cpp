@@ -34,15 +34,15 @@ std::uint64_t MetricsCollector::steady_max_reallocations() const noexcept {
 }
 
 std::uint64_t MetricsCollector::max_reallocations() const {
-  return realloc_hist_.total() == 0 ? 0 : realloc_hist_.max_value();
+  return realloc_hist_.max_value();
 }
 
 std::uint64_t MetricsCollector::p99_reallocations() const {
-  return realloc_hist_.total() == 0 ? 0 : realloc_hist_.percentile(0.99);
+  return realloc_hist_.percentile(0.99);
 }
 
 std::uint64_t MetricsCollector::max_migrations() const {
-  return migration_hist_.total() == 0 ? 0 : migration_hist_.max_value();
+  return migration_hist_.max_value();
 }
 
 void MetricsCollector::merge(const MetricsCollector& other) {
@@ -57,6 +57,7 @@ void MetricsCollector::merge(const MetricsCollector& other) {
   migrations_.merge(other.migrations_);
   realloc_hist_.merge(other.realloc_hist_);
   migration_hist_.merge(other.migration_hist_);
+  latency_.merge(other.latency_);
 }
 
 }  // namespace reasched

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "base/types.hpp"
+#include "telemetry/histogram.hpp"
 #include "util/stats.hpp"
 
 namespace reasched {
@@ -12,6 +13,9 @@ class MetricsCollector {
  public:
   void add(RequestKind kind, const RequestStats& stats);
   void add_rejected() noexcept { ++rejected_; }
+  /// Wall-clock request latency sample; optional (SimOptions::record_latency)
+  /// so hot-path benches aren't forced to pay the two clock reads.
+  void add_latency_ns(std::uint64_t ns) noexcept { latency_.record(ns); }
 
   [[nodiscard]] std::uint64_t requests() const noexcept { return inserts_ + deletes_; }
   [[nodiscard]] std::uint64_t inserts() const noexcept { return inserts_; }
@@ -27,6 +31,9 @@ class MetricsCollector {
   }
   [[nodiscard]] const IntHistogram& migration_hist() const noexcept {
     return migration_hist_;
+  }
+  [[nodiscard]] const telemetry::LatencyHistogram& latency_hist() const noexcept {
+    return latency_;
   }
 
   /// Mean reallocations over non-rebuild requests plus the amortized rebuild
@@ -56,6 +63,7 @@ class MetricsCollector {
   RunningStats migrations_;
   IntHistogram realloc_hist_;
   IntHistogram migration_hist_;
+  telemetry::LatencyHistogram latency_;
 };
 
 }  // namespace reasched

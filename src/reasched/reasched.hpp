@@ -58,6 +58,11 @@
 #include "sim/driver.hpp"
 #include "sim/sweep.hpp"
 
+#include "telemetry/histogram.hpp"
+#include "telemetry/options.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace_ring.hpp"
+
 #include "util/flat_hash.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"

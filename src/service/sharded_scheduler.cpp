@@ -7,6 +7,7 @@
 #include <future>
 #include <utility>
 
+#include "telemetry/registry.hpp"
 #include "util/assert.hpp"
 
 namespace reasched {
@@ -33,6 +34,9 @@ ShardedScheduler::ShardedScheduler(unsigned machines, const Factory& factory,
       ledger_(machines, auto_stripes(options)),
       pool_(shards_ - 1) {
   RS_REQUIRE(machines >= 1, "ShardedScheduler: need at least one machine");
+#if RS_TELEM_COMPILED
+  telemetry::enable(options.telemetry);
+#endif
   if (options.legacy_rehash) ledger_.set_legacy_rehash(true);
   machines_.reserve(machines);
   for (unsigned i = 0; i < machines; ++i) {
@@ -243,7 +247,12 @@ BatchResult ShardedScheduler::apply(std::span<const Request> batch) {
   const std::uint64_t start_csn = csn_;
   std::size_t first = 0;
   while (first < batch.size()) {
-    const std::size_t end = scan_subbatch(batch, first, resolved, status, rejected_ids);
+    std::size_t end;
+    {
+      RS_TELEM_DURATION(kScanHist, "svc.scan");
+      RS_TELEM_SPAN(scan_span, kScanHist, "svc.scan");
+      end = scan_subbatch(batch, first, resolved, status, rejected_ids);
+    }
     // Write-ahead on the caller thread, in batch order, before the
     // sub-batch fans out: CSNs are assigned here, so merging the per-shard
     // logs by CSN reconstructs exactly this sequential order.
@@ -354,6 +363,8 @@ void ShardedScheduler::apply_subbatch(std::span<const Request> batch,
   std::vector<PlanOutput> plans(shards_);
   std::vector<std::uint8_t> migrated(end - first, 0);
   run_sharded([&](unsigned worker) {
+    RS_TELEM_DURATION(kPlanHist, "svc.plan");
+    RS_TELEM_SPAN(plan_span, kPlanHist, "svc.plan");
     PlanOutput& out = plans[worker];
     for (const std::uint32_t index : buckets[worker]) {
       const Request& request = batch[index];
@@ -417,6 +428,8 @@ void ShardedScheduler::apply_subbatch(std::span<const Request> batch,
   std::vector<std::size_t> applied(machines_.size(), 0);
   std::atomic<bool> failed{false};
   run_sharded([&](unsigned shard) {
+    RS_TELEM_DURATION(kApplyHist, "svc.apply");
+    RS_TELEM_SPAN(apply_span, kApplyHist, "svc.apply");
     for (unsigned machine = shard_begin_[shard]; machine < shard_begin_[shard + 1];
          ++machine) {
       std::vector<Op>& ops = machine_ops[machine];

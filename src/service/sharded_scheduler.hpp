@@ -65,6 +65,7 @@
 #include "durability/wal.hpp"
 #include "schedule/scheduler_interface.hpp"
 #include "service/striped_ledger.hpp"
+#include "telemetry/options.hpp"
 #include "util/flat_hash.hpp"
 #include "util/thread_pool.hpp"
 
@@ -96,6 +97,12 @@ class ShardedScheduler final : public IReallocScheduler {
     /// this layer (per-machine generation boundaries are not service-wide
     /// quiescent points); recovery cost grows with the log.
     std::optional<durability::DurabilityPolicy> wal;
+    /// Runtime gate for the telemetry tier (src/telemetry/, DESIGN.md §10):
+    /// construction flips the process-wide recording switches (turn-on
+    /// only). The pipeline spans (svc.scan/svc.plan/svc.apply), per-shard
+    /// queue-depth gauges, and every per-machine scheduler's record sites
+    /// then feed telemetry::Registry::global().
+    telemetry::TelemetryOptions telemetry;
   };
 
   ShardedScheduler(unsigned machines, const Factory& factory, Options options);

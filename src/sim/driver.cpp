@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "schedule/validator.hpp"
+#include "telemetry/registry.hpp"
 #include "util/assert.hpp"
 #include "util/flat_hash.hpp"
 #include "workload/trace_io.hpp"
@@ -26,6 +27,8 @@ class Runner {
     if (check_costs) before = scheduler_.snapshot();
 
     RequestStats stats;
+    const std::uint64_t start_ns =
+        options_.record_latency ? telemetry::now_ns() : 0;
     if (request.kind == RequestKind::kInsert) {
       try {
         stats = scheduler_.insert(request.job, request.window);
@@ -44,6 +47,9 @@ class Runner {
       }
       stats = scheduler_.erase(request.job);
       active_.erase(request.job);
+    }
+    if (options_.record_latency) {
+      report_.metrics.add_latency_ns(telemetry::now_ns() - start_ns);
     }
     report_.metrics.add(request.kind, stats);
     if (options_.on_request) options_.on_request(index_ - 1, request, stats);
@@ -116,7 +122,14 @@ SimReport replay_batched(IReallocScheduler& scheduler, std::span<const Request> 
 
   const auto flush = [&](std::size_t processed) {
     if (!buffer.empty()) {
+      const std::uint64_t start_ns =
+          options.record_latency ? telemetry::now_ns() : 0;
       const BatchResult result = scheduler.apply(buffer);
+      if (options.record_latency) {
+        // One sample per batch: apply() amortizes fixed costs across the
+        // batch, so per-request attribution would be fiction.
+        report.metrics.add_latency_ns(telemetry::now_ns() - start_ns);
+      }
       std::size_t next_rejected = 0;
       for (std::size_t k = 0; k < buffer.size(); ++k) {
         const Request& request = buffer[k];
@@ -191,6 +204,7 @@ SimReport replay_batched(IReallocScheduler& scheduler, std::span<const Request> 
 SimReport replay_trace(IReallocScheduler& scheduler, std::span<const Request> trace,
                        const SimOptions& options) {
   const auto start = std::chrono::steady_clock::now();
+  telemetry::enable(options.telemetry);
   if (!options.record_trace.empty()) {
     write_trace_wal(options.record_trace, {trace.begin(), trace.end()});
   }
@@ -210,6 +224,7 @@ SimReport replay_trace(IReallocScheduler& scheduler, std::span<const Request> tr
 SimReport run_adaptive(IReallocScheduler& scheduler, const AdversaryFn& next,
                        const SimOptions& options) {
   const auto start = std::chrono::steady_clock::now();
+  telemetry::enable(options.telemetry);
   Runner runner(scheduler, options);
   Schedule current = scheduler.snapshot();
   std::vector<Request> emitted;

@@ -14,6 +14,7 @@
 #include "base/window.hpp"
 #include "metrics/collector.hpp"
 #include "schedule/scheduler_interface.hpp"
+#include "telemetry/options.hpp"
 
 namespace reasched {
 
@@ -49,6 +50,15 @@ struct SimOptions {
   /// write_trace_wal) — replay_trace records the whole trace up front;
   /// run_adaptive records the adversary's emitted requests at the end.
   std::string record_trace;
+  /// Sample wall-clock request latency (per request, or per batch in
+  /// batched mode) into SimReport::metrics.latency_hist(). Off by default:
+  /// the two clock reads per request are measurable at hot-path speeds.
+  bool record_latency = false;
+  /// Runtime gate for the process-wide telemetry tier (src/telemetry/):
+  /// replay flips the recording switches before serving (turn-on only).
+  /// Independent of record_latency, which feeds the per-run
+  /// MetricsCollector rather than the global registry.
+  telemetry::TelemetryOptions telemetry;
 };
 
 struct SimReport {

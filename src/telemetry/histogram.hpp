@@ -1,0 +1,135 @@
+// Log-bucketed latency histogram (HDR-style) for the telemetry tier.
+//
+// Fixed-size bucket array, no allocation or data-dependent branching on the
+// record path: one index computation (count-leading-zeros + shift) and one
+// increment. Buckets are (octave, sub-bucket) pairs with kSubBits = 6 —
+// 64 sub-buckets per power of two — so a bucket's width is 2^-6 of its
+// base and the midpoint we report is within 2^-7 ≈ 0.8% of any value the
+// bucket holds. Queries that re-bucket through a unit conversion (the
+// registry's tick→ns scrape, registry.cpp) compound two such roundings,
+// (1 + 2^-7)^2 - 1 ≈ 1.6% — comfortably inside the documented ≤3%
+// relative-error bound that tests/telemetry_test.cpp property-checks.
+//
+// Values are expected in nanoseconds (or raw counts — the math is
+// unit-agnostic); values at or above 2^40 (~18 min in ns) clamp into the
+// last bucket.
+//
+// This is the *plain* single-writer form, used for merged scrape results,
+// MetricsCollector's per-request latency block, and bench latency blocks.
+// The per-thread atomic shard variant lives in registry.hpp and shares
+// this class's bucket math.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace reasched::telemetry {
+
+class LatencyHistogram {
+ public:
+  static constexpr std::uint32_t kSubBits = 6;
+  static constexpr std::uint32_t kSub = 1u << kSubBits;  // sub-buckets/octave
+  static constexpr std::uint32_t kMaxExp = 40;           // clamp at 2^40
+  static constexpr std::uint32_t kBuckets = (kMaxExp - kSubBits + 1) * kSub;
+
+  /// Bucket index for a value; total order preserving, clamps at the top.
+  [[nodiscard]] static constexpr std::uint32_t bucket_of(std::uint64_t v) noexcept {
+    if (v < kSub) return static_cast<std::uint32_t>(v);  // exact small values
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    if (msb >= kMaxExp) return kBuckets - 1;
+    const auto sub =
+        static_cast<std::uint32_t>((v >> (msb - kSubBits)) & (kSub - 1));
+    return (msb - kSubBits + 1) * kSub + sub;
+  }
+
+  /// Midpoint of a bucket — the representative value queries report.
+  [[nodiscard]] static constexpr std::uint64_t bucket_mid(std::uint32_t idx) noexcept {
+    if (idx < kSub) return idx;
+    const std::uint32_t octave = idx / kSub;
+    const std::uint32_t sub = idx % kSub;
+    const unsigned msb = octave + kSubBits - 1;
+    const std::uint64_t lo =
+        (std::uint64_t{1} << msb) + (std::uint64_t{sub} << (msb - kSubBits));
+    return lo + (std::uint64_t{1} << (msb - kSubBits)) / 2;
+  }
+
+  void record(std::uint64_t value) noexcept {
+    ++buckets_[bucket_of(value)];
+    ++total_;
+  }
+  /// Adds `count` samples to the bucket holding `value` (scrape merges).
+  void record_n(std::uint64_t value, std::uint64_t count) noexcept {
+    buckets_[bucket_of(value)] += count;
+    total_ += count;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Smallest bucket midpoint v such that at least q·total() samples fall
+  /// in buckets at or below v's. Returns 0 on an empty histogram (the
+  /// IntHistogram empty-scrape contract, src/util/stats.hpp).
+  [[nodiscard]] std::uint64_t percentile(double q) const {
+    RS_REQUIRE(q >= 0.0 && q <= 1.0, "percentile: q outside [0,1]");
+    if (total_ == 0) return 0;
+    auto target =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
+    if (target < 1) target = 1;
+    if (target > total_) target = total_;
+    std::uint64_t seen = 0;
+    for (std::uint32_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= target) return bucket_mid(i);
+    }
+    return bucket_mid(kBuckets - 1);
+  }
+
+  /// Midpoint of the highest non-empty bucket; 0 when empty.
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    for (std::uint32_t i = kBuckets; i-- > 0;) {
+      if (buckets_[i] != 0) return bucket_mid(i);
+    }
+    return 0;
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    if (total_ == 0) return 0.0;
+    double sum = 0.0;
+    for (std::uint32_t i = 0; i < kBuckets; ++i) {
+      if (buckets_[i] != 0) {
+        sum += static_cast<double>(buckets_[i]) *
+               static_cast<double>(bucket_mid(i));
+      }
+    }
+    return sum / static_cast<double>(total_);
+  }
+
+  /// Adds `count` samples directly to bucket `idx` — exact (no re-bucketing)
+  /// merge path for the registry's atomic per-thread shards.
+  void add_bucket(std::uint32_t idx, std::uint64_t count) noexcept {
+    buckets_[idx] += count;
+    total_ += count;
+  }
+
+  void merge(const LatencyHistogram& other) noexcept {
+    for (std::uint32_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    total_ += other.total_;
+  }
+
+  [[nodiscard]] bool operator==(const LatencyHistogram& other) const noexcept {
+    return total_ == other.total_ && buckets_ == other.buckets_;
+  }
+
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace reasched::telemetry

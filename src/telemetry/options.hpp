@@ -1,0 +1,33 @@
+// Runtime knob for the telemetry tier (src/telemetry/, DESIGN.md §10).
+//
+// This header is intentionally dependency-free: it is embedded in
+// SchedulerOptions, ShardedScheduler::Options, and SimOptions, so every
+// options struct compiles identically whether or not the telemetry record
+// paths are compiled in (REASCHED_TELEMETRY). Passing `enabled`/`trace`
+// through any of those structs flips the process-wide recording switches at
+// construction/replay time — see telemetry::enable() in registry.hpp for
+// the exact semantics (turn-on only; never silently disables a concurrent
+// user).
+#pragma once
+
+#include <cstdint>
+
+namespace reasched::telemetry {
+
+struct TelemetryOptions {
+  /// Record counters, gauges, and latency histograms into the process-wide
+  /// registry (merged across per-thread shards on scrape). Off by default:
+  /// every record site then costs one relaxed load + branch.
+  bool enabled = false;
+  /// Additionally record span/instant events into per-thread TraceRings
+  /// (fixed capacity, overwrite-oldest) for chrome://tracing export. A
+  /// debugging tier, priced separately from `enabled` (EXPERIMENTS.md
+  /// §E18); implies `enabled`.
+  bool trace = false;
+  /// Per-thread TraceRing capacity in events (rounded up to a power of
+  /// two). Applies to rings created after enable(); existing rings keep
+  /// their size.
+  std::uint32_t ring_capacity = 8192;
+};
+
+}  // namespace reasched::telemetry

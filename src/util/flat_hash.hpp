@@ -61,6 +61,7 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/registry.hpp"
 #include "util/assert.hpp"
 
 namespace reasched {
@@ -568,18 +569,31 @@ class FlatHashMap {
   /// examinations (not moves) are the unit, so the per-call cost is a
   /// bounded scan even over tombstone-riddled regions.
   void migrate_step(std::size_t budget) {
+    if (!migrating()) return;
+    // Drain steps fire on ~every mutation while a migration is in flight;
+    // a TraceSpan keeps the metrics-only mode to the count histogram below
+    // (durations + chrome spans cost two ticks() reads and arm with trace).
+    RS_TELEM_DURATION(kDrainHist, "hash.drain");
+    RS_TELEM_TRACE_SPAN(drain_span, kDrainHist, "hash.drain");
+#if RS_TELEM_COMPILED
+    const std::size_t budget_in = budget;
+#endif
     while (budget > 0 && migrating()) {
       if (old_live_ == 0 || migrate_pos_ >= old_ctrl_.size()) {
         release_old_table();
-        return;
+        break;
       }
       if (old_ctrl_[migrate_pos_] == kFull) {
         relocate_from_old(migrate_pos_);
-        if (!migrating()) return;  // that was the last live entry
+        if (!migrating()) break;  // that was the last live entry
       }
       ++migrate_pos_;
       --budget;
     }
+#if RS_TELEM_COMPILED
+    RS_TELEM_HISTOGRAM(kDrainBuckets, "hash.drain_buckets");
+    RS_TELEM_RECORD(kDrainBuckets, budget_in - budget);
+#endif
   }
 
   void finish_migration() { migrate_step(old_ctrl_.size()); }
@@ -622,6 +636,9 @@ class FlatHashMap {
   /// Retires the active table and installs a fresh one of `new_capacity`;
   /// entries move over incrementally (migrate_step / drain_rehash).
   void start_migration(std::size_t new_capacity) {
+    RS_TELEM_COUNTER(kMigrations, "hash.migrations");
+    RS_TELEM_ADD(kMigrations, 1);
+    RS_TELEM_INSTANT("hash.migrate.begin");
     old_ctrl_ = std::move(ctrl_);
     old_slots_ = std::move(slots_);
     old_live_ = size_;

@@ -76,9 +76,11 @@ class IntHistogram {
   }
 
   /// Smallest value v such that at least q*total() samples are <= v.
+  /// Returns 0 on an empty histogram: a zero-request shard must scrape as
+  /// all-zero metrics, not abort the run.
   [[nodiscard]] std::uint64_t percentile(double q) const {
     RS_REQUIRE(q >= 0.0 && q <= 1.0, "percentile: q outside [0,1]");
-    RS_REQUIRE(total_ > 0, "percentile of empty histogram");
+    if (total_ == 0) return 0;
     const auto target = static_cast<std::uint64_t>(
         std::ceil(q * static_cast<double>(total_)));
     std::uint64_t seen = 0;
@@ -89,8 +91,10 @@ class IntHistogram {
     return buckets_.rbegin()->first;
   }
 
+  /// Largest recorded value; 0 on an empty histogram (same contract as
+  /// percentile()).
   [[nodiscard]] std::uint64_t max_value() const {
-    RS_REQUIRE(total_ > 0, "max of empty histogram");
+    if (total_ == 0) return 0;
     return buckets_.rbegin()->first;
   }
 

@@ -1,10 +1,36 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "telemetry/registry.hpp"
 #include "util/assert.hpp"
 
 namespace reasched {
+
+#if RS_TELEM_COMPILED
+namespace {
+
+/// Per-worker queue-depth gauge ("svc.queue.depth.<k>"), interned lazily so
+/// only pools that actually run pay for slots. Worker indexes beyond the
+/// named range share a catch-all — the registry has a fixed gauge budget.
+const telemetry::Gauge& queue_depth_gauge(std::size_t index) {
+  constexpr std::size_t kNamedQueues = 16;
+  static std::mutex mutex;
+  static std::vector<telemetry::Gauge> gauges;
+  if (index > kNamedQueues) index = kNamedQueues;  // catch-all slot
+  std::lock_guard lock(mutex);
+  while (gauges.size() <= index) {
+    const std::size_t k = gauges.size();
+    gauges.emplace_back(k == kNamedQueues
+                            ? std::string("svc.queue.depth.other")
+                            : "svc.queue.depth." + std::to_string(k));
+  }
+  return gauges[index];
+}
+
+}  // namespace
+#endif
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -47,6 +73,7 @@ ShardedThreadPool::ShardedThreadPool(std::size_t workers) {
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
     Worker& worker = *workers_.back();
+    worker.index = i;
     worker.thread = std::thread([this, &worker] { worker_loop(worker); });
   }
 }
@@ -73,6 +100,9 @@ std::future<void> ShardedThreadPool::submit_to(std::size_t worker_index,
     std::lock_guard lock(worker.mutex);
     worker.queue.push(std::move(task));
   }
+#if RS_TELEM_COMPILED
+  RS_TELEM_GAUGE_ADD(queue_depth_gauge(worker_index), 1);
+#endif
   worker.cv.notify_one();
   return result;
 }
@@ -90,6 +120,9 @@ void ShardedThreadPool::worker_loop(Worker& worker) {
       task = std::move(worker.queue.front());
       worker.queue.pop();
     }
+#if RS_TELEM_COMPILED
+    RS_TELEM_GAUGE_ADD(queue_depth_gauge(worker.index), -1);
+#endif
     task();
   }
 }

@@ -84,6 +84,7 @@ class ShardedThreadPool {
     std::condition_variable cv;
     std::queue<std::packaged_task<void()>> queue;
     bool stopping = false;
+    std::size_t index = 0;  // position in workers_ (telemetry gauge key)
   };
 
   void worker_loop(Worker& worker);

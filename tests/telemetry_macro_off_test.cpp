@@ -1,0 +1,79 @@
+// Compiled-out no-op test: with REASCHED_TELEMETRY absent the RS_TELEM_*
+// macros must expand to nothing — no handle objects, no interning, no
+// record-path code — so a production build without the flag carries zero
+// telemetry cost (bench_e18_telemetry prices the same claim).
+//
+// The library target defines REASCHED_TELEMETRY PUBLIC-ly, so this TU gets
+// the define on its command line; undefine it BEFORE including the
+// telemetry headers to compile the off-flavor macros. Only telemetry
+// headers may be included here: any instrumented repo header (e.g.
+// util/flat_hash.hpp) compiled under the flipped macro would give its
+// inline functions a different body than the library's — an ODR violation.
+#undef REASCHED_TELEMETRY
+
+#include "telemetry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace reasched::telemetry {
+namespace {
+
+static_assert(RS_TELEM_COMPILED == 0,
+              "with REASCHED_TELEMETRY undefined the macros must report the "
+              "compiled-out flavor");
+
+TEST(TelemetryMacroOff, MacrosExpandToNothing) {
+  Registry::set_metrics_enabled(true);
+  Registry::set_trace_enabled(true);
+
+  // Handle-declaring macros must not declare anything: the names below are
+  // never defined, and the use-macros referencing them must still compile
+  // (they expand to ((void)0), so the identifiers vanish).
+  RS_TELEM_COUNTER(kOffCounter, "off.counter");
+  RS_TELEM_GAUGE(kOffGauge, "off.gauge");
+  RS_TELEM_HISTOGRAM(kOffHist, "off.hist");
+  RS_TELEM_DURATION(kOffDuration, "off.duration");
+  for (int i = 0; i < 100; ++i) {
+    RS_TELEM_ADD(kOffCounter, 1);
+    RS_TELEM_GAUGE_ADD(kOffGauge, 1);
+    RS_TELEM_RECORD(kOffHist, 42);
+    RS_TELEM_SPAN(span, kOffDuration, "off.span");
+    RS_TELEM_INSTANT("off.instant");
+  }
+
+  // Nothing was interned, recorded, or traced.
+  const Registry::Snapshot snap = Registry::global().snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_NE(name.substr(0, 4), "off.") << name;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    EXPECT_NE(name.substr(0, 4), "off.") << name;
+  }
+  for (const auto& h : snap.histograms) {
+    EXPECT_NE(h.name.substr(0, 4), "off.") << h.name;
+  }
+  const std::string trace = Registry::global().trace_json();
+  EXPECT_EQ(trace.find("off."), std::string::npos);
+
+  Registry::set_metrics_enabled(false);
+}
+
+TEST(TelemetryMacroOff, RegistryItselfStillWorks) {
+  // The registry API is compiled unconditionally — tools that scrape must
+  // link and run in the off flavor, just with nothing recorded by macros.
+  Registry::set_metrics_enabled(true);
+  const Counter counter("off.manual");  // direct handle use, not the macro
+  counter.add(3);
+  std::uint64_t value = 0;
+  for (const auto& [name, v] : Registry::global().snapshot().counters) {
+    if (name == "off.manual") value = v;
+  }
+  EXPECT_EQ(value, 3u);
+  Registry::set_metrics_enabled(false);
+  Registry::global().reset();
+}
+
+}  // namespace
+}  // namespace reasched::telemetry

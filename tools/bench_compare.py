@@ -27,13 +27,18 @@ import json
 import sys
 
 # Per-bench comparison registry: identity keys select the row, metrics map
-# field -> (direction, floor). Direction "higher" = bigger is better,
-# "lower" = smaller is better. The floor is an absolute noise gate for
-# extreme statistics: a lower-is-better metric only counts as regressed
-# while the current value also EXCEEDS the floor (a 0.05 ms -> 0.15 ms max
-# is scheduler jitter, not a cliff); a higher-is-better metric only counts
-# while the current value is BELOW the floor. floor=None disables the
-# gate. Rows missing every identity key (summary/smoke rows) are skipped.
+# field -> (direction, floor) or (direction, floor, ceiling). Direction
+# "higher" = bigger is better, "lower" = smaller is better. The floor is an
+# absolute noise gate for extreme statistics: a lower-is-better metric only
+# counts as regressed while the current value also EXCEEDS the floor (a
+# 0.05 ms -> 0.15 ms max is scheduler jitter, not a cliff); a
+# higher-is-better metric only counts while the current value is BELOW the
+# floor. floor=None disables the gate. The optional ceiling is the
+# opposite instrument: an absolute bound on a lower-is-better metric that
+# fails REGARDLESS of the baseline — for metrics where the acceptance
+# criterion is the value itself (telemetry overhead <= 1.05x), not drift
+# relative to a recording. Rows missing every identity key
+# (summary/smoke rows) are skipped.
 # CI runners are not the recording machine, so the gated metrics are
 # primarily the benches' IN-BINARY ratios (optimized vs legacy mode in the
 # same process on the same host — machine-speed-independent); absolute
@@ -90,6 +95,17 @@ REGISTRY = {
         "keys": ["n", "mode"],
         "metrics": {"max_ms": ("lower", 1.0)},
         "absolute_modes": {"incremental"},
+    },
+    "e18_telemetry": {
+        # telemetry_overhead_ratio is in-binary (gates flipped around
+        # alternating segments in one process) and machine-speed-
+        # independent. The 1.05 ceiling IS the acceptance criterion —
+        # always-on telemetry keeps >= 0.95x the gated-off throughput —
+        # so it binds absolutely, not relative to the baseline. Only the
+        # "on" / "compiled-out" rows carry the field; the trace tier's
+        # cost is recorded (trace_overhead_ratio) but not gated.
+        "keys": ["case", "n", "mode"],
+        "metrics": {"telemetry_overhead_ratio": ("lower", None, 1.05)},
     },
 }
 
@@ -178,7 +194,8 @@ def main():
             continue
         label = " ".join(f"{key}={value}" for key, value in identity)
         absolute_modes = spec.get("absolute_modes")
-        for metric, (direction, floor) in spec["metrics"].items():
+        for metric, bounds in spec["metrics"].items():
+            direction, floor, ceiling = (tuple(bounds) + (None, None))[:3]
             if metric not in base_row:
                 # Not applicable to this row shape (e.g. a recovery row has
                 # no overhead ratio) — the baseline never carried it either.
@@ -211,6 +228,8 @@ def main():
                 bad = cur_value > base_value * args.factor
                 if bad and floor is not None and cur_value <= floor:
                     bad = False  # still below the noise floor: not a cliff
+                if ceiling is not None and cur_value > ceiling:
+                    bad = True  # absolute criterion, no factor band
                 verdict = "REGRESSION" if bad else "ok"
             if verdict == "REGRESSION":
                 regressions += 1

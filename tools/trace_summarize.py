@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Summarize a chrome://tracing JSON file produced by the telemetry tier
+(`--trace-out`, telemetry::Registry::write_trace_json).
+
+Usage:
+    tools/trace_summarize.py trace.json [--top N]
+
+Prints one row per span name: event count, total/mean/max duration, and
+the share of the summed span time — a quick "where did the time go"
+breakdown without loading the file into chrome://tracing. Instant events
+('i' phase — generation flips, migration begins) are listed separately
+with counts and the time range they cover.
+
+Exit status: 0 on success, 1 on a malformed file (so CI can smoke the
+trace surface: a run's --trace-out must parse and contain spans).
+"""
+
+import argparse
+import json
+import sys
+
+
+def fmt_us(us: float) -> str:
+    if us >= 1e6:
+        return f"{us / 1e6:.3f} s"
+    if us >= 1e3:
+        return f"{us / 1e3:.3f} ms"
+    return f"{us:.1f} us"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="chrome://tracing JSON file (--trace-out)")
+    parser.add_argument("--top", type=int, default=0,
+                        help="show only the N span names with the most total time")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        events = doc["traceEvents"]
+    except (OSError, json.JSONDecodeError, KeyError) as error:
+        print(f"unusable trace file {args.trace}: {error}", file=sys.stderr)
+        return 1
+
+    spans = {}     # name -> [count, total_us, max_us]
+    instants = {}  # name -> [count, first_ts, last_ts]
+    tids = set()
+    for event in events:
+        name = event.get("name", "?")
+        phase = event.get("ph")
+        tids.add(event.get("tid", 0))
+        if phase == "X":
+            dur = float(event.get("dur", 0.0))
+            entry = spans.setdefault(name, [0, 0.0, 0.0])
+            entry[0] += 1
+            entry[1] += dur
+            entry[2] = max(entry[2], dur)
+        elif phase == "i":
+            ts = float(event.get("ts", 0.0))
+            entry = instants.setdefault(name, [0, ts, ts])
+            entry[0] += 1
+            entry[1] = min(entry[1], ts)
+            entry[2] = max(entry[2], ts)
+
+    if not spans and not instants:
+        print(f"{args.trace}: no trace events (was --trace on?)", file=sys.stderr)
+        return 1
+
+    grand_total = sum(entry[1] for entry in spans.values()) or 1.0
+    rows = sorted(spans.items(), key=lambda item: -item[1][1])
+    if args.top > 0:
+        rows = rows[: args.top]
+
+    print(f"{args.trace}: {len(events)} events across {len(tids)} threads\n")
+    if rows:
+        print(f"{'span':<24} {'count':>8} {'total':>12} {'mean':>12} "
+              f"{'max':>12} {'share':>7}")
+        for name, (count, total, peak) in rows:
+            print(f"{name:<24} {count:>8} {fmt_us(total):>12} "
+                  f"{fmt_us(total / count):>12} {fmt_us(peak):>12} "
+                  f"{100.0 * total / grand_total:>6.1f}%")
+    if instants:
+        print(f"\n{'instant':<24} {'count':>8} {'first':>14} {'last':>14}")
+        for name, (count, first, last) in sorted(instants.items()):
+            print(f"{name:<24} {count:>8} {fmt_us(first):>14} {fmt_us(last):>14}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
