@@ -1,0 +1,108 @@
+// Admission control for the ingestion front end (DESIGN.md §11): decides,
+// at push time, whether a request enters the queue at all.
+//
+// Two independent thresholds, both optional (0 = disabled):
+//
+//   * queue depth — the exact in-flight count (admitted minus applied,
+//     maintained by the ingestion service and mirrored to the
+//     "ingest.queue.depth" telemetry gauge, ROADMAP item 6) may not exceed
+//     max_queue_depth. Depth shedding is *exact*: the decision is taken
+//     against the same counter the gauge publishes, so the accounting in
+//     IngestStats reconciles to the request (tests/ingest_admission_test).
+//   * p99 latency budget — the consumer records every request's sojourn
+//     (push → batch applied) into an epoch histogram; when an epoch
+//     completes with p99 over budget, the controller starts *shedding* and
+//     producers are rejected until the overload clears. Shedding clears
+//     when a later epoch meets the budget again or the queue drains to
+//     empty (the backlog that produced the tail is gone, and with all
+//     producers shed no new epoch would ever complete — the drain rule is
+//     what guarantees recovery).
+//
+// Threading: admit() is called by many producers concurrently (atomic
+// loads only); observe()/evaluate() are called by the single consumer.
+// Rejected requests never claim a sequence ticket and are never written
+// ahead to any WAL — on recovery replay they are deterministically absent,
+// which is exactly "re-rejected" (tests/ingest_admission_test.cpp crash
+// cases).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "telemetry/histogram.hpp"
+
+namespace reasched::ingest {
+
+/// Producer-side admission verdict. kAdmitted is 0 so the enum packs into
+/// accounting arrays cheaply.
+enum class Admit : std::uint8_t {
+  kAdmitted = 0,
+  kRejectedDepth = 1,    // queue depth at or over max_queue_depth
+  kRejectedLatency = 2,  // p99 sojourn budget exceeded (shedding epoch)
+};
+
+class AdmissionController {
+ public:
+  struct Options {
+    /// Reject pushes while in-flight depth >= this (0 = no depth shedding).
+    std::size_t max_queue_depth = 0;
+    /// Reject pushes while the sojourn p99 exceeds this budget
+    /// (0 = no latency shedding).
+    std::uint64_t p99_budget_ns = 0;
+    /// Sojourn samples per evaluation epoch: the p99 is recomputed every
+    /// time this many samples accumulate. Small epochs react faster but
+    /// estimate the tail from fewer samples.
+    std::size_t epoch_samples = 1024;
+  };
+
+  explicit AdmissionController(const Options& options) : options_(options) {}
+
+  /// Producer side: the verdict for a push arriving while `depth` requests
+  /// are in flight. Lock-free (two relaxed loads).
+  [[nodiscard]] Admit admit(std::size_t depth) const noexcept {
+    if (options_.max_queue_depth != 0 && depth >= options_.max_queue_depth) {
+      return Admit::kRejectedDepth;
+    }
+    if (shedding_.load(std::memory_order_relaxed)) {
+      return Admit::kRejectedLatency;
+    }
+    return Admit::kAdmitted;
+  }
+
+  /// Consumer side: record one request's push→applied sojourn.
+  void observe(std::uint64_t sojourn_ns) noexcept {
+    if (options_.p99_budget_ns == 0) return;
+    epoch_.record(sojourn_ns);
+  }
+
+  /// Consumer side: close the epoch if due and refresh the shedding flag.
+  /// `depth` is the current in-flight count: a fully drained queue always
+  /// clears shedding (see header comment).
+  void evaluate(std::size_t depth) noexcept {
+    if (options_.p99_budget_ns == 0) return;
+    if (epoch_.total() >= options_.epoch_samples) {
+      last_p99_ns_ = epoch_.percentile(0.99);
+      shedding_.store(last_p99_ns_ > options_.p99_budget_ns,
+                      std::memory_order_relaxed);
+      epoch_ = telemetry::LatencyHistogram{};
+    } else if (depth == 0 && shedding_.load(std::memory_order_relaxed)) {
+      shedding_.store(false, std::memory_order_relaxed);
+      epoch_ = telemetry::LatencyHistogram{};
+    }
+  }
+
+  [[nodiscard]] bool shedding() const noexcept {
+    return shedding_.load(std::memory_order_relaxed);
+  }
+  /// p99 of the last completed epoch (0 before the first one closes).
+  [[nodiscard]] std::uint64_t last_p99_ns() const noexcept { return last_p99_ns_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_;
+  std::atomic<bool> shedding_{false};
+  telemetry::LatencyHistogram epoch_;  // consumer-only
+  std::uint64_t last_p99_ns_ = 0;      // consumer-only
+};
+
+}  // namespace reasched::ingest

@@ -1,0 +1,147 @@
+// Bounded lock-free MPSC ring buffer — the per-lane admission queue of the
+// ingestion front end (DESIGN.md §11).
+//
+// Layout and protocol are the classic bounded sequence-stamped ring
+// (Vyukov): each slot carries a *generation stamp* next to its payload, and
+// the stamp doubles as the reclamation protocol — a producer may claim slot
+// `pos & mask` for generation g = pos only after the stamp reads exactly g
+// (the consumer of generation g - capacity has retired the slot), and the
+// consumer may read it only after the stamp reads g + 1 (the producer's
+// release-store published the payload). No epochs are shared beyond the
+// stamps, no memory is reclaimed dynamically (slots are reused in place),
+// and no thread ever blocks another through the ring: a full ring fails the
+// push instead of waiting (the ingestion tier's backpressure loop decides
+// whether to stall or shed; this class never does either).
+//
+// Concurrency contract:
+//   * try_push: any number of producer threads (the multi-producer CAS is
+//     on the claim cursor only; payload writes are uncontended after the
+//     claim).
+//   * try_pop / pop_all: exactly ONE consumer thread at a time. The
+//     consumer cursor is written with plain stores by that thread; it is
+//     atomic only so approx_size() from producers is well-defined.
+//
+// Slots are padded to the destructive-interference line so neighboring
+// generations never false-share, and both cursors live on their own lines
+// (producers hammer the claim cursor, the consumer owns the read cursor).
+//
+// tests/ingest_torture_test.cpp drives wrap-around, full-ring, and
+// stamp-reclamation races at 1/2/4/8 producers under TSan.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace reasched::ingest {
+
+// 64 on every target this repo builds for; a fixed constant instead of
+// std::hardware_destructive_interference_size so the slot ABI cannot drift
+// with -mtune (and GCC's -Winterference-size stays quiet).
+inline constexpr std::size_t kCacheLine = 64;
+
+template <class T>
+class MpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two, minimum 2.
+  explicit MpscRing(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(std::make_unique<Slot[]>(mask_ + 1)) {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      slots_[i].stamp.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Multi-producer enqueue. Returns false when the ring is full (the slot
+  /// for the next generation has not been retired by the consumer yet);
+  /// never waits.
+  bool try_push(T value) noexcept {
+    std::uint64_t pos = claim_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::uint64_t stamp = slot.stamp.load(std::memory_order_acquire);
+      const std::int64_t lag =
+          static_cast<std::int64_t>(stamp) - static_cast<std::int64_t>(pos);
+      if (lag == 0) {
+        // Slot is reclaimed for this generation; race siblings for it.
+        if (claim_.compare_exchange_weak(pos, pos + 1,
+                                         std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.stamp.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry against the new claim cursor.
+      } else if (lag < 0) {
+        // Stamp still belongs to a generation `capacity` behind: the
+        // consumer has not retired it — the ring is full *at this instant*.
+        return false;
+      } else {
+        // A sibling claimed this generation between our load and check.
+        pos = claim_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer dequeue. Returns false when empty (or when the next
+  /// generation's producer has claimed but not yet published — the caller
+  /// retries, preserving claim order).
+  bool try_pop(T& out) noexcept {
+    const std::uint64_t pos = read_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[pos & mask_];
+    const std::uint64_t stamp = slot.stamp.load(std::memory_order_acquire);
+    if (stamp != pos + 1) return false;  // unpublished (or empty)
+    out = std::move(slot.value);
+    // Retire the slot for generation pos + capacity: this release-store IS
+    // the reclamation handoff the producer's acquire-load pairs with.
+    slot.stamp.store(pos + mask_ + 1, std::memory_order_release);
+    read_.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Single-consumer bulk drain: pops until empty or `limit` reached,
+  /// invoking sink(T&&) per element. Returns elements popped.
+  template <class Sink>
+  std::size_t pop_all(Sink&& sink, std::size_t limit = ~std::size_t{0}) {
+    std::size_t popped = 0;
+    T value;
+    while (popped < limit && try_pop(value)) {
+      sink(std::move(value));
+      ++popped;
+    }
+    return popped;
+  }
+
+  /// Producer-visible occupancy estimate (racy by nature; exact depth
+  /// accounting lives in the ingestion tier's admission counters).
+  [[nodiscard]] std::size_t approx_size() const noexcept {
+    const std::uint64_t claim = claim_.load(std::memory_order_relaxed);
+    const std::uint64_t read = read_.load(std::memory_order_relaxed);
+    return claim >= read ? static_cast<std::size_t>(claim - read) : 0;
+  }
+
+  [[nodiscard]] bool approx_empty() const noexcept { return approx_size() == 0; }
+
+ private:
+  struct alignas(kCacheLine) Slot {
+    std::atomic<std::uint64_t> stamp{0};
+    T value{};
+  };
+
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(kCacheLine) std::atomic<std::uint64_t> claim_{0};  // producers CAS
+  alignas(kCacheLine) std::atomic<std::uint64_t> read_{0};   // consumer owns
+};
+
+}  // namespace reasched::ingest

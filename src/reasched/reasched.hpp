@@ -33,6 +33,10 @@
 #include "durability/snapshot.hpp"
 #include "durability/wal.hpp"
 
+#include "ingest/admission.hpp"
+#include "ingest/ingest_service.hpp"
+#include "ingest/mpsc_ring.hpp"
+
 #include "feasibility/edf.hpp"
 #include "feasibility/hall.hpp"
 #include "feasibility/matching.hpp"
@@ -56,6 +60,7 @@
 
 #include "metrics/collector.hpp"
 #include "sim/driver.hpp"
+#include "sim/open_loop.hpp"
 #include "sim/sweep.hpp"
 
 #include "telemetry/histogram.hpp"

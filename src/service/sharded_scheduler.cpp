@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <future>
@@ -31,6 +32,7 @@ unsigned clamp_shards(unsigned shards, unsigned machines) {
 ShardedScheduler::ShardedScheduler(unsigned machines, const Factory& factory,
                                    Options options)
     : shards_(clamp_shards(options.shards, machines)),
+      work_stealing_(options.work_stealing),
       ledger_(machines, auto_stripes(options)),
       pool_(shards_ - 1) {
   RS_REQUIRE(machines >= 1, "ShardedScheduler: need at least one machine");
@@ -235,6 +237,37 @@ void ShardedScheduler::run_sharded(const std::function<void(unsigned)>& task) {
   if (first) std::rethrow_exception(first);
 }
 
+void ShardedScheduler::run_stealable(
+    std::size_t count, const std::vector<unsigned>& home_shard,
+    const std::function<void(std::size_t)>& task) {
+  RS_CHECK(shards_ > 1, "run_stealable needs at least one pool worker");
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    // Shard 0's share is the caller's; park it on pool worker 0 (shard 1's
+    // worker) — home placement is a cache preference, never a requirement.
+    const unsigned home = home_shard[t];
+    const std::size_t worker = home == 0 ? 0 : home - 1;
+    futures.push_back(pool_.submit_stealable(worker, [&task, t] { task(t); }));
+  }
+  // The caller lends its cycles instead of idling on the joins.
+  std::exception_ptr first;
+  for (auto& future : futures) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!pool_.try_run_stealable()) {
+        future.wait_for(std::chrono::microseconds(50));
+      }
+    }
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
 BatchResult ShardedScheduler::apply(std::span<const Request> batch) {
   BatchResult result;
   result.stats.resize(batch.size());
@@ -350,23 +383,44 @@ void ShardedScheduler::apply_subbatch(std::span<const Request> batch,
                                       std::vector<std::uint8_t>& status,
                                       std::vector<RequestStats>& stats,
                                       FlatHashSet<JobId>& rejected_ids) {
-  // Bucket request indices by planning worker (stripe mod shards). Each
-  // bucket preserves batch order, so every window's requests are planned in
-  // order by exactly one worker.
-  std::vector<std::vector<std::uint32_t>> buckets(shards_);
-  for (std::size_t i = first; i < end; ++i) {
-    if (status[i] == kRejected) continue;
-    buckets[resolved[i].stripe % shards_].push_back(static_cast<std::uint32_t>(i));
+  // Bucket request indices by plan unit. Each bucket preserves batch
+  // order, so every window's requests are planned in order by exactly one
+  // task. With work stealing the unit is the *stripe* (any thread may run
+  // it — the stripe lock guards the ledger, and finer granules are what
+  // idle workers steal); pinned mode keeps the seed's stripe-mod-shards
+  // buckets, one per worker.
+  const bool steal = work_stealing_ && shards_ > 1;
+  std::vector<std::vector<std::uint32_t>> buckets;
+  std::vector<unsigned> bucket_home;
+  if (steal) {
+    std::vector<std::int32_t> slot(ledger_.stripes(), -1);
+    for (std::size_t i = first; i < end; ++i) {
+      if (status[i] == kRejected) continue;
+      const std::uint32_t stripe = resolved[i].stripe;
+      if (slot[stripe] < 0) {
+        slot[stripe] = static_cast<std::int32_t>(buckets.size());
+        buckets.emplace_back();
+        bucket_home.push_back(stripe % shards_);
+      }
+      buckets[static_cast<std::size_t>(slot[stripe])].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  } else {
+    buckets.resize(shards_);
+    for (std::size_t i = first; i < end; ++i) {
+      if (status[i] == kRejected) continue;
+      buckets[resolved[i].stripe % shards_].push_back(static_cast<std::uint32_t>(i));
+    }
   }
 
   // ---- plan: commit delegation decisions, emit machine op lists ----
-  std::vector<PlanOutput> plans(shards_);
+  std::vector<PlanOutput> plans(buckets.size());
   std::vector<std::uint8_t> migrated(end - first, 0);
-  run_sharded([&](unsigned worker) {
+  const auto plan_bucket = [&](std::size_t bucket) {
     RS_TELEM_DURATION(kPlanHist, "svc.plan");
     RS_TELEM_SPAN(plan_span, kPlanHist, "svc.plan");
-    PlanOutput& out = plans[worker];
-    for (const std::uint32_t index : buckets[worker]) {
+    PlanOutput& out = plans[bucket];
+    for (const std::uint32_t index : buckets[bucket]) {
       const Request& request = batch[index];
       const Window window = resolved[index].window;
       StripedLedger::WindowStripe& stripe =
@@ -411,7 +465,12 @@ void ShardedScheduler::apply_subbatch(std::span<const Request> batch,
         }
       }
     }
-  });
+  };
+  if (steal) {
+    run_stealable(buckets.size(), bucket_home, plan_bucket);
+  } else {
+    run_sharded([&](unsigned worker) { plan_bucket(worker); });
+  }
 
   // ---- distribute: per-machine op lists in sequential request order ----
   std::vector<std::vector<Op>> machine_ops(machines_.size());
@@ -424,32 +483,57 @@ void ShardedScheduler::apply_subbatch(std::span<const Request> batch,
     });
   }
 
-  // ---- apply: each shard executes its machines' op lists ----
+  // ---- apply: execute the per-machine op lists ----
+  // Each machine's list runs on exactly one thread either way; with work
+  // stealing the unit is the machine (home = owning shard's worker), so a
+  // hotspot shard's machines spread to idle siblings instead of
+  // serializing behind one worker.
   std::vector<std::size_t> applied(machines_.size(), 0);
   std::atomic<bool> failed{false};
-  run_sharded([&](unsigned shard) {
-    RS_TELEM_DURATION(kApplyHist, "svc.apply");
-    RS_TELEM_SPAN(apply_span, kApplyHist, "svc.apply");
-    for (unsigned machine = shard_begin_[shard]; machine < shard_begin_[shard + 1];
-         ++machine) {
-      std::vector<Op>& ops = machine_ops[machine];
-      for (std::size_t k = 0; k < ops.size(); ++k) {
-        if (failed.load(std::memory_order_relaxed)) return;
-        Op& op = ops[k];
-        if (op.kind == RequestKind::kInsert) {
-          try {
-            op.stats = machines_[machine]->insert(op.job, op.window);
-          } catch (const InfeasibleError&) {
-            failed.store(true, std::memory_order_relaxed);
-            return;
-          }
-        } else {
-          op.stats = machines_[machine]->erase(op.job);
+  const auto apply_machine = [&](unsigned machine) {
+    std::vector<Op>& ops = machine_ops[machine];
+    for (std::size_t k = 0; k < ops.size(); ++k) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      Op& op = ops[k];
+      if (op.kind == RequestKind::kInsert) {
+        try {
+          op.stats = machines_[machine]->insert(op.job, op.window);
+        } catch (const InfeasibleError&) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
         }
-        applied[machine] = k + 1;
+      } else {
+        op.stats = machines_[machine]->erase(op.job);
       }
+      applied[machine] = k + 1;
     }
-  });
+  };
+  if (steal) {
+    std::vector<unsigned> work_machines;
+    std::vector<unsigned> machine_home;
+    for (unsigned machine = 0; machine < machines_.size(); ++machine) {
+      if (machine_ops[machine].empty()) continue;
+      work_machines.push_back(machine);
+      const auto it = std::upper_bound(shard_begin_.begin(), shard_begin_.end(),
+                                       machine);
+      machine_home.push_back(
+          static_cast<unsigned>(it - shard_begin_.begin()) - 1);
+    }
+    run_stealable(work_machines.size(), machine_home, [&](std::size_t t) {
+      RS_TELEM_DURATION(kApplyHist, "svc.apply");
+      RS_TELEM_SPAN(apply_span, kApplyHist, "svc.apply");
+      apply_machine(work_machines[t]);
+    });
+  } else {
+    run_sharded([&](unsigned shard) {
+      RS_TELEM_DURATION(kApplyHist, "svc.apply");
+      RS_TELEM_SPAN(apply_span, kApplyHist, "svc.apply");
+      for (unsigned machine = shard_begin_[shard];
+           machine < shard_begin_[shard + 1]; ++machine) {
+        apply_machine(machine);
+      }
+    });
+  }
 
   if (failed.load()) {
     // Rare path: a machine rejected an optimistically planned insert. Undo

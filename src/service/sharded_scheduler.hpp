@@ -86,6 +86,17 @@ class ShardedScheduler final : public IReallocScheduler {
     /// legacy_rehash escape hatch; see util/flat_hash.hpp). The machine
     /// schedulers take the flag through their own SchedulerOptions.
     bool legacy_rehash = false;
+    /// Fan the plan phase out per *stripe* and the apply phase per
+    /// *machine* as stealable tasks (ShardedThreadPool::submit_stealable),
+    /// so an idle worker — or the calling thread — helps a backlogged
+    /// sibling when hotspot placement skews ops toward one contiguous
+    /// machine→shard range. Off restores the pinned per-worker fan-out
+    /// (the escape hatch, and the A side of the stealing differential
+    /// test). Either setting produces byte-identical schedules: each
+    /// stripe's plan and each machine's op list is still executed by
+    /// exactly one thread, in the same order (Lemma 3 delegation does not
+    /// depend on which thread commits it).
+    bool work_stealing = true;
     /// Durability tier (DESIGN.md §9): when set, every request is appended
     /// write-ahead to one of `shards` per-shard log files in wal->dir
     /// (routed by window stripe; CSNs are assigned globally on the caller
@@ -121,6 +132,9 @@ class ShardedScheduler final : public IReallocScheduler {
     return static_cast<unsigned>(machines_.size());
   }
   [[nodiscard]] unsigned shards() const noexcept { return shards_; }
+  /// Stealable tasks executed off their home worker so far (monotone;
+  /// 0 when Options::work_stealing is off or shards == 1).
+  [[nodiscard]] std::uint64_t steal_count() const noexcept { return pool_.steals(); }
   [[nodiscard]] std::string name() const override;
 
   /// Balancing invariant check (Lemma 3) over every ledger stripe; throws
@@ -197,6 +211,13 @@ class ShardedScheduler final : public IReallocScheduler {
   /// the rest on their pinned pool workers. Joins all before returning.
   void run_sharded(const std::function<void(unsigned)>& task);
 
+  /// Runs task(t) for t in [0, count) as stealable pool tasks
+  /// (home_shard[t] names each task's preferred shard); the caller lends
+  /// its own cycles via try_run_stealable while it waits. Joins all before
+  /// returning. Requires shards_ > 1 (the pool must have a worker).
+  void run_stealable(std::size_t count, const std::vector<unsigned>& home_shard,
+                     const std::function<void(std::size_t)>& task);
+
   /// Recovers from + resumes the per-shard logs (ctor tail when
   /// Options::wal is set): merge by CSN, compact the gap-free prefix into
   /// shard 0's log, replay it sequentially (logging suspended), open the
@@ -231,6 +252,7 @@ class ShardedScheduler final : public IReallocScheduler {
 
   std::vector<std::unique_ptr<IReallocScheduler>> machines_;
   unsigned shards_ = 1;
+  bool work_stealing_ = true;
   StripedLedger ledger_;
   std::vector<unsigned> shard_begin_;  // size shards_+1: machine range bounds
   ShardedThreadPool pool_;

@@ -1,0 +1,134 @@
+#include "sim/open_loop.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+#include "util/assert.hpp"
+
+namespace reasched::sim {
+
+namespace {
+
+/// Sleep-then-spin until the absolute deadline: coarse sleep while far out
+/// (the scheduler tick is ~50µs on this class of host), spin the last
+/// stretch so arrival jitter stays well under the sojourn resolution.
+void wait_until_ns(std::uint64_t deadline_ns) {
+  for (;;) {
+    const std::uint64_t now = telemetry::now_ns();
+    if (now >= deadline_ns) return;
+    const std::uint64_t left = deadline_ns - now;
+    if (left > 200'000) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(left - 100'000));
+    } else if (left > 2'000) {
+      std::this_thread::yield();
+    }
+    // else: spin on the clock
+  }
+}
+
+OpenLoopReport serve_direct(IReallocScheduler& scheduler,
+                            std::span<const Request> trace,
+                            const OpenLoopOptions& options,
+                            const std::vector<std::uint64_t>& arrival_ns) {
+  OpenLoopReport report;
+  const std::size_t cap = options.direct_batch == 0 ? 1 : options.direct_batch;
+  std::vector<Request> batch;
+  batch.reserve(cap);
+  const std::uint64_t start = telemetry::now_ns();
+  std::size_t next = 0;
+  std::uint64_t last_apply = start;
+  while (next < trace.size()) {
+    wait_until_ns(start + arrival_ns[next]);
+    // Serve every due arrival, capped at the fixed batch size — the
+    // single-caller posture never closes a bigger batch under backlog.
+    batch.clear();
+    const std::size_t first = next;
+    const std::uint64_t now = telemetry::now_ns();
+    while (next < trace.size() && batch.size() < cap &&
+           start + arrival_ns[next] <= now) {
+      batch.push_back(trace[next]);
+      ++next;
+    }
+    const BatchResult result = scheduler.apply(batch);
+    last_apply = telemetry::now_ns();
+    for (std::size_t i = first; i < next; ++i) {
+      report.sojourn.record(last_apply - (start + arrival_ns[i]));
+    }
+    report.rejected += result.rejected.size();
+  }
+  report.requests = trace.size();
+  report.seconds = static_cast<double>(last_apply - start) * 1e-9;
+  report.offered_rps = options.offered_rps;
+  report.achieved_rps =
+      report.seconds > 0.0 ? static_cast<double>(trace.size()) / report.seconds : 0.0;
+  return report;
+}
+
+}  // namespace
+
+OpenLoopReport serve_open_loop(IReallocScheduler& scheduler,
+                               std::span<const Request> trace,
+                               const OpenLoopOptions& options) {
+  RS_REQUIRE(options.offered_rps > 0.0, "serve_open_loop: offered_rps must be > 0");
+  // Request i is due at i/rate seconds; precomputing keeps the pacing
+  // arithmetic off the producer hot path.
+  std::vector<std::uint64_t> arrival_ns(trace.size());
+  const double ns_per_request = 1e9 / options.offered_rps;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    arrival_ns[i] = static_cast<std::uint64_t>(static_cast<double>(i) * ns_per_request);
+  }
+  if (options.producers == 0) {
+    return serve_direct(scheduler, trace, options, arrival_ns);
+  }
+
+  OpenLoopReport report;
+  ingest::IngestOptions ingest_options = options.ingest;
+  ingest_options.external_sequencing = true;
+  ingest_options.max_queue_depth = 0;
+  ingest_options.p99_budget_us = 0;
+  std::uint64_t start = 0;  // set before the producers start, read by on_batch
+  std::uint64_t last_apply = 0;
+  // on_batch runs on the single consumer thread, after the batch applied:
+  // sojourn is charged from each request's *scheduled* arrival, so queueing
+  // during overload is fully visible (no coordinated omission).
+  ingest_options.on_batch = [&](std::span<const Request> batch,
+                                const BatchResult& result,
+                                std::uint64_t first_ticket) {
+    last_apply = telemetry::now_ns();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      report.sojourn.record(last_apply - (start + arrival_ns[first_ticket + i]));
+    }
+    report.rejected += result.rejected.size();
+  };
+  ingest::IngestService service(scheduler, std::move(ingest_options));
+
+  const std::size_t producers = options.producers;
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  start = telemetry::now_ns();
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::size_t i = p; i < trace.size(); i += producers) {
+        wait_until_ns(start + arrival_ns[i]);
+        service.push_sequenced(i, trace[i]);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  service.drain();
+  service.stop();
+
+  report.requests = trace.size();
+  report.ingest = service.stats();
+  report.seconds = last_apply > start
+                       ? static_cast<double>(last_apply - start) * 1e-9
+                       : 0.0;
+  report.offered_rps = options.offered_rps;
+  report.achieved_rps =
+      report.seconds > 0.0 ? static_cast<double>(trace.size()) / report.seconds : 0.0;
+  return report;
+}
+
+}  // namespace reasched::sim

@@ -1,0 +1,73 @@
+// Open-loop load driver (EXPERIMENTS.md §E19): offers a request trace to a
+// scheduler at a fixed arrival rate and measures *sojourn* — scheduled
+// arrival to batch-applied — instead of closed-loop throughput. Closed-loop
+// harnesses (sim/driver.hpp, bench E13) let a slow server throttle its own
+// offered load, hiding queueing collapse; the open-loop histogram's tail is
+// where overload actually shows (coordinated-omission-free: sojourn is
+// charged from each request's *scheduled* arrival instant, so a stalled
+// server keeps accruing wait for every request behind it).
+//
+// Two serving modes, selected by OpenLoopOptions::producers:
+//
+//   * producers == 0 — "direct" single-caller baseline: one thread pops
+//     every arrival that is due and serves them through apply() in batches
+//     capped at direct_batch (the pre-ingest posture: a single caller with
+//     pre-formed fixed-size batches).
+//   * producers >= 1 — ingestion front end (ingest/ingest_service.hpp):
+//     arrivals are partitioned round-robin across producer threads, each
+//     pushing its requests at their scheduled instants with externally
+//     sequenced tickets (= trace index), so the applied order is exactly
+//     trace order and the results stay comparable to the direct run
+//     request-for-request. The adaptive batcher's B-or-T close is what
+//     lets this mode amortize per-batch fixed costs under backlog and
+//     sustain offered loads the fixed-batch baseline cannot at equal p99.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "base/window.hpp"
+#include "ingest/ingest_service.hpp"
+#include "schedule/scheduler_interface.hpp"
+#include "telemetry/histogram.hpp"
+
+namespace reasched::sim {
+
+struct OpenLoopOptions {
+  /// Producer threads (0 = direct single-caller baseline, no ingest tier).
+  std::size_t producers = 0;
+  /// Offered arrival rate, requests per second. Arrivals are evenly paced:
+  /// request i is due at i/offered_rps seconds after start.
+  double offered_rps = 100'000.0;
+  /// Direct mode: cap on each served batch (the fixed pre-formed batch
+  /// size of the single-caller posture).
+  std::size_t direct_batch = 64;
+  /// Ingest mode: front-end tuning (external_sequencing and record_stats
+  /// are forced; admission must stay disabled — tickets are pre-claimed).
+  ingest::IngestOptions ingest;
+};
+
+struct OpenLoopReport {
+  std::uint64_t requests = 0;
+  /// Scheduler-level rejections (infeasible inserts), identical across
+  /// modes for the same trace.
+  std::uint64_t rejected = 0;
+  double offered_rps = 0.0;
+  /// requests / wall seconds from start to last apply. Equal to
+  /// offered_rps when the server keeps up; lower means the run ended with
+  /// backlog (the sojourn tail says by how much).
+  double achieved_rps = 0.0;
+  double seconds = 0.0;
+  /// Scheduled-arrival → batch-applied, per request (ns).
+  telemetry::LatencyHistogram sojourn;
+  /// Ingest-mode accounting (all zeros in direct mode).
+  ingest::IngestStats ingest;
+};
+
+/// Serves `trace` open-loop. The scheduler must start empty; the trace must
+/// be valid for sequential serving (the usual churn-trace contract).
+[[nodiscard]] OpenLoopReport serve_open_loop(IReallocScheduler& scheduler,
+                                             std::span<const Request> trace,
+                                             const OpenLoopOptions& options);
+
+}  // namespace reasched::sim

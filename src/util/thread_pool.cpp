@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "telemetry/registry.hpp"
@@ -107,23 +108,103 @@ std::future<void> ShardedThreadPool::submit_to(std::size_t worker_index,
   return result;
 }
 
-void ShardedThreadPool::worker_loop(Worker& worker) {
-  for (;;) {
+std::future<void> ShardedThreadPool::submit_stealable(std::size_t home,
+                                                      std::function<void()> fn) {
+  RS_REQUIRE(home < workers_.size(),
+             "ShardedThreadPool::submit_stealable: home worker out of range");
+  Worker& worker = *workers_[home];
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> result = task.get_future();
+  {
+    std::lock_guard lock(worker.mutex);
+    worker.stealable.push_back(std::move(task));
+    stealable_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  worker.cv.notify_one();
+  // Wake one potential thief (rotating) so an idle sibling can help a
+  // backlogged home without a full notify-all herd.
+  if (workers_.size() > 1) {
+    const std::size_t buddy =
+        steal_cursor_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+    if (buddy != home) workers_[buddy]->cv.notify_one();
+  }
+  return result;
+}
+
+bool ShardedThreadPool::steal_and_run(std::size_t exclude) {
+  if (stealable_count_.load(std::memory_order_relaxed) == 0) return false;
+  const std::size_t n = workers_.size();
+  const std::size_t start =
+      steal_cursor_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t victim = (start + k) % n;
+    if (victim == exclude) continue;
+    Worker& worker = *workers_[victim];
     std::packaged_task<void()> task;
     {
-      std::unique_lock lock(worker.mutex);
-      worker.cv.wait(lock, [&] { return worker.stopping || !worker.queue.empty(); });
-      if (worker.queue.empty()) {
-        if (worker.stopping) return;
-        continue;
+      std::lock_guard lock(worker.mutex);
+      if (!worker.stealable.empty()) {
+        task = std::move(worker.stealable.back());
+        worker.stealable.pop_back();
+        stealable_count_.fetch_sub(1, std::memory_order_relaxed);
       }
-      task = std::move(worker.queue.front());
-      worker.queue.pop();
     }
+    if (task.valid()) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      task();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ShardedThreadPool::try_run_stealable() { return steal_and_run(workers_.size()); }
+
+void ShardedThreadPool::worker_loop(Worker& worker) {
+  // After a fruitless steal scan the stealable-count hint may still be
+  // nonzero (a sibling claimed the task first), so the next wait uses a
+  // timeout instead of the hint to avoid a notify-free spin.
+  bool scan_failed = false;
+  for (;;) {
+    std::packaged_task<void()> task;
+    bool pinned = false;
+    {
+      std::unique_lock lock(worker.mutex);
+      const auto has_local = [&] {
+        return worker.stopping || !worker.queue.empty() ||
+               !worker.stealable.empty();
+      };
+      if (scan_failed) {
+        worker.cv.wait_for(lock, std::chrono::milliseconds(1), has_local);
+      } else {
+        worker.cv.wait(lock, [&] {
+          return has_local() ||
+                 stealable_count_.load(std::memory_order_relaxed) > 0;
+        });
+      }
+      if (!worker.queue.empty()) {
+        task = std::move(worker.queue.front());
+        worker.queue.pop();
+        pinned = true;
+      } else if (!worker.stealable.empty()) {
+        task = std::move(worker.stealable.front());
+        worker.stealable.pop_front();
+        stealable_count_.fetch_sub(1, std::memory_order_relaxed);
+      } else if (worker.stopping) {
+        return;
+      }
+    }
+    if (task.valid()) {
 #if RS_TELEM_COMPILED
-    RS_TELEM_GAUGE_ADD(queue_depth_gauge(worker.index), -1);
+      if (pinned) RS_TELEM_GAUGE_ADD(queue_depth_gauge(worker.index), -1);
+#else
+      (void)pinned;
 #endif
-    task();
+      task();
+      scan_failed = false;
+      continue;
+    }
+    scan_failed = !steal_and_run(worker.index);
   }
 }
 

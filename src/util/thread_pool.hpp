@@ -7,11 +7,20 @@
 // ShardedThreadPool: one queue per worker, used by the sharded scheduling
 // service (src/service/). Shard k's machine state is only ever touched by
 // worker k, so tasks must be *pinned*: per-shard queues give that affinity
-// and avoid the shared-queue lock on the batch hot path.
+// and avoid the shared-queue lock on the batch hot path. Alongside the
+// pinned queue each worker carries a *stealable* deque (submit_stealable)
+// for work whose home assignment is only a cache preference: idle workers
+// — and the batch caller, via try_run_stealable() — take from a
+// backlogged sibling's back end, so a hotspot shard under skewed
+// machine→shard placement cannot serialize the whole batch (DESIGN.md
+// §11).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
@@ -72,8 +81,29 @@ class ShardedThreadPool {
   ShardedThreadPool& operator=(const ShardedThreadPool&) = delete;
 
   /// Enqueues a task on worker `worker`'s own queue; tasks submitted to the
-  /// same worker run sequentially in submission order.
+  /// same worker run sequentially in submission order. Pinned tasks are
+  /// never stolen — use for work that must touch worker-affine state.
   std::future<void> submit_to(std::size_t worker, std::function<void()> fn);
+
+  /// Enqueues a *stealable* task with home worker `home`: the home worker
+  /// prefers it (front of its deque, submission order), but any idle
+  /// worker — or the caller, via try_run_stealable() — may take it from
+  /// the back. Use for work where affinity is a cache preference, not a
+  /// correctness requirement; a hotspot shard's backlog then spreads to
+  /// idle siblings instead of serializing behind one worker (DESIGN.md
+  /// §11, ingestion under skewed machine→shard placement).
+  std::future<void> submit_stealable(std::size_t home, std::function<void()> fn);
+
+  /// Runs one stealable task on the calling thread, if any is queued
+  /// anywhere. Returns whether a task ran. The batch caller uses this to
+  /// lend its own cycles while it waits on the batch's futures.
+  bool try_run_stealable();
+
+  /// Stealable tasks executed by a thread other than their home worker
+  /// (process-lifetime, monotone).
+  [[nodiscard]] std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
@@ -82,16 +112,26 @@ class ShardedThreadPool {
     std::thread thread;
     std::mutex mutex;
     std::condition_variable cv;
-    std::queue<std::packaged_task<void()>> queue;
+    std::queue<std::packaged_task<void()>> queue;  // pinned: never stolen
+    // Owner pops the front (submission order); thieves pop the back.
+    std::deque<std::packaged_task<void()>> stealable;
     bool stopping = false;
     std::size_t index = 0;  // position in workers_ (telemetry gauge key)
   };
 
   void worker_loop(Worker& worker);
+  /// Steals and runs one task from any worker except `exclude`
+  /// (pass size() to scan all). Returns whether a task ran.
+  bool steal_and_run(std::size_t exclude);
 
   // unique_ptr: Worker holds a mutex/cv and must not move when the vector
   // is built.
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// Total queued stealable tasks — a wake hint for idle workers, exact
+  /// only under the per-worker locks.
+  std::atomic<std::size_t> stealable_count_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::size_t> steal_cursor_{0};  // scan start + victim rotation
 };
 
 }  // namespace reasched

@@ -1,0 +1,162 @@
+// MPSC ring torture suite (ingest/mpsc_ring.hpp): the lock-free claims the
+// ingestion tier rests on, driven through the regimes where sequence-stamp
+// rings actually break — wrap-around (stamps several generations past the
+// capacity), full-ring backpressure (producers racing a slow consumer for
+// reclaimed slots), and the claim/publish/retire handoff under maximal
+// contention (tiny rings, many producers). Every multi-threaded case runs
+// at 1/2/4/8 producers with seeded-random producer interleavings (mirroring
+// the audit_fuzz_test harness shape: the schedule of yields is part of the
+// seed, so a failing interleaving reproduces). The properties checked are
+// the ring's full contract:
+//
+//   * exactly-once: every pushed value is popped exactly once, none lost,
+//     none duplicated, none invented;
+//   * per-producer FIFO: values from one producer arrive in push order
+//     (MPSC rings do not promise cross-producer order — tickets do that,
+//     one layer up);
+//   * bounded: try_push fails while, and only while, capacity values are
+//     unconsumed.
+//
+// The TSan CI lane runs this file with 2 producers (label: ingest suites)
+// to catch ordering bugs the assertions can't see.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "ingest/mpsc_ring.hpp"
+#include "util/rng.hpp"
+
+namespace reasched::ingest {
+namespace {
+
+/// Payload carrying (producer, per-producer sequence) so the consumer can
+/// verify exactly-once + per-producer FIFO.
+struct Tag {
+  std::uint32_t producer = 0;
+  std::uint64_t seq = 0;
+};
+
+/// N producers × 1 consumer over a deliberately tiny ring. Producers spin
+/// on try_push (the ingestion tier's backpressure loop), interleaving
+/// seeded-random yields so each seed exercises a different schedule.
+void torture(std::size_t producers, std::size_t per_producer,
+             std::size_t capacity, std::uint64_t seed) {
+  MpscRing<Tag> ring(capacity);
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (p + 1)));
+      for (std::uint64_t i = 0; i < per_producer; ++i) {
+        while (!ring.try_push(Tag{static_cast<std::uint32_t>(p), i})) {
+          std::this_thread::yield();
+        }
+        if (rng.chance(0.05)) std::this_thread::yield();
+      }
+    });
+  }
+
+  // Single consumer: popped counts + next expected sequence per producer.
+  std::vector<std::uint64_t> next_seq(producers, 0);
+  std::uint64_t popped = 0;
+  const std::uint64_t total = producers * per_producer;
+  Rng consumer_rng(seed * 0x94d049bb133111ebULL + 1);
+  Tag tag;
+  while (popped < total) {
+    if (!ring.try_pop(tag)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_LT(tag.producer, producers);
+    ASSERT_EQ(tag.seq, next_seq[tag.producer])
+        << "per-producer FIFO violated (producer " << tag.producer << ")";
+    ++next_seq[tag.producer];
+    ++popped;
+    // A sometimes-slow consumer keeps the ring pinned at full, so slot
+    // reclamation (stamp retirement) races the producers' claims.
+    if (consumer_rng.chance(0.02)) std::this_thread::yield();
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(popped, total);
+  for (std::size_t p = 0; p < producers; ++p) {
+    EXPECT_EQ(next_seq[p], per_producer) << "producer " << p << " lost pushes";
+  }
+  EXPECT_TRUE(ring.approx_empty());
+  EXPECT_FALSE(ring.try_pop(tag));
+}
+
+TEST(MpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscRing<int>(0).capacity(), 2u);
+  EXPECT_EQ(MpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(MpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(MpscRing<int>(4096).capacity(), 4096u);
+}
+
+TEST(MpscRing, SingleThreadFifoAcrossManyWraps) {
+  MpscRing<int> ring(8);
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));
+  // 1000 values through an 8-slot ring: every slot's stamp cycles ~125
+  // generations, so wrap-around arithmetic is exercised far past one lap.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.try_push(i));
+    ASSERT_TRUE(ring.try_pop(out));
+    ASSERT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(MpscRing, FullRingRejectsUntilConsumed) {
+  MpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));  // full: next generation not retired
+  EXPECT_EQ(ring.approx_size(), 4u);
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.try_push(99));  // the retired slot is claimable again
+  EXPECT_FALSE(ring.try_push(100));
+  for (const int expect : {1, 2, 3, 99}) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, expect);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(MpscRing, PopAllDrainsInOrderWithLimit) {
+  MpscRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(ring.try_push(i));
+  std::vector<int> seen;
+  EXPECT_EQ(ring.pop_all([&](int&& v) { seen.push_back(v); }, 4), 4u);
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(ring.pop_all([&](int&& v) { seen.push_back(v); }), 6u);
+  EXPECT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+// The acceptance matrix: 1/2/4/8 producers. Ring capacity 16 with
+// thousands of pushes per producer forces constant wrap-around and
+// full-ring backpressure on every schedule.
+TEST(MpscRingTorture, OneProducer) { torture(1, 20'000, 16, 0xA1); }
+TEST(MpscRingTorture, TwoProducers) { torture(2, 10'000, 16, 0xB2); }
+TEST(MpscRingTorture, FourProducers) { torture(4, 5'000, 16, 0xC3); }
+TEST(MpscRingTorture, EightProducers) { torture(8, 2'500, 16, 0xD4); }
+
+// Minimal ring (2 slots) under 8 producers: every push races reclamation —
+// the stamp handoff is the only thing between a claim and a stale slot.
+TEST(MpscRingTorture, ReclamationRaceOnTinyRing) { torture(8, 1'000, 2, 0xE5); }
+
+// Seed sweep on the nastiest shape, so CI covers several interleavings per
+// run without a scheduler-dependent flake surface.
+TEST(MpscRingTorture, SeededInterleavings) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    torture(4, 2'000, 8, seed * 0x9e3779b9ULL);
+  }
+}
+
+}  // namespace
+}  // namespace reasched::ingest

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -244,6 +246,92 @@ TEST(ShardedThreadPool, ZeroWorkersIsValid) {
   ShardedThreadPool pool(0);
   EXPECT_EQ(pool.size(), 0u);
   EXPECT_THROW(pool.submit_to(0, [] {}), ContractViolation);
+}
+
+TEST(ShardedThreadPool, StealableTasksAllRunExactlyOnce) {
+  ShardedThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  // Everything homed on worker 0: completion of all 64 with a nonzero
+  // steals() would prove migration, but even without steals the contract
+  // is exactly-once execution.
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit_stealable(0, [&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ShardedThreadPool, IdleWorkersStealFromALoadedHome) {
+  ShardedThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  // One slow pinned task occupies the home worker while its stealable
+  // backlog sits behind it; the other three workers are idle and must
+  // drain the backlog — the futures cannot all complete before the pinned
+  // sleeper otherwise, so the time bound is the proof.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto pinned = pool.submit_to(0, [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  });
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit_stealable(0, [&counter] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++counter;
+    }));
+  }
+  for (auto& f : futures) f.get();
+  const auto stolen_done = std::chrono::steady_clock::now() - t0;
+  pinned.get();
+  EXPECT_EQ(counter.load(), 32);
+  EXPECT_GE(pool.steals(), 1u);
+  EXPECT_LT(stolen_done, std::chrono::milliseconds(200))
+      << "stealable backlog waited for the busy home worker";
+}
+
+TEST(ShardedThreadPool, CallerCanRunStealableWork) {
+  ShardedThreadPool pool(1);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  // Block the only worker so the caller is the sole source of progress.
+  std::atomic<bool> release{false};
+  auto blocker = pool.submit_to(0, [&release] {
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit_stealable(0, [&counter] { ++counter; }));
+  }
+  while (counter.load() < 8) {
+    if (!pool.try_run_stealable()) std::this_thread::yield();
+  }
+  EXPECT_FALSE(pool.try_run_stealable());  // queue is empty now
+  release.store(true, std::memory_order_release);
+  blocker.get();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 8);
+  EXPECT_GE(pool.steals(), 8u);
+}
+
+TEST(ShardedThreadPool, PinnedTasksAreNeverStolen) {
+  ShardedThreadPool pool(4);
+  std::thread::id home_thread;
+  auto probe = pool.submit_to(2, [&home_thread] {
+    home_thread = std::this_thread::get_id();
+  });
+  probe.get();
+  std::vector<std::future<void>> futures;
+  std::atomic<int> misplaced{0};
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit_to(2, [&home_thread, &misplaced] {
+      if (std::this_thread::get_id() != home_thread) ++misplaced;
+    }));
+  }
+  // Give the other (idle) workers every chance to misbehave.
+  for (int i = 0; i < 100; ++i) pool.try_run_stealable();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(misplaced.load(), 0);
 }
 
 TEST(Contracts, RequireThrowsContractViolation) {

@@ -96,6 +96,26 @@ REGISTRY = {
         "metrics": {"max_ms": ("lower", 1.0)},
         "absolute_modes": {"incremental"},
     },
+    "e19_ingest": {
+        # Open-loop rows: absolute p99 sojourn under a fixed offered-load
+        # fraction, gated behind a generous noise floor (20 ms) plus an
+        # absolute 50 ms ceiling — the cliff being guarded is "queueing
+        # delay stays bounded at sub-capacity load", which is the
+        # acceptance criterion itself, not drift. Gated on the ingest rows
+        # only (absolute_modes): the direct single-caller posture is the
+        # experiment's CONTRAST — it visibly falls over at 0.9x load, which
+        # is the point — not a property this gate defends. Sustained rows
+        # gate the in-binary ratio of ingest-front-end throughput to the
+        # direct posture (same trace, same process, same host —
+        # machine-speed-independent); saturation rows carry no latency
+        # block at all (sojourn under overload measures trace length).
+        "keys": ["case", "mode", "producers", "load_frac"],
+        "metrics": {
+            "latency_p99_us": ("lower", 20000.0, 50000.0),
+            "vs_direct_sustained": ("higher", 1.0),
+        },
+        "absolute_modes": {"ingest"},
+    },
     "e18_telemetry": {
         # telemetry_overhead_ratio is in-binary (gates flipped around
         # alternating segments in one process) and machine-speed-
