@@ -7,18 +7,22 @@
 // on otherwise-identical schedulers serving the same churn trace:
 //
 //   * REASCHED_TELEMETRY=ON build (the default): "off" (gates down — one
-//     relaxed atomic load per record site), "on" (metric recording), and
-//     "trace" (metrics + span events into the per-thread rings).
+//     relaxed atomic load per record site), "on" (metric recording),
+//     "trace" (metrics + span events into the per-thread rings), and
+//     "scrape" (metrics + a live background Scraper at a 100 ms cadence —
+//     the serving-grade posture of DESIGN.md §12).
 //     `telemetry_overhead_ratio` = off ops/sec over mode ops/sec; the CI
-//     gate (tools/bench_compare.py) fails the "on" rows above 1.05 — the
-//     ISSUE 7 acceptance bar of >= 0.95x the off throughput.
+//     gate (tools/bench_compare.py) fails the "on" and "scrape" rows above
+//     1.05 — the ISSUE 7/9 acceptance bar of >= 0.95x the off throughput.
 //
 //   * REASCHED_TELEMETRY=OFF build: "off" and "compiled-out" — the latter
-//     with every runtime switch forced ON. The RS_TELEM_* macros expanded
-//     to nothing at compile time, so the two segments must be statistically
-//     indistinguishable; the binary RS_REQUIREs the median ratio under
-//     kCompiledOutBound (the zero-overhead assert — if the off-flavor
-//     macros ever grew a runtime residue, this is the bench that fails).
+//     with every runtime switch forced ON *and* a Scraper live at the same
+//     cadence. The RS_TELEM_* macros expanded to nothing at compile time,
+//     so the two segments must be statistically indistinguishable; the
+//     binary RS_REQUIREs the median ratio under kCompiledOutBound (the
+//     zero-overhead assert — if the off-flavor macros or the scraper's
+//     presence ever grew a record-path residue, this is the bench that
+//     fails).
 //
 // A second section prices the scrape path: Registry::snapshot() (merge all
 // shards), snapshot_json(), and trace_json() (ring drain + sort), per call.
@@ -58,6 +62,7 @@ struct ModeRun {
   const char* mode;
   bool metrics = false;   // runtime metric gate during this mode's segments
   bool trace = false;     // runtime trace gate during this mode's segments
+  bool scrape = false;    // background Scraper live during this mode's segments
   std::unique_ptr<ReservationScheduler> scheduler;
   std::size_t cursor = 0;
   std::vector<ChurnRun> reps;
@@ -94,9 +99,12 @@ void serve_one(IReallocScheduler& scheduler, const Request& r) {
   }
 }
 
-void set_gates(const ModeRun& m) {
+void set_gates(const ModeRun& m, telemetry::Scraper* scraper) {
   telemetry::Registry::set_metrics_enabled(m.metrics);
   telemetry::Registry::set_trace_enabled(m.trace);
+  // The scraper thread exists for the whole trial; only "scrape" segments
+  // let its cadence fire, so each mode prices exactly its own posture.
+  if (scraper != nullptr) scraper->set_paused(!m.scrape);
 }
 
 /// E17's protocol: every mode serves the same trace through its own
@@ -110,9 +118,10 @@ void set_gates(const ModeRun& m) {
 /// rotates each rep so slow frequency drift cannot systematically favor
 /// whichever mode runs first.
 void timed_churn_interleaved(std::vector<ModeRun>& modes,
-                             const std::vector<Request>& trace, std::size_t warmup) {
+                             const std::vector<Request>& trace, std::size_t warmup,
+                             telemetry::Scraper* scraper) {
   for (ModeRun& m : modes) {
-    set_gates(m);  // warm under the mode's own gates: identical code paths
+    set_gates(m, scraper);  // warm under the mode's own gates: identical code paths
     for (; m.cursor < warmup && m.cursor < trace.size(); ++m.cursor) {
       serve_one(*m.scheduler, trace[m.cursor]);
     }
@@ -120,7 +129,7 @@ void timed_churn_interleaved(std::vector<ModeRun>& modes,
   const std::size_t per_rep = (trace.size() - warmup) / (kChurnReps + 1);
   // Latency rep: feeds the --json latency block, never a ratio.
   for (ModeRun& m : modes) {
-    set_gates(m);
+    set_gates(m, scraper);
     const std::size_t stop = m.cursor + per_rep;
     for (; m.cursor < stop && m.cursor < trace.size(); ++m.cursor) {
       const std::uint64_t serve_start = telemetry::now_ns();
@@ -131,7 +140,7 @@ void timed_churn_interleaved(std::vector<ModeRun>& modes,
   for (std::size_t rep = 0; rep < kChurnReps; ++rep) {
     for (std::size_t slot = 0; slot < modes.size(); ++slot) {
       ModeRun& m = modes[(rep + slot) % modes.size()];
-      set_gates(m);
+      set_gates(m, scraper);
       ChurnRun run;
       const std::size_t stop =
           rep + 1 == kChurnReps ? trace.size() : m.cursor + per_rep;
@@ -151,6 +160,7 @@ void timed_churn_interleaved(std::vector<ModeRun>& modes,
   }
   telemetry::Registry::set_metrics_enabled(false);
   telemetry::Registry::set_trace_enabled(false);
+  if (scraper != nullptr) scraper->set_paused(true);
 }
 
 /// Append this trial's per-rep ratios baseline/mode (see bench_e17).
@@ -189,14 +199,18 @@ int run(int argc, char** argv) {
     const char* mode;
     bool metrics;
     bool trace;
+    bool scrape;
   };
   std::vector<Spec> specs;
-  specs.push_back({"off", false, false});
+  specs.push_back({"off", false, false, false});
 #if RS_TELEM_COMPILED
-  specs.push_back({"on", true, false});
-  specs.push_back({"trace", true, true});
+  specs.push_back({"on", true, false, false});
+  specs.push_back({"trace", true, true, false});
+  specs.push_back({"scrape", true, false, true});
 #else
-  specs.push_back({"compiled-out", true, true});
+  // The compiled-out mode runs with the scraper live too: the zero-overhead
+  // assert covers the serving-grade posture, not just the record macros.
+  specs.push_back({"compiled-out", true, true, true});
 #endif
 
   for (const std::size_t n : sizes) {
@@ -211,11 +225,18 @@ int run(int argc, char** argv) {
     for (std::size_t trial = 0; trial < kTrials; ++trial) {
       std::vector<ModeRun> modes;
       for (const Spec& spec : specs) {
-        modes.push_back({spec.mode, spec.metrics, spec.trace,
+        modes.push_back({spec.mode, spec.metrics, spec.trace, spec.scrape,
                          std::make_unique<ReservationScheduler>(scheduler_options()),
                          0, {}, {}, {}});
       }
-      timed_churn_interleaved(modes, trace, n);
+      // One scraper per trial, paused except inside "scrape" segments — the
+      // 100 ms cadence matches the E20 serving-grade protocol.
+      telemetry::Scraper::Options scrape_options;
+      scrape_options.interval_ms = 100;
+      scrape_options.start_paused = true;
+      telemetry::Scraper scraper(std::move(scrape_options));
+      timed_churn_interleaved(modes, trace, n, &scraper);
+      scraper.stop();
       for (std::size_t i = 0; i < modes.size(); ++i) {
         collect_ratios(modes[0], modes[i], ratios[i]);
         if (modes[i].best.ops_per_sec > best[i].ops_per_sec) best[i] = modes[i].best;

@@ -20,10 +20,19 @@
 // a crash's surviving request stream is a ready-made reproducer);
 // --record-trace FILE writes the served stream to FILE in that format.
 //
-// Observability (DESIGN.md §10): --telemetry turns on the process-wide
+// Observability (DESIGN.md §10, §12): --telemetry turns on the process-wide
 // metric registry, --trace additionally records span/instant events;
 // --metrics-out FILE writes the Registry snapshot as JSON and --trace-out
 // FILE writes a chrome://tracing-loadable trace (and implies --trace).
+// Serving-grade plane (§12): --prom-out FILE writes the final Prometheus
+// exposition; --scrape-interval MS runs the background Scraper during the
+// replay; --scrape-out FILE appends its per-interval delta JSONL (rotating);
+// --metrics-port PORT serves the exposition on 127.0.0.1 (0 = ephemeral,
+// the bound port is printed):
+//
+//   $ ./trace_replay sharded 8 --churn 200000 --scrape-interval 100
+//       --metrics-port 0 --prom-out metrics.prom --trace-out trace.json
+//   ...then, while it runs:  curl http://127.0.0.1:<port>/metrics
 // The `sharded` kind serves the trace through ShardedScheduler (--shards,
 // --batch control the service shape; --wal-dir attaches the durability
 // tier), so one run exercises request, rebuild-flip, rehash-drain,
@@ -126,6 +135,10 @@ int main(int argc, char** argv) {
   std::string replay_path;
   std::string metrics_out;
   std::string trace_out;
+  std::string prom_out;
+  std::string scrape_interval_arg;
+  std::string scrape_out;
+  std::string metrics_port_arg;
   std::string shards_arg;
   std::string batch_arg;
   std::string churn_arg;
@@ -136,6 +149,10 @@ int main(int argc, char** argv) {
         take_value(argc, argv, i, "--replay-trace", replay_path) ||
         take_value(argc, argv, i, "--metrics-out", metrics_out) ||
         take_value(argc, argv, i, "--trace-out", trace_out) ||
+        take_value(argc, argv, i, "--prom-out", prom_out) ||
+        take_value(argc, argv, i, "--scrape-interval", scrape_interval_arg) ||
+        take_value(argc, argv, i, "--scrape-out", scrape_out) ||
+        take_value(argc, argv, i, "--metrics-port", metrics_port_arg) ||
         take_value(argc, argv, i, "--wal-dir", cli.wal_dir) ||
         take_value(argc, argv, i, "--shards", shards_arg) ||
         take_value(argc, argv, i, "--batch", batch_arg) ||
@@ -153,6 +170,10 @@ int main(int argc, char** argv) {
   // Output files imply the corresponding recording tier.
   if (!metrics_out.empty()) cli.telemetry.enabled = true;
   if (!trace_out.empty()) cli.telemetry.trace = true;
+  if (!prom_out.empty() || !scrape_interval_arg.empty() || !scrape_out.empty() ||
+      !metrics_port_arg.empty()) {
+    cli.telemetry.enabled = true;
+  }
 
   const bool synthetic = !replay_path.empty() || !churn_arg.empty();
   if (positional.empty() && !synthetic) {
@@ -162,6 +183,8 @@ int main(int argc, char** argv) {
                  "  [--record-trace FILE] [--replay-trace FILE] [--churn N]\n"
                  "  [--telemetry] [--trace] [--metrics-out FILE] "
                  "[--trace-out FILE]\n"
+                 "  [--prom-out FILE] [--scrape-interval MS] "
+                 "[--scrape-out FILE] [--metrics-port PORT]\n"
                  "  [--shards N] [--batch N] [--wal-dir DIR]\n"
                  "with --replay-trace or --churn the trace is synthetic;"
                  " omit <trace-file>\n";
@@ -229,6 +252,33 @@ int main(int argc, char** argv) {
   sim.record_latency = true;
   sim.telemetry = cli.telemetry;
   if (kind == "sharded") sim.batch_size = cli.batch;
+
+  // Background observability plane for the duration of the replay.
+  std::unique_ptr<telemetry::Scraper> scraper;
+  if (!scrape_interval_arg.empty() || !scrape_out.empty() ||
+      !metrics_port_arg.empty()) {
+    telemetry::enable(cli.telemetry);
+    telemetry::Scraper::Options scrape;
+    try {
+      if (!scrape_interval_arg.empty()) {
+        scrape.interval_ms =
+            static_cast<std::uint32_t>(std::stoul(scrape_interval_arg));
+      }
+      if (!metrics_port_arg.empty()) {
+        scrape.port = std::stoi(metrics_port_arg);
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad --scrape-interval/--metrics-port argument\n";
+      return 2;
+    }
+    scrape.out_path = scrape_out;
+    scraper = std::make_unique<telemetry::Scraper>(std::move(scrape));
+    if (scraper->port() > 0) {
+      std::cout << "serving metrics on http://127.0.0.1:" << scraper->port()
+                << "/metrics\n";
+    }
+  }
+
   const auto report = replay_trace(*scheduler, trace, sim);
   if (kind == "sharded" && !cli.wal_dir.empty()) {
     static_cast<ShardedScheduler&>(*scheduler).sync_wal();
@@ -257,6 +307,21 @@ int main(int argc, char** argv) {
   table.add_row({"wall seconds", Table::num(report.seconds, 3)});
   table.print(std::cout);
 
+  if (scraper != nullptr) {
+    scraper->stop();
+    std::cout << "scraper: " << scraper->scrapes() << " scrapes";
+    if (!scrape_out.empty()) std::cout << ", deltas in " << scrape_out;
+    std::cout << '\n';
+  }
+  if (!prom_out.empty()) {
+    std::ofstream out(prom_out);
+    if (!out) {
+      std::cerr << "cannot write " << prom_out << '\n';
+      return 2;
+    }
+    telemetry::Registry::global().write_prometheus(out);
+    std::cout << "prometheus exposition written to " << prom_out << '\n';
+  }
   if (!metrics_out.empty()) {
     std::ofstream out(metrics_out);
     if (!out) {

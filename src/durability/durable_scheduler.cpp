@@ -89,6 +89,7 @@ RequestStats DurableScheduler::insert(JobId id, Window window) {
     RS_REQUIRE(!live_.contains(id), "DurableScheduler::insert: job already active");
   }
   ++csn_;
+  RS_TELEM_SET_CSN(csn_);
   const std::size_t mark = wal_.mark();
   wal_.append_insert(csn_, id, window);
   RequestStats stats;
@@ -116,6 +117,7 @@ RequestStats DurableScheduler::erase(JobId id) {
     RS_REQUIRE(live_.contains(id), "DurableScheduler::erase: job not active");
   }
   ++csn_;
+  RS_TELEM_SET_CSN(csn_);
   const std::size_t mark = wal_.mark();
   wal_.append_erase(csn_, id);
   RequestStats stats;

@@ -21,6 +21,18 @@ const telemetry::Counter& rejected_counter() {
   RS_TELEM_COUNTER(kRejected, "ingest.rejected");
   return kRejected;
 }
+const telemetry::Counter& shed_counter() {
+  RS_TELEM_COUNTER(kShed, "ingest.shed_total");
+  return kShed;
+}
+const telemetry::Counter& rejected_depth_counter() {
+  RS_TELEM_COUNTER(kRejectedDepth, "ingest.rejected_depth_total");
+  return kRejectedDepth;
+}
+const telemetry::Gauge& compliance_gauge() {
+  RS_TELEM_GAUGE(kCompliant, "ingest.p99_compliant");
+  return kCompliant;
+}
 const telemetry::Counter& batch_counter() {
   RS_TELEM_COUNTER(kBatches, "ingest.batches");
   return kBatches;
@@ -92,8 +104,10 @@ Admit IngestService::push(const Request& request) {
     depth_.fetch_sub(1, std::memory_order_relaxed);
     if (verdict == Admit::kRejectedDepth) {
       rejected_depth_.fetch_add(1, std::memory_order_relaxed);
+      RS_TELEM_ADD(rejected_depth_counter(), 1);
     } else {
       rejected_latency_.fetch_add(1, std::memory_order_relaxed);
+      RS_TELEM_ADD(shed_counter(), 1);
     }
     RS_TELEM_ADD(rejected_counter(), 1);
     return verdict;
@@ -223,6 +237,7 @@ void IngestService::consumer_loop() {
     // rule fires when every producer is being shed (no batches means no
     // apply-side evaluate; without this the rejection would be permanent).
     admission_.evaluate(depth_.load(std::memory_order_relaxed));
+    update_compliance_gauge();
     // Report quiescence, maybe exit.
     if (applied_.load(std::memory_order_relaxed) ==
         admitted_.load(std::memory_order_relaxed)) {
@@ -241,13 +256,35 @@ void IngestService::consumer_loop() {
     }
     consumer_parked_.store(false, std::memory_order_relaxed);
   }
+#if RS_TELEM_COMPILED
+  // Unwind this service's gauge contribution so sequential services (tests,
+  // bench cases) leave the process-wide level at zero.
+  if (compliance_contrib_ != 0) {
+    RS_TELEM_GAUGE_ADD(compliance_gauge(), -compliance_contrib_);
+    compliance_contrib_ = 0;
+  }
+#endif
   std::lock_guard<std::mutex> lock(drain_mutex_);
   drain_cv_.notify_all();
+}
+
+void IngestService::update_compliance_gauge() {
+#if RS_TELEM_COMPILED
+  if (options_.p99_budget_us == 0) return;
+  const std::int64_t desired = admission_.shedding() ? 0 : 1;
+  if (desired != compliance_contrib_) {
+    RS_TELEM_GAUGE_ADD(compliance_gauge(), desired - compliance_contrib_);
+    compliance_contrib_ = desired;
+  }
+#endif
 }
 
 void IngestService::apply_batch() {
   const std::size_t n = batch_.size();
   const std::uint64_t first_ticket = batch_items_.front().ticket;
+  // Exemplar context for everything the apply records: spans and tail
+  // buckets inside the scheduler resolve back to this batch's first ticket.
+  RS_TELEM_SET_CSN(first_ticket);
   BatchResult result = scheduler_.apply(batch_);
   if (options_.record_stats) {
     RS_CHECK(applied_stats_.size() == first_ticket,
@@ -265,6 +302,8 @@ void IngestService::apply_batch() {
   for (const Item& item : batch_items_) {
     const std::uint64_t sojourn = now - item.push_ns;
     admission_.observe(sojourn);
+    // Per-item ticket: a p99.9 sojourn exemplar names the exact request.
+    RS_TELEM_SET_CSN(item.ticket);
     RS_TELEM_RECORD(sojourn_histogram(), sojourn);
   }
   scheduler_rejected_.fetch_add(result.rejected.size(), std::memory_order_relaxed);
@@ -276,6 +315,7 @@ void IngestService::apply_batch() {
   const std::size_t depth_after =
       depth_.fetch_sub(n, std::memory_order_relaxed) - n;
   admission_.evaluate(depth_after);
+  update_compliance_gauge();
   RS_TELEM_ADD(batch_counter(), 1);
   RS_TELEM_GAUGE_ADD(depth_gauge(), -static_cast<std::int64_t>(n));
   batch_.clear();

@@ -169,6 +169,9 @@ class IngestService {
   };
 
   void consumer_loop();
+  /// Refreshes the "ingest.p99_compliant" gauge (1 = last closed admission
+  /// epoch met the p99 budget, 0 = shedding) from the consumer thread.
+  void update_compliance_gauge();
   /// Drains every lane into the reorder stage; returns items moved.
   std::size_t drain_lanes();
   /// Applies the current batch and updates accounting/admission.
@@ -205,6 +208,10 @@ class IngestService {
   std::atomic<std::uint64_t> size_closes_{0};
   std::vector<RequestStats> applied_stats_;
   std::vector<std::uint64_t> rejected_tickets_;
+  // This service's current contribution to the additive compliance gauge
+  // (consumer thread only); unwound when the consumer exits so sequential
+  // services do not accumulate.
+  std::int64_t compliance_contrib_ = 0;
 
   // Consumer parking / wake (producers signal after publishing).
   std::mutex wake_mutex_;

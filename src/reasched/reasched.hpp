@@ -65,7 +65,9 @@
 
 #include "telemetry/histogram.hpp"
 #include "telemetry/options.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/scraper.hpp"
 #include "telemetry/trace_ring.hpp"
 
 #include "util/flat_hash.hpp"

@@ -109,12 +109,14 @@ void ShardedScheduler::init_wal(const durability::DurabilityPolicy& policy) {
 void ShardedScheduler::log_insert(JobId id, Window window) {
   if (!wal_logging_) return;
   ++csn_;
+  RS_TELEM_SET_CSN(csn_);
   wal_[wal_shard_of(window)].append(durability::WalRecord::insert(csn_, id, window));
 }
 
 void ShardedScheduler::log_erase(JobId id, Window window) {
   if (!wal_logging_) return;
   ++csn_;
+  RS_TELEM_SET_CSN(csn_);
   wal_[wal_shard_of(window)].append(durability::WalRecord::erase(csn_, id));
 }
 

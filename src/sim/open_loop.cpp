@@ -1,10 +1,12 @@
 #include "sim/open_loop.hpp"
 
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "telemetry/registry.hpp"
+#include "telemetry/scraper.hpp"
 #include "util/assert.hpp"
 
 namespace reasched::sim {
@@ -79,8 +81,26 @@ OpenLoopReport serve_open_loop(IReallocScheduler& scheduler,
   for (std::size_t i = 0; i < trace.size(); ++i) {
     arrival_ns[i] = static_cast<std::uint64_t>(static_cast<double>(i) * ns_per_request);
   }
+  // Serving-grade runs scrape while they serve: the background Scraper
+  // snapshots the registry on the configured cadence for the whole run
+  // (both modes — in direct mode the ingest tier is absent but the
+  // scheduler-layer metrics still flow).
+  std::unique_ptr<telemetry::Scraper> scraper;
+  if (options.ingest.telemetry.scrape_interval_ms > 0) {
+    telemetry::enable(options.ingest.telemetry);
+    telemetry::Scraper::Options scrape;
+    scrape.interval_ms = options.ingest.telemetry.scrape_interval_ms;
+    scraper = std::make_unique<telemetry::Scraper>(std::move(scrape));
+  }
+  const auto finish = [&scraper](OpenLoopReport report) {
+    if (scraper != nullptr) {
+      scraper->stop();
+      report.scrapes = scraper->scrapes();
+    }
+    return report;
+  };
   if (options.producers == 0) {
-    return serve_direct(scheduler, trace, options, arrival_ns);
+    return finish(serve_direct(scheduler, trace, options, arrival_ns));
   }
 
   OpenLoopReport report;
@@ -128,7 +148,7 @@ OpenLoopReport serve_open_loop(IReallocScheduler& scheduler,
   report.offered_rps = options.offered_rps;
   report.achieved_rps =
       report.seconds > 0.0 ? static_cast<double>(trace.size()) / report.seconds : 0.0;
-  return report;
+  return finish(std::move(report));
 }
 
 }  // namespace reasched::sim

@@ -62,6 +62,9 @@ struct OpenLoopReport {
   telemetry::LatencyHistogram sojourn;
   /// Ingest-mode accounting (all zeros in direct mode).
   ingest::IngestStats ingest;
+  /// Background Scraper scrapes taken during the run (0 when
+  /// ingest.telemetry.scrape_interval_ms == 0).
+  std::uint64_t scrapes = 0;
 };
 
 /// Serves `trace` open-loop. The scheduler must start empty; the trace must

@@ -28,6 +28,13 @@ struct TelemetryOptions {
   /// two). Applies to rings created after enable(); existing rings keep
   /// their size.
   std::uint32_t ring_capacity = 8192;
+  /// Background Scraper cadence (telemetry/scraper.hpp): snapshot the
+  /// registry every this many milliseconds and compute delta-since-last-
+  /// scrape rates. 0 (the default) means no scraper thread; harnesses that
+  /// honor the knob (sim/open_loop, trace_replay) start one when set. The
+  /// scraper reads merged shards on its own thread — record sites never
+  /// see it.
+  std::uint32_t scrape_interval_ms = 0;
 };
 
 }  // namespace reasched::telemetry

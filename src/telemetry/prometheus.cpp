@@ -1,0 +1,145 @@
+#include "telemetry/prometheus.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace reasched::telemetry {
+
+namespace {
+
+bool prom_char_ok(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+std::string sanitize(std::string_view raw) {
+  std::string out = "reasched_";
+  out.reserve(out.size() + raw.size());
+  for (const char c : raw) out.push_back(prom_char_ok(c) ? c : '_');
+  return out;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+void write_exemplar(std::ostream& os, const Registry::Exemplar& ex) {
+  os << " # {trace_id=\"" << ex.trace_id << "\",csn=\"" << ex.csn << "\"} "
+     << ex.value;
+}
+
+void write_histogram(std::ostream& os, const Registry::HistogramSnapshot& h) {
+  const std::string family = prometheus_family(h.name, h.unit);
+  os << "# HELP " << family << " HDR latency histogram '" << h.name << "' ("
+     << (h.unit == Registry::Unit::kTicks ? "ns, converted from ticks"
+                                          : "recorded unit")
+     << "), power-of-two le boundaries\n";
+  os << "# TYPE " << family << " histogram\n";
+
+  // Cumulative count below each power-of-two boundary, walking the HDR
+  // array once. `cursor` is the next sub-bucket not yet summed; sub-buckets
+  // below bucket_of(2^k) hold values strictly below 2^k, so each prefix is
+  // exact and monotone.
+  const auto& buckets = h.hist.buckets();
+  std::uint64_t cumulative = 0;
+  std::uint32_t cursor = 0;
+  std::uint64_t sum = 0;
+  for (std::uint32_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    if (buckets[b] != 0) sum += buckets[b] * LatencyHistogram::bucket_mid(b);
+  }
+  // Exemplars attach to the first le line whose cumulative count covers
+  // their value (strictly below le, matching the prefix rule above). The
+  // le lines ascend and the exemplars are value-sorted, so a single cursor
+  // suffices; when several share a line the largest (last consumed) wins.
+  std::size_t next_exemplar = 0;
+  for (std::uint32_t exp = 0; exp <= LatencyHistogram::kMaxExp; ++exp) {
+    const std::uint64_t le = std::uint64_t{1} << exp;
+    const std::uint32_t boundary = LatencyHistogram::bucket_of(le);
+    for (; cursor < boundary; ++cursor) cumulative += buckets[cursor];
+    os << family << "_bucket{le=\"" << le << "\"} " << cumulative;
+    const Registry::Exemplar* pick = nullptr;
+    while (next_exemplar < h.exemplars.size() &&
+           h.exemplars[next_exemplar].value < le) {
+      pick = &h.exemplars[next_exemplar];
+      ++next_exemplar;
+    }
+    if (pick != nullptr) write_exemplar(os, *pick);
+    os << "\n";
+  }
+  os << family << "_bucket{le=\"+Inf\"} " << h.hist.total();
+  if (next_exemplar < h.exemplars.size()) {
+    write_exemplar(os, h.exemplars.back());
+  }
+  os << "\n";
+  os << family << "_sum " << sum << "\n";
+  os << family << "_count " << h.hist.total() << "\n";
+}
+
+}  // namespace
+
+std::string prometheus_family(std::string_view raw) {
+  std::string family = sanitize(raw);
+  if (ends_with(family, "_total")) {
+    family.resize(family.size() - 6);
+  }
+  return family;
+}
+
+std::string prometheus_family(std::string_view raw, Registry::Unit unit) {
+  std::string family = sanitize(raw);
+  if (unit == Registry::Unit::kTicks && !ends_with(family, "_ns")) {
+    family += "_ns";
+  }
+  return family;
+}
+
+void write_prometheus(std::ostream& os, const Registry::Snapshot& snap) {
+  // Wall-clock stamp: two expositions of the same process determine their
+  // own scrape interval (rate = delta / delta-stamp).
+  const double wall_s =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  char stamp[64];
+  std::snprintf(stamp, sizeof(stamp), "%.3f", wall_s);
+  os << "# HELP reasched_exposition_time_seconds Unix time this exposition "
+        "was written\n"
+     << "# TYPE reasched_exposition_time_seconds gauge\n"
+     << "reasched_exposition_time_seconds " << stamp << "\n";
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string family = prometheus_family(name);
+    os << "# HELP " << family << " monotonic counter '" << name << "'\n"
+       << "# TYPE " << family << " counter\n"
+       << family << "_total " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string family = prometheus_family(name);
+    os << "# HELP " << family << " additive gauge '" << name << "'\n"
+       << "# TYPE " << family << " gauge\n"
+       << family << " " << value << "\n";
+  }
+  for (const auto& hist : snap.histograms) {
+    write_histogram(os, hist);
+  }
+  os << "# EOF\n";
+}
+
+std::string prometheus_text(const Registry::Snapshot& snap) {
+  std::ostringstream os;
+  write_prometheus(os, snap);
+  return os.str();
+}
+
+void Registry::write_prometheus(std::ostream& os) {
+  telemetry::write_prometheus(os, snapshot());
+}
+
+std::string Registry::prometheus_text() {
+  return telemetry::prometheus_text(snapshot());
+}
+
+}  // namespace reasched::telemetry

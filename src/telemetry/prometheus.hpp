@@ -1,0 +1,59 @@
+// Prometheus/OpenMetrics text exposition for the telemetry registry
+// (DESIGN.md §12): the serving-grade sibling of snapshot_json().
+//
+// Mapping, chosen so names are stable across PRs and collectors can rely
+// on them:
+//
+//   * every family is prefixed "reasched_" and sanitized ('.', '-' → '_');
+//   * counters expose as `<family>_total` (OpenMetrics counter suffix; a
+//     raw name already ending in "_total" contributes its stem);
+//   * gauges expose under their sanitized name as-is;
+//   * histograms expose as cumulative `_bucket{le="..."}` / `_sum` /
+//     `_count` series. The HDR array's 2240 sub-buckets are coarsened to
+//     one `le` boundary per power of two (2^0 .. 2^40, then +Inf — 42
+//     lines): a cumulative count at le=2^k sums every sub-bucket strictly
+//     below bucket_of(2^k), which is exact (bucket_of is total-order
+//     preserving — no sample straddles a boundary) and monotone by
+//     construction. Unit::kTicks histograms get an "_ns" suffix (the
+//     snapshot already re-bucketed ticks into nanoseconds);
+//   * `_sum` is approximated from bucket midpoints (same ≤3% relative
+//     error budget as every other histogram query, histogram.hpp);
+//   * snapshot exemplars attach to the first `le` line covering their
+//     value using OpenMetrics syntax:
+//       `... # {trace_id="N",csn="C"} <value>`
+//     so a tail bucket resolves to the chrome-trace span id and WAL CSN
+//     that produced it (write_trace_json emits the matching args);
+//   * a `reasched_exposition_time_seconds` gauge (unix wall clock) stamps
+//     every exposition — two scrapes therefore determine their own
+//     interval (tools/trace_summarize.py --delta);
+//   * the exposition ends with `# EOF` (OpenMetrics terminator).
+//
+// tests/prometheus_test.cpp pins the format (golden families + a lint:
+// bucket monotonicity, `_count` == +Inf bucket, TYPE-before-samples).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "telemetry/registry.hpp"
+
+namespace reasched::telemetry {
+
+/// Sanitized family name for a raw registry metric name: "reasched_" +
+/// raw with every character outside [a-zA-Z0-9_] replaced by '_'. A
+/// trailing "_total" is stripped (the counter writer re-appends it).
+[[nodiscard]] std::string prometheus_family(std::string_view raw);
+
+/// Family name for a histogram: prometheus_family(raw) plus an "_ns"
+/// suffix for Unit::kTicks histograms that do not already carry one.
+[[nodiscard]] std::string prometheus_family(std::string_view raw,
+                                            Registry::Unit unit);
+
+/// Write `snap` as OpenMetrics text. Deterministic for a fixed snapshot
+/// except the reasched_exposition_time_seconds stamp.
+void write_prometheus(std::ostream& os, const Registry::Snapshot& snap);
+
+[[nodiscard]] std::string prometheus_text(const Registry::Snapshot& snap);
+
+}  // namespace reasched::telemetry

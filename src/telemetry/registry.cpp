@@ -42,9 +42,76 @@ HistShard* ensure_hist(ThreadShard& shard, std::uint32_t id) {
 }
 
 void ring_push(const char* name, std::uint64_t ts_ticks, std::uint64_t dur_ticks,
-               char phase) {
-  shard().ring.push(TraceEvent{name, ts_ticks, dur_ticks, phase});
+               char phase, std::uint64_t id, std::uint64_t csn) {
+  shard().ring.push(TraceEvent{name, ts_ticks, dur_ticks, id, csn, phase});
 }
+
+namespace {
+
+// Per-(histogram, octave) exemplar slots: a flat constant-initialized array
+// so the trace-tier record path never pays the function-local-static guard
+// Registry::global() carries. Writers claim via an even→odd seq CAS (losers
+// skip — latest-wins is best-effort under contention); the snapshot reader
+// retries around odd/changed seqs. Every field is an atomic so the seqlock
+// is also a data-race-free program, not just a logically benign one (the
+// TSan lane runs concurrent recorders against a scraping thread).
+struct ExemplarSlot {
+  std::atomic<std::uint32_t> seq{0};  // 0 = never written; odd = mid-write
+  std::atomic<std::uint64_t> value{0};
+  std::atomic<std::uint64_t> trace_id{0};
+  std::atomic<std::uint64_t> csn{0};
+};
+ExemplarSlot g_exemplars[kMaxHistograms * kOctaves];
+
+}  // namespace
+
+void capture_exemplar(std::uint32_t hist_id, std::uint32_t bucket,
+                      std::uint64_t value) noexcept {
+  ExemplarSlot& slot =
+      g_exemplars[hist_id * kOctaves + bucket / LatencyHistogram::kSub];
+  std::uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+  if ((seq & 1u) != 0) return;  // another writer mid-flight: they are later
+  if (!slot.seq.compare_exchange_strong(seq, seq + 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+    return;
+  }
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.trace_id.store(t_exemplar.trace_id, std::memory_order_relaxed);
+  slot.csn.store(t_exemplar.csn, std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);
+}
+
+void clear_exemplars() noexcept {
+  for (ExemplarSlot& slot : g_exemplars) {
+    slot.value.store(0, std::memory_order_relaxed);
+    slot.trace_id.store(0, std::memory_order_relaxed);
+    slot.csn.store(0, std::memory_order_relaxed);
+    slot.seq.store(0, std::memory_order_release);
+  }
+}
+
+namespace {
+
+/// Consistent read of one slot; false when never written or too contended.
+bool read_exemplar(std::uint32_t hist_id, std::uint32_t octave,
+                   std::uint64_t& value, std::uint64_t& trace_id,
+                   std::uint64_t& csn) noexcept {
+  const ExemplarSlot& slot = g_exemplars[hist_id * kOctaves + octave];
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint32_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 == 0) return false;
+    if ((s1 & 1u) != 0) continue;
+    value = slot.value.load(std::memory_order_relaxed);
+    trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    csn = slot.csn.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) == s1) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 }  // namespace detail
 
@@ -260,6 +327,23 @@ Registry::Snapshot Registry::snapshot() {
     } else {
       hs.hist = raw_hists[i];
     }
+    // Exemplars: one latest-wins slot per octave, converted to the same
+    // domain as the snapshot histogram (ns for kTicks).
+    for (std::uint32_t octave = 0; octave < detail::kOctaves; ++octave) {
+      Exemplar ex;
+      if (!detail::read_exemplar(i, octave, ex.value, ex.trace_id, ex.csn)) {
+        continue;
+      }
+      if (hs.unit == Unit::kTicks && !kTicksAreNanoseconds) {
+        ex.value = static_cast<std::uint64_t>(static_cast<double>(ex.value) *
+                                              snap.ns_per_tick);
+      }
+      hs.exemplars.push_back(ex);
+    }
+    std::sort(hs.exemplars.begin(), hs.exemplars.end(),
+              [](const Exemplar& a, const Exemplar& b) {
+                return a.value < b.value;
+              });
     snap.histograms.push_back(std::move(hs));
   }
   return snap;
@@ -333,6 +417,13 @@ void Registry::write_trace_json(std::ostream& os) {
     } else if (re.event.phase == 'i') {
       os << ",\"s\":\"t\"";
     }
+    // Span id + CSN cross-link the Prometheus exemplars: an exposition
+    // line's `# {trace_id="N",csn="C"}` resolves to the event with
+    // args.trace_id == N (tools/trace_summarize.py --resolve).
+    if (re.event.id != 0 || re.event.csn != 0) {
+      os << ",\"args\":{\"trace_id\":" << re.event.id
+         << ",\"csn\":" << re.event.csn << "}";
+    }
     os << ",\"pid\":1,\"tid\":" << re.tid << "}";
   }
   os << "\n]}\n";
@@ -358,6 +449,7 @@ void Registry::reset() {
   }
   retired_ = Retired{};
   retired_events_.clear();
+  detail::clear_exemplars();
 }
 
 }  // namespace reasched::telemetry

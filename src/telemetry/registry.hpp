@@ -89,6 +89,42 @@ inline constexpr std::uint32_t kMaxCounters = 64;
 inline constexpr std::uint32_t kMaxGauges = 64;
 inline constexpr std::uint32_t kMaxHistograms = 48;
 
+// ------------------------------------------------------------- exemplars --
+//
+// When tracing is on, tail-bucket records capture the *exemplar context* of
+// the recording thread — the innermost live span's id and the WAL CSN (or
+// ingest ticket) the caller last declared via RS_TELEM_SET_CSN — into a
+// per-(histogram, octave) latest-wins slot. The Prometheus exposition
+// attaches these as OpenMetrics exemplars, so a p99.9 `_bucket` line
+// resolves to the exact chrome-trace span and durable CSN that produced it.
+// Capture is gated on trace_on AND value >= kExemplarMinValue: the metrics-
+// only tier pays one compare (almost always false) per histogram record and
+// never touches the shared slots.
+
+/// One exemplar octave per power of two of the recorded value; slots below
+/// this value never fill ("top octaves" only — the tail is what exemplars
+/// are for, and the fast-path buckets would thrash the shared slots).
+inline constexpr std::uint64_t kExemplarMinValue = std::uint64_t{1} << 19;
+inline constexpr std::uint32_t kOctaves =
+    LatencyHistogram::kBuckets / LatencyHistogram::kSub;
+
+struct ExemplarContext {
+  std::uint64_t trace_id = 0;  // innermost live span id on this thread
+  std::uint64_t csn = 0;       // WAL CSN / ingest ticket declared by caller
+};
+inline thread_local ExemplarContext t_exemplar;
+
+inline std::atomic<std::uint64_t> g_next_span_id{1};
+[[nodiscard]] inline std::uint64_t next_span_id() noexcept {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Latest-wins publish of (value, t_exemplar) into the slot for
+/// (histogram, octave-of-bucket). Lock-free; losers of the claim race skip.
+void capture_exemplar(std::uint32_t hist_id, std::uint32_t bucket,
+                      std::uint64_t value) noexcept;
+void clear_exemplars() noexcept;
+
 /// Per-(thread, histogram) bucket array. Allocated lazily on the first
 /// record so threads only pay for histograms they actually touch.
 struct HistShard {
@@ -133,9 +169,24 @@ inline thread_local std::uint32_t t_sample = 0;
 }
 [[nodiscard]] HistShard* ensure_hist(ThreadShard& shard, std::uint32_t id);
 void ring_push(const char* name, std::uint64_t ts_ticks, std::uint64_t dur_ticks,
-               char phase);
+               char phase, std::uint64_t id = 0, std::uint64_t csn = 0);
 
 }  // namespace detail
+
+/// Declare the WAL commit-sequence-number (or ingest ticket) in scope on
+/// this thread: captured into exemplars and span events recorded until the
+/// next call. Unconditional thread-local store — cheap enough for the
+/// durable hot path; use RS_TELEM_SET_CSN so the OFF flavor compiles it out.
+inline void set_current_csn(std::uint64_t csn) noexcept {
+  detail::t_exemplar.csn = csn;
+}
+[[nodiscard]] inline std::uint64_t current_csn() noexcept {
+  return detail::t_exemplar.csn;
+}
+/// Innermost live span's id on this thread (0 outside any traced span).
+[[nodiscard]] inline std::uint64_t current_trace_id() noexcept {
+  return detail::t_exemplar.trace_id;
+}
 
 // --------------------------------------------------------------- registry --
 
@@ -173,10 +224,18 @@ class Registry {
     return detail::trace_on();
   }
 
+  /// Tail-bucket exemplar (detail::capture_exemplar): the last traced
+  /// record that landed in one of the histogram's top octaves.
+  struct Exemplar {
+    std::uint64_t value = 0;  // histogram-snapshot domain (ns for kTicks)
+    std::uint64_t trace_id = 0;
+    std::uint64_t csn = 0;
+  };
   struct HistogramSnapshot {
     std::string name;
     Unit unit = Unit::kCount;
     LatencyHistogram hist;  // ns domain for kTicks, raw for kCount
+    std::vector<Exemplar> exemplars;  // at most one per octave, value-sorted
   };
   struct Snapshot {
     std::vector<std::pair<std::string, std::uint64_t>> counters;
@@ -191,6 +250,13 @@ class Registry {
   [[nodiscard]] Snapshot snapshot();
   [[nodiscard]] std::string snapshot_json();
   void write_snapshot_json(std::ostream& os);
+
+  /// OpenMetrics/Prometheus text exposition of a fresh snapshot
+  /// (telemetry/prometheus.hpp): `# TYPE`/`# HELP` per family, counters as
+  /// `_total`, HDR histograms as cumulative `_bucket{le=...}`/`_sum`/
+  /// `_count` with per-octave trace exemplars, terminated by `# EOF`.
+  void write_prometheus(std::ostream& os);
+  [[nodiscard]] std::string prometheus_text();
 
   /// chrome://tracing JSON ({"traceEvents": [...]}): every live ring's
   /// events plus events salvaged from exited threads, sorted by time.
@@ -282,7 +348,13 @@ class Histogram {
     detail::ThreadShard& sh = detail::shard();
     detail::HistShard* h = sh.hists[id_].load(std::memory_order_relaxed);
     if (h == nullptr) h = detail::ensure_hist(sh, id_);
-    h->record(value);
+    const std::uint32_t bucket = LatencyHistogram::bucket_of(value);
+    h->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    // Tail records capture the thread's exemplar context; the value compare
+    // is the only cost the metrics tier pays (nearly always false).
+    if (value >= detail::kExemplarMinValue && detail::trace_on()) {
+      detail::capture_exemplar(id_, bucket, value);
+    }
   }
 
  private:
@@ -298,13 +370,24 @@ class Span {
     if (!detail::metrics_on()) return;
     hist_ = &hist;
     name_ = name;
+    if (detail::trace_on()) {
+      // Claim a process-unique span id and install it as the thread's
+      // exemplar context (innermost span wins; nesting restores on exit).
+      id_ = detail::next_span_id();
+      prev_trace_ = detail::t_exemplar.trace_id;
+      detail::t_exemplar.trace_id = id_;
+    }
     start_ = ticks();
   }
   ~Span() {
     if (hist_ == nullptr) return;
     const std::uint64_t duration = ticks() - start_;
-    hist_->record_unchecked(duration);
-    if (detail::trace_on()) detail::ring_push(name_, start_, duration, 'X');
+    hist_->record_unchecked(duration);  // captures id_ via t_exemplar
+    if (id_ != 0) detail::t_exemplar.trace_id = prev_trace_;
+    if (detail::trace_on()) {
+      detail::ring_push(name_, start_, duration, 'X', id_,
+                        detail::t_exemplar.csn);
+    }
   }
 
   Span(const Span&) = delete;
@@ -314,6 +397,8 @@ class Span {
   const Histogram* hist_ = nullptr;
   const char* name_ = nullptr;
   std::uint64_t start_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t prev_trace_ = 0;
 };
 
 /// Span that times 1 in (mask+1) hits while only metrics are on, every hit
@@ -329,7 +414,13 @@ class SampledSpan {
   SampledSpan(const Histogram& hist, const char* name,
               std::uint32_t mask) noexcept {
     if (!detail::metrics_on()) return;
-    if (!detail::trace_on() && !detail::sample_due(mask)) return;
+    if (detail::trace_on()) {
+      id_ = detail::next_span_id();
+      prev_trace_ = detail::t_exemplar.trace_id;
+      detail::t_exemplar.trace_id = id_;
+    } else if (!detail::sample_due(mask)) {
+      return;
+    }
     hist_ = &hist;
     name_ = name;
     start_ = ticks();
@@ -338,7 +429,11 @@ class SampledSpan {
     if (hist_ == nullptr) return;
     const std::uint64_t duration = ticks() - start_;
     hist_->record_unchecked(duration);
-    if (detail::trace_on()) detail::ring_push(name_, start_, duration, 'X');
+    if (id_ != 0) detail::t_exemplar.trace_id = prev_trace_;
+    if (detail::trace_on()) {
+      detail::ring_push(name_, start_, duration, 'X', id_,
+                        detail::t_exemplar.csn);
+    }
   }
 
   SampledSpan(const SampledSpan&) = delete;
@@ -348,6 +443,8 @@ class SampledSpan {
   const Histogram* hist_ = nullptr;
   const char* name_ = nullptr;
   std::uint64_t start_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t prev_trace_ = 0;
 };
 
 /// Span that arms only when *tracing* is on. For interior sites that fire
@@ -362,13 +459,18 @@ class TraceSpan {
     if (!detail::trace_on()) return;
     hist_ = &hist;
     name_ = name;
+    id_ = detail::next_span_id();
+    prev_trace_ = detail::t_exemplar.trace_id;
+    detail::t_exemplar.trace_id = id_;
     start_ = ticks();
   }
   ~TraceSpan() {
     if (hist_ == nullptr) return;
     const std::uint64_t duration = ticks() - start_;
     hist_->record_unchecked(duration);
-    detail::ring_push(name_, start_, duration, 'X');
+    detail::t_exemplar.trace_id = prev_trace_;
+    detail::ring_push(name_, start_, duration, 'X', id_,
+                      detail::t_exemplar.csn);
   }
 
   TraceSpan(const TraceSpan&) = delete;
@@ -378,6 +480,8 @@ class TraceSpan {
   const Histogram* hist_ = nullptr;
   const char* name_ = nullptr;
   std::uint64_t start_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t prev_trace_ = 0;
 };
 
 }  // namespace reasched::telemetry
@@ -410,6 +514,7 @@ class TraceSpan {
   const ::reasched::telemetry::TraceSpan var { (handle), name }
 #define RS_TELEM_SAMPLED_SPAN(var, handle, name, mask) \
   const ::reasched::telemetry::SampledSpan var { (handle), name, (mask) }
+#define RS_TELEM_SET_CSN(csn) ::reasched::telemetry::set_current_csn(csn)
 #define RS_TELEM_INSTANT(name)                                           \
   do {                                                                   \
     if (::reasched::telemetry::detail::trace_on()) {                     \
@@ -429,5 +534,6 @@ class TraceSpan {
 #define RS_TELEM_SPAN(var, handle, name) static_assert(true)
 #define RS_TELEM_TRACE_SPAN(var, handle, name) static_assert(true)
 #define RS_TELEM_SAMPLED_SPAN(var, handle, name, mask) static_assert(true)
+#define RS_TELEM_SET_CSN(csn) ((void)0)
 #define RS_TELEM_INSTANT(name) ((void)0)
 #endif

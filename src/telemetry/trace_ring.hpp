@@ -24,6 +24,8 @@ struct TraceEvent {
   const char* name = nullptr;
   std::uint64_t ts_ticks = 0;   // event start
   std::uint64_t dur_ticks = 0;  // 0 for instant events
+  std::uint64_t id = 0;         // span id (process-unique, 0 = unassigned)
+  std::uint64_t csn = 0;        // WAL commit sequence / ticket in scope, 0 = none
   char phase = 'X';             // chrome phase: 'X' complete span, 'i' instant
 };
 

@@ -1,0 +1,231 @@
+// Prometheus/OpenMetrics exposition tests (telemetry/prometheus.hpp,
+// DESIGN.md §12): family naming, a golden counter/gauge/histogram block,
+// a format lint (bucket monotonicity, `_count` == +Inf bucket, TYPE before
+// samples, `# EOF` terminator), and the PR 9 acceptance path — a forced
+// p99.9 outlier whose exposition exemplar resolves to the exact
+// chrome-trace span id and CSN. Uses the handle classes directly (not the
+// RS_TELEM_* macros), so the same assertions hold in both telemetry
+// flavors.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/prometheus.hpp"
+#include "telemetry/registry.hpp"
+
+namespace reasched::telemetry {
+namespace {
+
+class PrometheusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().reset();
+    Registry::set_metrics_enabled(true);
+  }
+  void TearDown() override {
+    Registry::set_metrics_enabled(false);
+    Registry::global().reset();
+  }
+};
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+/// Value of the first sample line starting with `name` followed by a space
+/// or a label block. Returns true when found.
+bool sample_value(const std::string& text, const std::string& prefix,
+                  std::string& out) {
+  for (const std::string& line : lines_of(text)) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    const std::size_t space = line.find(' ', prefix.size());
+    if (space == std::string::npos) continue;
+    out = line.substr(space + 1);
+    // Strip a trailing exemplar if present.
+    const std::size_t hash = out.find(" # ");
+    if (hash != std::string::npos) out = out.substr(0, hash);
+    return true;
+  }
+  return false;
+}
+
+// ----------------------------------------------------------------- naming --
+
+TEST_F(PrometheusTest, FamilyNamingIsStableAndSanitized) {
+  EXPECT_EQ(prometheus_family("rs.insert"), "reasched_rs_insert");
+  EXPECT_EQ(prometheus_family("ingest.shed_total"), "reasched_ingest_shed");
+  EXPECT_EQ(prometheus_family("a-b.c d"), "reasched_a_b_c_d");
+  EXPECT_EQ(prometheus_family("rs.insert", Registry::Unit::kTicks),
+            "reasched_rs_insert_ns");
+  EXPECT_EQ(prometheus_family("ingest.sojourn_ns", Registry::Unit::kCount),
+            "reasched_ingest_sojourn_ns");
+  // Already-suffixed tick histograms do not double the suffix.
+  EXPECT_EQ(prometheus_family("ingest.sojourn_ns", Registry::Unit::kTicks),
+            "reasched_ingest_sojourn_ns");
+}
+
+// ----------------------------------------------------------------- golden --
+
+TEST_F(PrometheusTest, CounterAndGaugeGoldenBlock) {
+  Counter counter("golden.count");
+  counter.add(5);
+  Gauge gauge("golden.gauge");
+  gauge.add(-3);
+  const std::string text = Registry::global().prometheus_text();
+  EXPECT_NE(text.find("# TYPE reasched_golden_count counter\n"
+                      "reasched_golden_count_total 5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE reasched_golden_gauge gauge\n"
+                      "reasched_golden_gauge -3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("reasched_exposition_time_seconds "), std::string::npos);
+  const std::vector<std::string> lines = lines_of(text);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.back(), "# EOF");
+}
+
+TEST_F(PrometheusTest, HistogramCumulativeBucketsGolden) {
+  Histogram hist("golden.hist", Registry::Unit::kCount);
+  for (const std::uint64_t v :
+       {std::uint64_t{1}, std::uint64_t{1}, std::uint64_t{3}, std::uint64_t{70},
+        (std::uint64_t{1} << 20) + 5}) {
+    hist.record(v);
+  }
+  const std::string text = Registry::global().prometheus_text();
+  const std::string family = "reasched_golden_hist";
+  std::string value;
+  // Cumulative counts are exact for "strictly below le": the HDR buckets
+  // below bucket_of(2^k) hold exactly the samples below 2^k.
+  ASSERT_TRUE(sample_value(text, family + "_bucket{le=\"1\"}", value));
+  EXPECT_EQ(value, "0");
+  ASSERT_TRUE(sample_value(text, family + "_bucket{le=\"4\"}", value));
+  EXPECT_EQ(value, "3");  // 1, 1, 3
+  ASSERT_TRUE(sample_value(text, family + "_bucket{le=\"64\"}", value));
+  EXPECT_EQ(value, "3");
+  ASSERT_TRUE(sample_value(text, family + "_bucket{le=\"128\"}", value));
+  EXPECT_EQ(value, "4");  // + 70
+  ASSERT_TRUE(sample_value(text, family + "_bucket{le=\"+Inf\"}", value));
+  EXPECT_EQ(value, "5");
+  ASSERT_TRUE(sample_value(text, family + "_count", value));
+  EXPECT_EQ(value, "5");
+}
+
+// ------------------------------------------------------------------- lint --
+
+TEST_F(PrometheusTest, ExpositionPassesFormatLint) {
+  Counter counter("lint.ops");
+  counter.add(123);
+  Gauge gauge("lint.depth");
+  gauge.add(7);
+  Histogram counts("lint.counts", Registry::Unit::kCount);
+  for (std::uint64_t v = 1; v < 100000; v *= 3) counts.record(v);
+  Histogram spans("lint.span", Registry::Unit::kTicks);
+  spans.record(100000);
+
+  const std::string text = Registry::global().prometheus_text();
+  const std::vector<std::string> lines = lines_of(text);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.back(), "# EOF");
+
+  bool in_histogram = false;
+  std::uint64_t prev_bucket = 0;
+  std::uint64_t inf_bucket = 0;
+  bool saw_inf = false;
+  for (const std::string& line : lines) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      in_histogram = line.find(" histogram") != std::string::npos;
+      prev_bucket = 0;
+      saw_inf = false;
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    // Every sample belongs to the reasched namespace.
+    EXPECT_EQ(line.rfind("reasched_", 0), 0) << line;
+    if (!in_histogram) continue;
+    const std::size_t bucket_pos = line.find("_bucket{le=\"");
+    if (bucket_pos != std::string::npos) {
+      const std::size_t close = line.find("\"} ");
+      ASSERT_NE(close, std::string::npos) << line;
+      std::string value = line.substr(close + 3);
+      const std::size_t hash = value.find(" # ");
+      if (hash != std::string::npos) value = value.substr(0, hash);
+      const std::uint64_t count = std::stoull(value);
+      EXPECT_GE(count, prev_bucket) << "bucket counts must be monotone: " << line;
+      prev_bucket = count;
+      if (line.find("le=\"+Inf\"") != std::string::npos) {
+        inf_bucket = count;
+        saw_inf = true;
+      }
+    } else if (line.find("_count ") != std::string::npos) {
+      EXPECT_TRUE(saw_inf) << "+Inf bucket must precede _count: " << line;
+      EXPECT_EQ(std::stoull(line.substr(line.rfind(' ') + 1)), inf_bucket)
+          << "_count must equal the +Inf bucket: " << line;
+    }
+  }
+}
+
+// -------------------------------------------------------------- exemplars --
+
+TEST_F(PrometheusTest, NoExemplarsWithoutTracing) {
+  Histogram hist("noex.hist", Registry::Unit::kCount);
+  hist.record((std::uint64_t{1} << 20) + 17);
+  const Registry::Snapshot snap = Registry::global().snapshot();
+  for (const auto& h : snap.histograms) EXPECT_TRUE(h.exemplars.empty());
+  EXPECT_EQ(Registry::global().prometheus_text().find(" # {"),
+            std::string::npos);
+}
+
+// The PR 9 acceptance path: force an outlier inside a traced span with a
+// declared CSN, then resolve the Prometheus exemplar back to the exact
+// chrome-trace span id and CSN.
+TEST_F(PrometheusTest, OutlierExemplarResolvesToSpanAndCsn) {
+  Registry::set_trace_enabled(true);
+  set_current_csn(777);
+  Histogram hist("outlier.lat", Registry::Unit::kTicks);
+  {
+    Span span(hist, "outlier.op");
+    // Busy-wait until the span's duration is safely in the exemplar
+    // octaves (>= 2^19 ticks), with slack for the final ticks() read.
+    const std::uint64_t start = ticks();
+    while (ticks() - start < (std::uint64_t{1} << 19) + (std::uint64_t{1} << 15)) {
+    }
+  }
+  const Registry::Snapshot snap = Registry::global().snapshot();
+  const Registry::HistogramSnapshot* found = nullptr;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "outlier.lat") found = &h;
+  }
+  ASSERT_NE(found, nullptr);
+  ASSERT_FALSE(found->exemplars.empty());
+  const Registry::Exemplar ex = found->exemplars.back();
+  EXPECT_GT(ex.trace_id, 0u);
+  EXPECT_EQ(ex.csn, 777u);
+
+  // Exposition carries the OpenMetrics exemplar...
+  const std::string text = Registry::global().prometheus_text();
+  const std::string needle = " # {trace_id=\"" + std::to_string(ex.trace_id) +
+                             "\",csn=\"777\"} ";
+  EXPECT_NE(text.find(needle), std::string::npos) << text;
+
+  // ...and the chrome trace carries the matching span, cross-linked by id
+  // and csn, so the outlier bucket resolves to one span.
+  const std::string trace = Registry::global().trace_json();
+  EXPECT_NE(trace.find("\"trace_id\":" + std::to_string(ex.trace_id)),
+            std::string::npos)
+      << trace;
+  EXPECT_NE(trace.find("\"csn\":777"), std::string::npos) << trace;
+
+  set_current_csn(0);
+  Registry::set_trace_enabled(false);
+}
+
+}  // namespace
+}  // namespace reasched::telemetry

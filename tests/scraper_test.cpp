@@ -1,0 +1,247 @@
+// Background scraper tests (telemetry/scraper.hpp, DESIGN.md §12): delta
+// semantics against serial ground truth, the sum-of-deltas == cumulative-
+// totals invariant (including under concurrent recorders — this file runs
+// in the TSan lane), rotation of the delta JSONL file, and the loopback
+// HTTP listener. Uses the handle classes directly so both telemetry
+// flavors compile and pass.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/scraper.hpp"
+
+namespace reasched::telemetry {
+namespace {
+
+class ScraperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().reset();
+    Registry::set_metrics_enabled(true);
+  }
+  void TearDown() override {
+    Registry::set_metrics_enabled(false);
+    Registry::global().reset();
+  }
+};
+
+const DeltaSnapshot::CounterDelta* find_counter(const DeltaSnapshot& delta,
+                                                const std::string& name) {
+  for (const auto& c : delta.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const DeltaSnapshot::HistogramDelta* find_histogram(const DeltaSnapshot& delta,
+                                                    const std::string& name) {
+  for (const auto& h : delta.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Scraper::Options paused_options() {
+  Scraper::Options options;
+  options.interval_ms = 3'600'000;  // cadence never fires; scrape_now drives
+  options.start_paused = true;
+  return options;
+}
+
+// ------------------------------------------------------------ delta logic --
+
+TEST_F(ScraperTest, DeltaSemanticsAgainstSerialGroundTruth) {
+  Counter ops("scr.ops");
+  Histogram hist("scr.hist", Registry::Unit::kCount);
+  Scraper scraper(paused_options());
+
+  ops.add(5);
+  hist.record(10);
+  hist.record(3000);
+  scraper.scrape_now();
+  DeltaSnapshot d1 = scraper.last_delta();
+  const auto* c1 = find_counter(d1, "scr.ops");
+  ASSERT_NE(c1, nullptr);
+  EXPECT_EQ(c1->total, 5u);
+  EXPECT_EQ(c1->delta, 5u);  // first scrape: delta == total
+  const auto* h1 = find_histogram(d1, "scr.hist");
+  ASSERT_NE(h1, nullptr);
+  EXPECT_EQ(h1->total_count, 2u);
+  EXPECT_EQ(h1->interval.total(), 2u);
+
+  ops.add(2);
+  hist.record(10);
+  scraper.scrape_now();
+  DeltaSnapshot d2 = scraper.last_delta();
+  EXPECT_EQ(d2.sequence, d1.sequence + 1);
+  const auto* c2 = find_counter(d2, "scr.ops");
+  ASSERT_NE(c2, nullptr);
+  EXPECT_EQ(c2->total, 7u);
+  EXPECT_EQ(c2->delta, 2u);  // only the new increments
+  const auto* h2 = find_histogram(d2, "scr.hist");
+  ASSERT_NE(h2, nullptr);
+  EXPECT_EQ(h2->total_count, 3u);
+  EXPECT_EQ(h2->interval.total(), 1u);
+  // Unit::kCount interval buckets are exact: the one new sample sits in
+  // value 10's bucket.
+  EXPECT_EQ(h2->interval.buckets()[LatencyHistogram::bucket_of(10)], 1u);
+  EXPECT_EQ(h2->interval.percentile(0.5), 10u);
+
+  // A scrape with nothing recorded is all-zero deltas.
+  scraper.scrape_now();
+  DeltaSnapshot d3 = scraper.last_delta();
+  EXPECT_EQ(find_counter(d3, "scr.ops")->delta, 0u);
+  EXPECT_EQ(find_histogram(d3, "scr.hist")->interval.total(), 0u);
+  scraper.stop();
+}
+
+TEST_F(ScraperTest, RatesFollowFromDeltaAndInterval) {
+  Counter ops("rate.ops");
+  Scraper scraper(paused_options());
+  scraper.scrape_now();  // arm the previous snapshot
+  ops.add(1000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  scraper.scrape_now();
+  const DeltaSnapshot delta = scraper.last_delta();
+  const auto* c = find_counter(delta, "rate.ops");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->delta, 1000u);
+  ASSERT_GT(delta.interval_s, 0.0);
+  EXPECT_NEAR(c->per_s, 1000.0 / delta.interval_s, 1e-6);
+  scraper.stop();
+}
+
+// Sum of every emitted delta equals the cumulative totals — stop() takes
+// the final scrape that closes the books. Concurrent recorders exercise
+// the shard-merge race surface (the TSan lane's target).
+TEST_F(ScraperTest, SumOfDeltasEqualsTotalsUnderConcurrentRecorders) {
+  Counter ops("conc.ops");
+  Histogram hist("conc.hist", Registry::Unit::kCount);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20'000;
+
+  std::uint64_t counter_sum = 0;
+  std::uint64_t hist_sum = 0;
+  Scraper::Options options;
+  options.interval_ms = 1;  // scrape as fast as the cadence allows
+  options.on_scrape = [&](const DeltaSnapshot& delta) {
+    if (const auto* c = find_counter(delta, "conc.ops")) counter_sum += c->delta;
+    if (const auto* h = find_histogram(delta, "conc.hist")) {
+      hist_sum += h->interval.total();
+    }
+  };
+  Scraper scraper(std::move(options));
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ops.add(1);
+        hist.record((t + 1) * 64 + (i & 31));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  scraper.stop();  // final scrape: books must balance exactly
+
+  EXPECT_GE(scraper.scrapes(), 1u);
+  EXPECT_EQ(counter_sum, kThreads * kPerThread);
+  EXPECT_EQ(hist_sum, kThreads * kPerThread);
+}
+
+// --------------------------------------------------------------- rotation --
+
+TEST_F(ScraperTest, RotationShiftsAndBoundsTheDeltaFiles) {
+  Counter ops("rot.ops");
+  const std::string out =
+      ::testing::TempDir() + "scraper_rotation_test.jsonl";
+  for (const std::string& stale :
+       {out, out + ".1", out + ".2", out + ".3"}) {
+    std::remove(stale.c_str());
+  }
+  Scraper::Options options = paused_options();
+  options.out_path = out;
+  options.rotate_bytes = 1;  // every scrape overflows: one line per file
+  options.keep_files = 2;
+  Scraper scraper(std::move(options));
+  for (int i = 0; i < 5; ++i) {
+    ops.add(1);
+    scraper.scrape_now();
+  }
+  scraper.stop();  // 6th scrape
+
+  EXPECT_TRUE(std::ifstream(out).good());
+  EXPECT_TRUE(std::ifstream(out + ".1").good());
+  EXPECT_TRUE(std::ifstream(out + ".2").good());
+  EXPECT_FALSE(std::ifstream(out + ".3").good()) << "keep_files must bound";
+
+  // The active file holds the latest (final) scrape.
+  std::ifstream in(out);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"seq\":6"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"rot.ops\""), std::string::npos) << line;
+}
+
+// --------------------------------------------------------------- listener --
+
+TEST_F(ScraperTest, LoopbackListenerServesLatestExposition) {
+  Counter ops("http.ops");
+  ops.add(9);
+  Scraper::Options options = paused_options();
+  options.port = 0;  // ephemeral
+  Scraper scraper(std::move(options));
+  ASSERT_GT(scraper.port(), 0);
+  scraper.scrape_now();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(scraper.port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  scraper.stop();
+
+  EXPECT_NE(reply.find("200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("reasched_http_ops_total 9"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("# EOF"), std::string::npos);
+}
+
+TEST_F(ScraperTest, CadenceFiresAndStopIsIdempotent) {
+  Scraper::Options options;
+  options.interval_ms = 5;
+  Scraper scraper(std::move(options));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  scraper.stop();
+  const std::uint64_t after_stop = scraper.scrapes();
+  EXPECT_GE(after_stop, 2u);
+  scraper.stop();  // idempotent: no second final scrape
+  EXPECT_EQ(scraper.scrapes(), after_stop);
+}
+
+}  // namespace
+}  // namespace reasched::telemetry

@@ -1,23 +1,49 @@
 #!/usr/bin/env python3
-"""Summarize a chrome://tracing JSON file produced by the telemetry tier
-(`--trace-out`, telemetry::Registry::write_trace_json).
+"""Summarize telemetry artifacts: chrome://tracing files, Prometheus
+snapshot pairs, and exposition exemplars (DESIGN.md §12).
 
 Usage:
     tools/trace_summarize.py trace.json [--top N]
+    tools/trace_summarize.py --delta before.prom after.prom
+    tools/trace_summarize.py --exemplars metrics.prom [--trace trace.json]
 
-Prints one row per span name: event count, total/mean/max duration, and
-the share of the summed span time — a quick "where did the time go"
-breakdown without loading the file into chrome://tracing. Instant events
-('i' phase — generation flips, migration begins) are listed separately
-with counts and the time range they cover.
+Default mode prints one row per span name from a chrome://tracing JSON
+file (--trace-out, telemetry::Registry::write_trace_json): event count,
+total/mean/max duration, and the share of the summed span time — a quick
+"where did the time go" breakdown without loading the file into
+chrome://tracing. Instant events ('i' phase — generation flips, migration
+begins) are listed separately with counts and the time range they cover.
 
-Exit status: 0 on success, 1 on a malformed file (so CI can smoke the
-trace surface: a run's --trace-out must parse and contain spans).
+--delta takes two Prometheus text snapshots of the same process (curl'd
+from --metrics-port, or --prom-out files) and prints per-counter deltas
+and rates. The interval comes from each snapshot's own
+reasched_exposition_time_seconds stamp, so the rates are exact regardless
+of when the snapshots were taken. Histograms report the _count delta.
+
+--exemplars lists every OpenMetrics exemplar (`# {trace_id=...,csn=...}`)
+in a snapshot — the traced spans that landed in the high latency octaves.
+With --trace, each exemplar's trace_id is resolved against the
+chrome-trace spans (their args carry the same trace_id), printing the
+span name, timestamp, duration, and WAL CSN: a p99.9 bucket resolves to
+the exact operation that produced it.
+
+Exit status: 0 on success, 1 on a malformed file or (for --exemplars
+--trace) an exemplar whose trace_id has no matching span — so CI can
+smoke the whole resolution path.
 """
 
 import argparse
 import json
+import re
 import sys
+
+EXEMPLAR_RE = re.compile(
+    r'^(?P<family>reasched_\w+)_bucket\{le="(?P<le>[^"]+)"\}\s+\d+'
+    r'\s+#\s+\{trace_id="(?P<trace_id>\d+)",csn="(?P<csn>\d+)"\}'
+    r'\s+(?P<value>\d+)\s*$')
+SAMPLE_RE = re.compile(r'^(?P<name>reasched_\w+?)(?P<labels>\{[^}]*\})?'
+                       r'\s+(?P<value>-?[0-9.eE+]+)')
+STAMP = "reasched_exposition_time_seconds"
 
 
 def fmt_us(us: float) -> str:
@@ -28,19 +54,20 @@ def fmt_us(us: float) -> str:
     return f"{us:.1f} us"
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("trace", help="chrome://tracing JSON file (--trace-out)")
-    parser.add_argument("--top", type=int, default=0,
-                        help="show only the N span names with the most total time")
-    args = parser.parse_args()
-
+def load_trace(path: str):
+    """Return the traceEvents list, or None after printing an error."""
     try:
-        with open(args.trace, "r", encoding="utf-8") as fh:
+        with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
-        events = doc["traceEvents"]
+        return doc["traceEvents"]
     except (OSError, json.JSONDecodeError, KeyError) as error:
-        print(f"unusable trace file {args.trace}: {error}", file=sys.stderr)
+        print(f"unusable trace file {path}: {error}", file=sys.stderr)
+        return None
+
+
+def summarize_trace(path: str, top: int) -> int:
+    events = load_trace(path)
+    if events is None:
         return 1
 
     spans = {}     # name -> [count, total_us, max_us]
@@ -64,15 +91,15 @@ def main() -> int:
             entry[2] = max(entry[2], ts)
 
     if not spans and not instants:
-        print(f"{args.trace}: no trace events (was --trace on?)", file=sys.stderr)
+        print(f"{path}: no trace events (was --trace on?)", file=sys.stderr)
         return 1
 
     grand_total = sum(entry[1] for entry in spans.values()) or 1.0
     rows = sorted(spans.items(), key=lambda item: -item[1][1])
-    if args.top > 0:
-        rows = rows[: args.top]
+    if top > 0:
+        rows = rows[:top]
 
-    print(f"{args.trace}: {len(events)} events across {len(tids)} threads\n")
+    print(f"{path}: {len(events)} events across {len(tids)} threads\n")
     if rows:
         print(f"{'span':<24} {'count':>8} {'total':>12} {'mean':>12} "
               f"{'max':>12} {'share':>7}")
@@ -85,6 +112,145 @@ def main() -> int:
         for name, (count, first, last) in sorted(instants.items()):
             print(f"{name:<24} {count:>8} {fmt_us(first):>14} {fmt_us(last):>14}")
     return 0
+
+
+def parse_prometheus(path: str):
+    """Return ({series name+labels: value}, stamp_seconds) or (None, 0)."""
+    series = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                match = SAMPLE_RE.match(line)
+                if match is None:
+                    continue
+                key = match.group("name") + (match.group("labels") or "")
+                series[key] = float(match.group("value"))
+    except OSError as error:
+        print(f"unusable snapshot {path}: {error}", file=sys.stderr)
+        return None, 0.0
+    if STAMP not in series:
+        print(f"{path}: missing {STAMP} (not a reasched exposition?)",
+              file=sys.stderr)
+        return None, 0.0
+    return series, series[STAMP]
+
+
+def delta_mode(before_path: str, after_path: str) -> int:
+    before, t0 = parse_prometheus(before_path)
+    after, t1 = parse_prometheus(after_path)
+    if before is None or after is None:
+        return 1
+    interval = t1 - t0
+    if interval <= 0.0:
+        print(f"snapshots are not ordered: {after_path} is "
+              f"{-interval:.3f}s before {before_path}", file=sys.stderr)
+        return 1
+
+    print(f"{before_path} -> {after_path}: {interval:.3f} s\n")
+    print(f"{'counter':<44} {'before':>12} {'after':>12} "
+          f"{'delta':>10} {'per_s':>12}")
+    for key in sorted(after):
+        if not key.endswith("_total") or "{" in key:
+            continue
+        was = before.get(key, 0.0)
+        now = after[key]
+        delta = now - was
+        print(f"{key:<44} {was:>12.0f} {now:>12.0f} {delta:>10.0f} "
+              f"{delta / interval:>12.1f}")
+
+    hist_rows = [key for key in sorted(after)
+                 if key.endswith("_count") and "{" not in key]
+    if hist_rows:
+        print(f"\n{'histogram':<44} {'count_before':>12} {'count_after':>12} "
+              f"{'delta':>10} {'per_s':>12}")
+        for key in hist_rows:
+            was = before.get(key, 0.0)
+            now = after[key]
+            delta = now - was
+            print(f"{key:<44} {was:>12.0f} {now:>12.0f} {delta:>10.0f} "
+                  f"{delta / interval:>12.1f}")
+    return 0
+
+
+def exemplar_mode(prom_path: str, trace_path) -> int:
+    try:
+        with open(prom_path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as error:
+        print(f"unusable snapshot {prom_path}: {error}", file=sys.stderr)
+        return 1
+
+    exemplars = []
+    for line in text.splitlines():
+        match = EXEMPLAR_RE.match(line.strip())
+        if match is not None:
+            exemplars.append(match.groupdict())
+    if not exemplars:
+        print(f"{prom_path}: no exemplars (tracing off, or no samples in "
+              f"the exemplar octaves)", file=sys.stderr)
+        return 0
+
+    by_trace_id = {}
+    if trace_path is not None:
+        events = load_trace(trace_path)
+        if events is None:
+            return 1
+        for event in events:
+            trace_id = event.get("args", {}).get("trace_id")
+            if trace_id is not None:
+                by_trace_id[str(trace_id)] = event
+
+    print(f"{prom_path}: {len(exemplars)} exemplar(s)\n")
+    unresolved = 0
+    for ex in exemplars:
+        print(f"{ex['family']} le={ex['le']}: value={ex['value']} "
+              f"trace_id={ex['trace_id']} csn={ex['csn']}")
+        if trace_path is None:
+            continue
+        span = by_trace_id.get(ex["trace_id"])
+        if span is None:
+            print("    -> NOT FOUND in trace (ring overwrote it, or wrong file)")
+            unresolved += 1
+            continue
+        print(f"    -> span '{span.get('name')}' tid={span.get('tid')} "
+              f"ts={fmt_us(float(span.get('ts', 0)))} "
+              f"dur={fmt_us(float(span.get('dur', 0)))} "
+              f"csn={span.get('args', {}).get('csn')}")
+    return 1 if unresolved else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="*",
+                        help="trace.json, or two .prom files with --delta, "
+                             "or one .prom file with --exemplars")
+    parser.add_argument("--top", type=int, default=0,
+                        help="show only the N span names with the most total time")
+    parser.add_argument("--delta", action="store_true",
+                        help="diff two Prometheus snapshots (before after)")
+    parser.add_argument("--exemplars", action="store_true",
+                        help="list exemplars in a Prometheus snapshot")
+    parser.add_argument("--trace", default=None,
+                        help="with --exemplars: resolve trace_ids against "
+                             "this chrome-trace file")
+    args = parser.parse_args()
+
+    if args.delta:
+        if len(args.files) != 2:
+            parser.error("--delta needs exactly two snapshot files")
+        return delta_mode(args.files[0], args.files[1])
+    if args.exemplars:
+        if len(args.files) != 1:
+            parser.error("--exemplars needs exactly one snapshot file")
+        return exemplar_mode(args.files[0], args.trace)
+    if len(args.files) != 1:
+        parser.error("expected one trace file (or --delta / --exemplars)")
+    return summarize_trace(args.files[0], args.top)
 
 
 if __name__ == "__main__":
