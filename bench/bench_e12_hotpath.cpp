@@ -52,10 +52,12 @@ struct ModeResult {
 };
 
 ModeResult run_mode(const std::vector<Request>& trace, std::size_t warmup,
-                    std::size_t churn, std::size_t audit_churn, bool legacy) {
+                    std::size_t churn, std::size_t audit_churn, bool legacy,
+                    bool legacy_rehash = false) {
   SchedulerOptions options;
   options.overflow = OverflowPolicy::kBestEffort;
   options.legacy_fulfillment = legacy;
+  options.legacy_rehash = legacy_rehash;
   ReservationScheduler scheduler(options);
 
   std::size_t i = 0;
@@ -112,9 +114,18 @@ int run(int argc, char** argv) {
                     "speedup"});
   JsonRows json("e12_hotpath");
 
+  // vs_legacy_rehash is the E12 mean-throughput gate's metric (ROADMAP
+  // item 2): optimized ops/sec over the SAME binary's
+  // optimized+legacy_rehash posture — i.e. incremental two-table rehash
+  // plus group probing versus the pre-PR-5 stop-the-world layout with the
+  // same fulfillment path. >= 1.0 means the group-probe work has paid back
+  // the two-table machinery's steady-state cost. In-binary and
+  // machine-speed-independent, so bench_compare gates it absolutely.
+  // Emitted on audit-off optimized rows only (the audited segments are too
+  // short for the ratio to be stable). 0 = not applicable.
   const auto emit_row = [&](std::size_t n, const char* placement, bool audit,
                             const char* mode, const SegmentResult& segment,
-                            double speedup) {
+                            double speedup, double vs_legacy_rehash = 0) {
     char seconds[32];
     char ops[32];
     char speedup_str[32];
@@ -134,6 +145,7 @@ int run(int argc, char** argv) {
                     .field("reallocations", segment.reallocations)
                     .field("degraded", segment.degraded)
                     .field("speedup_vs_legacy", speedup);
+    if (vs_legacy_rehash > 0) row.field("vs_legacy_rehash", vs_legacy_rehash);
     latency_fields(row, segment.latency);
   };
 
@@ -149,12 +161,19 @@ int run(int argc, char** argv) {
       const auto trace = trace_for(n, placement, churn, audit_churn);
       const ModeResult optimized = run_mode(trace, n, churn, audit_churn, false);
       const ModeResult legacy = run_mode(trace, n, churn, audit_churn, true);
+      // Third posture: optimized fulfillment on the pre-PR-5 stop-the-world
+      // rehash layout — the denominator of the gated vs_legacy_rehash ratio.
+      const ModeResult legacy_rehash =
+          run_mode(trace, n, churn, audit_churn, false, /*legacy_rehash=*/true);
       const auto ratio = [](const SegmentResult& a, const SegmentResult& b) {
         return b.ops_per_sec > 0 ? a.ops_per_sec / b.ops_per_sec : 0;
       };
       emit_row(n, label, false, "optimized", optimized.churn,
-               ratio(optimized.churn, legacy.churn));
+               ratio(optimized.churn, legacy.churn),
+               ratio(optimized.churn, legacy_rehash.churn));
       emit_row(n, label, false, "legacy", legacy.churn, 1.0);
+      emit_row(n, label, false, "legacy-rehash", legacy_rehash.churn,
+               ratio(legacy_rehash.churn, legacy.churn));
       emit_row(n, label, true, "optimized", optimized.audited,
                ratio(optimized.audited, legacy.audited));
       emit_row(n, label, true, "legacy", legacy.audited, 1.0);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "reasched/reasched.hpp"
+#include "util/probe_group.hpp"
 
 namespace reasched::bench {
 
@@ -44,12 +45,19 @@ inline Args parse_args(int argc, char** argv) {
 }
 
 /// Flat row-oriented JSON document builder:
-///   {"bench": "...", "rows": [{...}, {...}]}
+///   {"bench": "...", "meta": {...}, "rows": [{...}, {...}]}
 /// Covers exactly what the BENCH_*.json baselines need — no dependency, no
-/// nesting, insertion order preserved.
+/// nesting, insertion order preserved. The meta object records the build
+/// flavor the numbers were produced under (probe dispatch arm, telemetry
+/// compile gate) so a bench-gate failure names the baseline's provenance;
+/// tools/bench_compare.py prints it and tolerates baselines that predate
+/// it.
 class JsonRows {
  public:
-  explicit JsonRows(std::string bench_name) : bench_(std::move(bench_name)) {}
+  explicit JsonRows(std::string bench_name) : bench_(std::move(bench_name)) {
+    meta_.emplace_back("probe_backend", quote(probe::kBackendName));
+    meta_.emplace_back("telemetry", quote(RS_TELEM_COMPILED ? "on" : "off"));
+  }
 
   JsonRows& row() {
     rows_.emplace_back();
@@ -80,7 +88,12 @@ class JsonRows {
   }
 
   void write(std::ostream& os) const {
-    os << "{\n  \"bench\": " << quote(bench_) << ",\n  \"rows\": [\n";
+    os << "{\n  \"bench\": " << quote(bench_) << ",\n  \"meta\": {";
+    for (std::size_t f = 0; f < meta_.size(); ++f) {
+      if (f > 0) os << ", ";
+      os << quote(meta_[f].first) << ": " << meta_[f].second;
+    }
+    os << "},\n  \"rows\": [\n";
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       os << "    {";
       for (std::size_t f = 0; f < rows_[r].size(); ++f) {
@@ -114,6 +127,7 @@ class JsonRows {
   }
 
   std::string bench_;
+  std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };
 

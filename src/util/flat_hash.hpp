@@ -5,7 +5,12 @@
 // ledgers, occupancy) are dominated by exactly those lookups. FlatHashMap /
 // FlatHashSet store slots contiguously (linear probing, power-of-two
 // capacity, tombstone deletion) so a lookup is one hash, one masked index
-// and a short linear scan over adjacent memory.
+// and a short linear scan over adjacent memory. The scan is *vectorized*
+// (DESIGN.md §13): probe loops examine the ctrl-byte array 16 bytes at a
+// time through util/probe_group.hpp (SSE2 / NEON / portable-SWAR behind
+// one compile-time seam), which changes probe cost but never probe
+// results — placements, and therefore schedules, stay byte-identical
+// across SIMD, scalar and legacy-rehash arms.
 //
 // Growth is *incremental* by default (DESIGN.md §8). A stop-the-world
 // rehash of a large table is a latency cliff of exactly the shape the
@@ -63,6 +68,7 @@
 
 #include "telemetry/registry.hpp"
 #include "util/assert.hpp"
+#include "util/probe_group.hpp"
 
 namespace reasched {
 
@@ -177,9 +183,14 @@ class FlatHashMap {
   /// Old buckets examined per mutating call while a migration is in
   /// flight. The doubling invariant needs only 2 (old live <= 3/4·C drains
   /// in C/B mutations, while the 2C table absorbs up to 3/4·C net inserts
-  /// before its own threshold); 8 keeps migrations an order of magnitude
-  /// ahead of the growth schedule at a few nanoseconds per call.
-  static constexpr std::size_t kMigrateBatch = 8;
+  /// before its own threshold). Total relocation work is fixed, so B only
+  /// sets the *window length* during which every op pays the two-table
+  /// probe: 32 keeps windows short enough that the steady-state mean
+  /// reaches parity with the stop-the-world layout (E12 vs_legacy_rehash
+  /// gate), while a
+  /// 32-slot ctrl scan per mutating call stays a fraction of the 1 ms
+  /// growth-cliff ceiling (E16: measured max stays in the tens of µs).
+  static constexpr std::size_t kMigrateBatch = 32;
   /// Tables smaller than this rehash in place even in incremental mode:
   /// copying a few hundred contiguous slots costs microseconds (no cliff),
   /// and the scheduler's many small per-window sets keep their
@@ -215,6 +226,7 @@ class FlatHashMap {
     std::swap(size_, other.size_);
     std::swap(used_, other.used_);
     std::swap(incremental_, other.incremental_);
+    std::swap(migrating_, other.migrating_);
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
@@ -271,13 +283,20 @@ class FlatHashMap {
   }
 
   [[nodiscard]] V* find(const K& key) noexcept {
-    const std::size_t idx = find_index(key);
-    if (idx != kNpos) return &slots_[idx].value;
-    if (migrating()) {
-      const std::size_t old_idx = find_index_old(key);
-      if (old_idx != kNpos) return &old_slots_[old_idx].value;
+    if (ctrl_.empty()) return nullptr;
+    const std::size_t hash = Hash{}(key);
+    if (migrating_) [[unlikely]] {
+      // Pull the retiring table's ctrl group in while the active table is
+      // probed: on an active-table miss the fallback probe finds its line
+      // already (or nearly) resident instead of paying a demand miss.
+      prefetch_old(hash);
+      const std::size_t idx = group_find(ctrl_, slots_, hash, key);
+      if (idx != kNpos) return &slots_[idx].value;
+      const std::size_t old_idx = group_find(old_ctrl_, old_slots_, hash, key);
+      return old_idx != kNpos ? &old_slots_[old_idx].value : nullptr;
     }
-    return nullptr;
+    const std::size_t idx = group_find(ctrl_, slots_, hash, key);
+    return idx != kNpos ? &slots_[idx].value : nullptr;
   }
   [[nodiscard]] const V* find(const K& key) const noexcept {
     return const_cast<FlatHashMap*>(this)->find(key);
@@ -306,23 +325,14 @@ class FlatHashMap {
   /// retiring table is moved to the active table before its (fresh,
   /// stable) address is returned.
   std::pair<V*, bool> try_emplace(const K& key) {
+    const std::size_t hash = Hash{}(key);
+    if (migrating_) [[unlikely]] return try_emplace_migrating(hash, key);
     if (!ctrl_.empty()) {
-      const std::size_t existing = find_index(key);
+      const std::size_t existing = group_find(ctrl_, slots_, hash, key);
       if (existing != kNpos) return {&slots_[existing].value, false};
     }
-    if (migrating()) {
-      const std::size_t old_idx = find_index_old(key);
-      if (old_idx != kNpos) return {relocate_from_old(old_idx), false};
-      migrate_step(kMigrateBatch);
-    }
-    grow_if_needed();
-    const std::size_t idx = probe_for_insert(key);
-    const bool was_tombstone = ctrl_[idx] == kTombstone;
-    construct_slot(slots_, idx, key);
-    ctrl_[idx] = kFull;
-    ++size_;
-    if (!was_tombstone) ++used_;
-    return {&slots_[idx].value, true};
+    grow_if_needed();  // may itself retire the table and start a migration
+    return insert_absent(hash, key);
   }
 
   V& operator[](const K& key) { return *try_emplace(key).first; }
@@ -336,50 +346,165 @@ class FlatHashMap {
   /// erase(), but moves the value out first (one probe where a caller's
   /// find-then-erase would pay two). Returns 1 iff the key was present.
   std::size_t take(const K& key, V& out) {
-    const std::size_t idx = find_index(key);
-    if (idx != kNpos) {
-      out = std::move(slots_[idx].value);
-      return erase_active(idx);
-    }
-    if (migrating()) {
-      const std::size_t old_idx = find_index_old(key);
-      if (old_idx != kNpos) out = std::move(old_slots_[old_idx].value);
-      return erase_old(old_idx);
-    }
-    return 0;
-  }
-
-  std::size_t erase(const K& key) {
-    const std::size_t idx = find_index(key);
-    if (idx != kNpos) return erase_active(idx);
-    if (migrating()) return erase_old(find_index_old(key));
-    return 0;
-  }
-
- private:
-  std::size_t erase_active(std::size_t idx) {
-    destroy_slot(slots_, idx);  // release owned resources immediately
-    ctrl_[idx] = kTombstone;
-    --size_;
-    if (migrating()) migrate_step(kMigrateBatch);
+    if (ctrl_.empty()) return 0;
+    const std::size_t hash = Hash{}(key);
+    if (migrating_) [[unlikely]] return take_migrating(hash, key, out);
+    const std::size_t idx = group_find(ctrl_, slots_, hash, key);
+    if (idx == kNpos) return 0;
+    out = std::move(slots_[idx].value);
+    tombstone_active(idx);
     return 1;
   }
 
-  /// Erase of a retiring-table slot (`old_idx` may be kNpos = key absent;
-  /// the mutation still advances the migration, like any other erase).
-  /// Tombstone, never empty: the retiring table's probe chains must
-  /// survive until every live entry behind them has migrated.
-  std::size_t erase_old(std::size_t old_idx) {
+  /// take(key, out) fused with the follow-up `at(reindex_key) = <taken
+  /// value>` that DenseHashSet's swap-with-last erase needs: one call
+  /// shares the hash/migration bookkeeping and a single drain step where
+  /// the unfused pair paid two public entries. The reindex is skipped when
+  /// reindex_key == key (erasing the last dense element); otherwise
+  /// reindex_key must be present whenever the take succeeds. Requires V
+  /// copy-assignable.
+  std::size_t take_reindex(const K& key, V& out, const K& reindex_key) {
+    if (ctrl_.empty()) return 0;
+    const std::size_t hash = Hash{}(key);
+    if (migrating_) [[unlikely]] {
+      prefetch_old(hash);
+      std::size_t taken = 0;
+      const std::size_t idx = group_find(ctrl_, slots_, hash, key);
+      if (idx != kNpos) {
+        out = std::move(slots_[idx].value);
+        tombstone_active(idx);
+        taken = 1;
+      } else {
+        const std::size_t old_idx = group_find(old_ctrl_, old_slots_, hash, key);
+        if (old_idx != kNpos) {
+          out = std::move(old_slots_[old_idx].value);
+          tombstone_old(old_idx);
+          taken = 1;
+        }
+      }
+      if (taken != 0 && !(reindex_key == key)) reindex_value(reindex_key, out);
+      // One drain step for the whole fused operation — an erase advances
+      // the migration whether or not the key was present, exactly like
+      // erase()/take().
+      migrate_step(kMigrateBatch);
+      return taken;
+    }
+    const std::size_t idx = group_find(ctrl_, slots_, hash, key);
+    if (idx == kNpos) return 0;
+    out = std::move(slots_[idx].value);
+    tombstone_active(idx);
+    if (!(reindex_key == key)) reindex_value(reindex_key, out);
+    return 1;
+  }
+
+  std::size_t erase(const K& key) {
+    if (ctrl_.empty()) return 0;
+    const std::size_t hash = Hash{}(key);
+    if (migrating_) [[unlikely]] return erase_migrating(hash, key);
+    const std::size_t idx = group_find(ctrl_, slots_, hash, key);
+    if (idx == kNpos) return 0;
+    tombstone_active(idx);
+    return 1;
+  }
+
+ private:
+  // ---- migration-in-flight slow paths. Split out so the common
+  // no-migration case is a straight-line probe behind one predicted branch
+  // on the cached migrating_ flag: no retired-table emptiness check, no
+  // drain-step call, no second-table probe code on the fast path. Each
+  // slow path starts by prefetching the retiring table's ctrl group for
+  // this hash (see find()).
+
+  std::pair<V*, bool> try_emplace_migrating(std::size_t hash, const K& key) {
+    prefetch_old(hash);
+    const std::size_t existing = group_find(ctrl_, slots_, hash, key);
+    if (existing != kNpos) return {&slots_[existing].value, false};
+    const std::size_t old_idx = group_find(old_ctrl_, old_slots_, hash, key);
+    if (old_idx != kNpos) return {relocate_from_old(old_idx, hash), false};
+    migrate_step(kMigrateBatch);
+    grow_if_needed();  // deferred while migrating; may fire if that drained it
+    return insert_absent(hash, key);
+  }
+
+  std::size_t take_migrating(std::size_t hash, const K& key, V& out) {
+    prefetch_old(hash);
+    const std::size_t idx = group_find(ctrl_, slots_, hash, key);
+    if (idx != kNpos) {
+      out = std::move(slots_[idx].value);
+      tombstone_active(idx);
+      migrate_step(kMigrateBatch);
+      return 1;
+    }
+    const std::size_t old_idx = group_find(old_ctrl_, old_slots_, hash, key);
     std::size_t erased = 0;
     if (old_idx != kNpos) {
-      destroy_slot(old_slots_, old_idx);
-      old_ctrl_[old_idx] = kTombstone;
-      --old_live_;
-      --size_;
+      out = std::move(old_slots_[old_idx].value);
+      tombstone_old(old_idx);
       erased = 1;
+    }
+    // A miss still advances the migration, like any other mutating call.
+    migrate_step(kMigrateBatch);
+    return erased;
+  }
+
+  std::size_t erase_migrating(std::size_t hash, const K& key) {
+    prefetch_old(hash);
+    const std::size_t idx = group_find(ctrl_, slots_, hash, key);
+    std::size_t erased = 0;
+    if (idx != kNpos) {
+      tombstone_active(idx);
+      erased = 1;
+    } else {
+      const std::size_t old_idx = group_find(old_ctrl_, old_slots_, hash, key);
+      if (old_idx != kNpos) {
+        tombstone_old(old_idx);
+        erased = 1;
+      }
     }
     migrate_step(kMigrateBatch);
     return erased;
+  }
+
+  /// Destroys the live active-table slot at `idx` and tombstones it.
+  void tombstone_active(std::size_t idx) {
+    destroy_slot(slots_, idx);  // release owned resources immediately
+    ctrl_[idx] = kTombstone;
+    --size_;
+  }
+
+  /// Same for a retiring-table slot. Tombstone, never empty: the retiring
+  /// table's probe chains must survive until every live entry behind them
+  /// has migrated.
+  void tombstone_old(std::size_t old_idx) {
+    destroy_slot(old_slots_, old_idx);
+    old_ctrl_[old_idx] = kTombstone;
+    --old_live_;
+    --size_;
+  }
+
+  /// Inserts `key`, known absent from both tables, into the active table.
+  std::pair<V*, bool> insert_absent(std::size_t hash, const K& key) {
+    const std::size_t idx = group_probe_insert(ctrl_, slots_, hash, key);
+    const bool was_tombstone = ctrl_[idx] == kTombstone;
+    construct_slot(slots_, idx, key);
+    ctrl_[idx] = kFull;
+    ++size_;
+    if (!was_tombstone) ++used_;
+    return {&slots_[idx].value, true};
+  }
+
+  /// The `at(reindex_key) = value` half of take_reindex (key known present).
+  void reindex_value(const K& reindex_key, const V& value) {
+    const std::size_t hash = Hash{}(reindex_key);
+    std::size_t idx = group_find(ctrl_, slots_, hash, reindex_key);
+    if (idx != kNpos) {
+      slots_[idx].value = value;
+      return;
+    }
+    RS_ASSERT(migrating_, "FlatHashMap::take_reindex: reindex key not found");
+    idx = group_find(old_ctrl_, old_slots_, hash, reindex_key);
+    RS_CHECK(idx != kNpos, "FlatHashMap::take_reindex: reindex key not found");
+    old_slots_[idx].value = value;
   }
 
  public:
@@ -457,6 +582,7 @@ class FlatHashMap {
     fresh.size_ += fresh.old_live_;
     fresh.migrate_pos_ = static_cast<std::size_t>(source.u64());
     fresh.incremental_ = source.u64() != 0;
+    fresh.migrating_ = !fresh.old_ctrl_.empty();
     *this = std::move(fresh);
   }
 
@@ -499,62 +625,161 @@ class FlatHashMap {
 
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
-  [[nodiscard]] bool migrating() const noexcept { return !old_ctrl_.empty(); }
+  [[nodiscard]] bool migrating() const noexcept { return migrating_; }
 
-  [[nodiscard]] std::size_t find_index(const K& key) const noexcept {
-    if (ctrl_.empty()) return kNpos;
-    const std::size_t mask = ctrl_.size() - 1;
-    std::size_t idx = Hash{}(key) & mask;
-    while (ctrl_[idx] != kEmpty) {
-      if (ctrl_[idx] == kFull && slots_[idx].key == key) return idx;
-      idx = (idx + 1) & mask;
-    }
-    return kNpos;
-  }
+  // ---- group probe kernels (DESIGN.md §13) --------------------------------
+  //
+  // All three kernels walk the ctrl array in 16-byte groups *aligned to the
+  // group width*: the start group is `(hash & mask) & ~15`, with the bytes
+  // before the probe start masked off, and subsequent groups advance by 16
+  // modulo the (power-of-two, group-multiple) capacity — so no load ever
+  // straddles the table end, and the visit order of candidate slots is
+  // exactly the sequential scan's order. On wraparound in a minimum-size
+  // table the first (partial) group's bytes are re-examined as part of the
+  // final full group; that re-examination is benign — any hit or
+  // terminating empty among them would have ended the scan a lap earlier.
+  // Tables smaller than one group (possible only through deserialization;
+  // every grow path starts at 16 slots) take the byte-by-byte path.
 
-  [[nodiscard]] std::size_t find_index_old(const K& key) const noexcept {
-    const std::size_t mask = old_ctrl_.size() - 1;
-    std::size_t idx = Hash{}(key) & mask;
-    while (old_ctrl_[idx] != kEmpty) {
-      if (old_ctrl_[idx] == kFull && old_slots_[idx].key == key) return idx;
-      idx = (idx + 1) & mask;
+  [[nodiscard]] static std::size_t group_find(const std::vector<std::uint8_t>& ctrl,
+                                              const SlotArray& slots,
+                                              std::size_t hash,
+                                              const K& key) noexcept {
+    const std::size_t cap = ctrl.size();
+    const std::size_t mask = cap - 1;
+    if (cap < probe::kGroupWidth) [[unlikely]] {
+      if (cap == 0) return kNpos;
+      std::size_t idx = hash & mask;
+      while (ctrl[idx] != kEmpty) {
+        if (ctrl[idx] == kFull && slots[idx].key == key) return idx;
+        idx = (idx + 1) & mask;
+      }
+      return kNpos;
     }
-    return kNpos;
+    const std::size_t start = hash & mask;
+    std::size_t group = start & ~(probe::kGroupWidth - 1);
+    probe::mask_t valid =
+        (probe::kAllBytes << (start - group)) & probe::kAllBytes;
+    for (std::size_t scanned = 0; scanned <= cap;
+         scanned += probe::kGroupWidth) {
+      const probe::Group g(ctrl.data() + group);
+      const probe::mask_t empty = g.match(kEmpty) & valid;
+      probe::mask_t candidates =
+          g.match(kFull) & valid & probe::below_first(empty);
+      while (candidates != 0) {
+        const std::size_t idx = group + probe::lowest_bit(candidates);
+        if (slots[idx].key == key) return idx;
+        candidates = probe::clear_lowest(candidates);
+      }
+      if (empty != 0) return kNpos;
+      group = (group + probe::kGroupWidth) & mask;
+      valid = probe::kAllBytes;
+    }
+    return kNpos;  // full lap, no empty: key absent
   }
 
   /// First slot where `key` lives or may be inserted: an existing full slot
   /// with the key, else the first tombstone on the probe path, else the
   /// terminating empty slot.
-  [[nodiscard]] std::size_t probe_for_insert(const K& key) const noexcept {
-    const std::size_t mask = ctrl_.size() - 1;
-    std::size_t idx = Hash{}(key) & mask;
+  [[nodiscard]] static std::size_t group_probe_insert(
+      const std::vector<std::uint8_t>& ctrl, const SlotArray& slots,
+      std::size_t hash, const K& key) noexcept {
+    const std::size_t cap = ctrl.size();
+    const std::size_t mask = cap - 1;
     std::size_t first_tombstone = kNpos;
-    while (ctrl_[idx] != kEmpty) {
-      if (ctrl_[idx] == kFull && slots_[idx].key == key) return idx;
-      if (ctrl_[idx] == kTombstone && first_tombstone == kNpos) first_tombstone = idx;
-      idx = (idx + 1) & mask;
+    if (cap < probe::kGroupWidth) [[unlikely]] {
+      std::size_t idx = hash & mask;
+      while (ctrl[idx] != kEmpty) {
+        if (ctrl[idx] == kFull && slots[idx].key == key) return idx;
+        if (ctrl[idx] == kTombstone && first_tombstone == kNpos)
+          first_tombstone = idx;
+        idx = (idx + 1) & mask;
+      }
+      return first_tombstone != kNpos ? first_tombstone : idx;
     }
-    return first_tombstone != kNpos ? first_tombstone : idx;
+    const std::size_t start = hash & mask;
+    std::size_t group = start & ~(probe::kGroupWidth - 1);
+    probe::mask_t valid =
+        (probe::kAllBytes << (start - group)) & probe::kAllBytes;
+    for (std::size_t scanned = 0; scanned <= cap;
+         scanned += probe::kGroupWidth) {
+      const probe::Group g(ctrl.data() + group);
+      const probe::mask_t empty = g.match(kEmpty) & valid;
+      const probe::mask_t below = probe::below_first(empty);
+      probe::mask_t candidates = g.match(kFull) & valid & below;
+      while (candidates != 0) {
+        const std::size_t idx = group + probe::lowest_bit(candidates);
+        if (slots[idx].key == key) return idx;
+        candidates = probe::clear_lowest(candidates);
+      }
+      if (first_tombstone == kNpos) {
+        const probe::mask_t tombs = g.match(kTombstone) & valid & below;
+        if (tombs != 0) first_tombstone = group + probe::lowest_bit(tombs);
+      }
+      if (empty != 0) {
+        return first_tombstone != kNpos ? first_tombstone
+                                        : group + probe::lowest_bit(empty);
+      }
+      group = (group + probe::kGroupWidth) & mask;
+      valid = probe::kAllBytes;
+    }
+    return first_tombstone;  // unreachable while the load invariant holds
   }
 
-  /// Places a key known absent from the active table (a migrating or
-  /// relocating entry). Reuses the first tombstone on the probe path, like
-  /// probe_for_insert, but needs no key comparisons.
-  [[nodiscard]] std::size_t probe_for_absent(const K& key) const noexcept {
-    const std::size_t mask = ctrl_.size() - 1;
-    std::size_t idx = Hash{}(key) & mask;
+  /// Placement slot for a key known absent from the active table (a
+  /// migrating or relocating entry): first tombstone on the probe path,
+  /// else the terminating empty slot. No key comparisons.
+  [[nodiscard]] std::size_t group_probe_absent(std::size_t hash) const noexcept {
+    const std::size_t cap = ctrl_.size();
+    const std::size_t mask = cap - 1;
     std::size_t first_tombstone = kNpos;
-    while (ctrl_[idx] != kEmpty) {
-      if (ctrl_[idx] == kTombstone && first_tombstone == kNpos) first_tombstone = idx;
-      idx = (idx + 1) & mask;
+    if (cap < probe::kGroupWidth) [[unlikely]] {
+      std::size_t idx = hash & mask;
+      while (ctrl_[idx] != kEmpty) {
+        if (ctrl_[idx] == kTombstone && first_tombstone == kNpos)
+          first_tombstone = idx;
+        idx = (idx + 1) & mask;
+      }
+      return first_tombstone != kNpos ? first_tombstone : idx;
     }
-    return first_tombstone != kNpos ? first_tombstone : idx;
+    const std::size_t start = hash & mask;
+    std::size_t group = start & ~(probe::kGroupWidth - 1);
+    probe::mask_t valid =
+        (probe::kAllBytes << (start - group)) & probe::kAllBytes;
+    for (std::size_t scanned = 0; scanned <= cap;
+         scanned += probe::kGroupWidth) {
+      const probe::Group g(ctrl_.data() + group);
+      const probe::mask_t empty = g.match(kEmpty) & valid;
+      const probe::mask_t below = probe::below_first(empty);
+      if (first_tombstone == kNpos) {
+        const probe::mask_t tombs = g.match(kTombstone) & valid & below;
+        if (tombs != 0) first_tombstone = group + probe::lowest_bit(tombs);
+      }
+      if (empty != 0) {
+        return first_tombstone != kNpos ? first_tombstone
+                                        : group + probe::lowest_bit(empty);
+      }
+      group = (group + probe::kGroupWidth) & mask;
+      valid = probe::kAllBytes;
+    }
+    return first_tombstone;  // unreachable while the load invariant holds
+  }
+
+  /// Prefetches the retiring table's ctrl group for `hash` (read, low
+  /// locality). Call only while a migration is in flight.
+  void prefetch_old(std::size_t hash) const noexcept {
+    const std::size_t idx = hash & (old_ctrl_.size() - 1);
+    probe::prefetch(old_ctrl_.data() + (idx & ~(probe::kGroupWidth - 1)));
   }
 
   /// Moves the live retiring-table entry at `old_idx` into the active
-  /// table and returns its new value address.
+  /// table and returns its new value address. The overload taking `hash`
+  /// serves relocate-on-touch callers that already hashed the key.
   V* relocate_from_old(std::size_t old_idx) {
-    const std::size_t idx = probe_for_absent(old_slots_[old_idx].key);
+    return relocate_from_old(old_idx, Hash{}(old_slots_[old_idx].key));
+  }
+  V* relocate_from_old(std::size_t old_idx, std::size_t hash) {
+    const std::size_t idx = group_probe_absent(hash);
     if (ctrl_[idx] != kTombstone) ++used_;
     relocate_slot(slots_, idx, old_slots_[old_idx]);
     ctrl_[idx] = kFull;
@@ -605,6 +830,7 @@ class FlatHashMap {
     old_slots_.reset();
     old_live_ = 0;
     migrate_pos_ = 0;
+    migrating_ = false;
   }
 
   void grow_if_needed() {
@@ -618,7 +844,7 @@ class FlatHashMap {
     // table drains, a same-capacity purge at most ~0.88 (old live
     // <= 3/4·C plus the <= C/kMigrateBatch mutations the drain takes) —
     // and the first mutation after completion grows normally.
-    if (migrating()) return;
+    if (migrating_) return;
     const std::size_t base = capacity() == 0 ? 16 : capacity();
     // Double unless tombstones dominate the load (then rehashing at the
     // same capacity purges them). The incoming insert is counted: at a
@@ -643,6 +869,7 @@ class FlatHashMap {
     old_slots_ = std::move(slots_);
     old_live_ = size_;
     migrate_pos_ = 0;
+    migrating_ = true;
     ctrl_.assign(new_capacity, static_cast<std::uint8_t>(kEmpty));
     slots_.allocate(new_capacity);
     used_ = 0;
@@ -679,6 +906,10 @@ class FlatHashMap {
   std::size_t size_ = 0;  // live entries across both tables
   std::size_t used_ = 0;  // active-table live entries + tombstones
   bool incremental_ = true;
+  /// Cached !old_ctrl_.empty(): the fast paths branch on one byte instead
+  /// of recomputing vector emptiness per call (maintained by
+  /// start_migration / release_old_table / swap / deserialize).
+  bool migrating_ = false;
 };
 
 template <class K, class Hash = FlatHash<K>>
@@ -788,13 +1019,16 @@ class DenseHashSet {
 
   /// Swap-with-last removal; the displaced last key keeps its identity but
   /// takes the erased key's dense position (a deterministic reordering).
+  /// The erased key's index entry is taken and the displaced key's entry
+  /// rewritten in ONE fused index call (take_reindex) — the erase path
+  /// used to pay two full public-entry passes over the index map.
   std::size_t erase(const K& key) {
-    std::uint32_t hole = 0;
-    if (index_.take(key, hole) == 0) return 0;
+    if (dense_.empty()) return 0;
     const K moved = dense_.back();
+    std::uint32_t hole = 0;
+    if (index_.take_reindex(key, hole, moved) == 0) return 0;
     dense_[hole] = moved;
     dense_.pop_back();
-    if (!(moved == key)) index_.at(moved) = hole;
     return 1;
   }
 

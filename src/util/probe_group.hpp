@@ -1,0 +1,186 @@
+// SIMD group probing for the flat-hash tier: scan 16 ctrl bytes per step.
+//
+// util/flat_hash.hpp keeps a SwissTable-style ctrl-byte array (one byte per
+// slot: kEmpty / kFull / kTombstone) next to the slot storage. The probe
+// loops used to walk that array byte-by-byte; every ledger the reallocation
+// algorithms touch (occupancy, window sets, balance pools) sits on those
+// loops, so probe cost is the floor under request throughput (DESIGN.md
+// §13). A Group loads 16 adjacent ctrl bytes at once and answers "which of
+// these bytes equal V?" as a 16-bit mask, so one load plus a couple of
+// byte-wide compares replaces up to 16 iterations of load/compare/branch —
+// tombstone runs and clustered probe chains collapse into single steps.
+//
+// Dispatch is a single compile-time seam:
+//   * x86-64: SSE2 `_mm_cmpeq_epi8` + `_mm_movemask_epi8`. SSE2 is part of
+//     the x86-64 baseline ABI, so no runtime CPUID dispatch is needed —
+//     every x86-64 build takes this arm unconditionally.
+//   * aarch64: NEON `vceqq_u8` with the add-across movemask emulation
+//     (NEON is mandatory on AArch64, same reasoning).
+//   * anything else, or -DREASCHED_FORCE_SCALAR_PROBE: ScalarGroup, a
+//     portable SWAR fallback over two 64-bit words.
+// The force-scalar flavor is a first-class CI lane (.github/workflows/
+// ci.yml job `scalar-probe`): both arms must stay green on every PR, and
+// tests/flat_hash_simd_test.cpp additionally checks Group against
+// ScalarGroup mask-for-mask, which is what pins the two arms to identical
+// probe decisions (and therefore byte-identical table layouts/schedules).
+//
+// Masks are ordered: bit i corresponds to ctrl[base + i], so
+// BitMask::lowest() walks candidates in exactly the order the scalar loop
+// visited them — group probing changes probe COST, never probe RESULTS.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include <bit>
+
+#if !defined(REASCHED_FORCE_SCALAR_PROBE) && \
+    (defined(__SSE2__) || defined(_M_X64) || defined(__x86_64__))
+#define RS_PROBE_SSE2 1
+#include <emmintrin.h>
+#elif !defined(REASCHED_FORCE_SCALAR_PROBE) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
+#define RS_PROBE_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace reasched::probe {
+
+/// Ctrl bytes examined per probe step. All arms use the same width so the
+/// group-walk arithmetic in flat_hash.hpp is arm-independent.
+inline constexpr std::size_t kGroupWidth = 16;
+
+/// One bit per group byte, bit i = ctrl[base + i]. Low bits are earlier in
+/// probe order.
+using mask_t = std::uint32_t;
+
+inline constexpr mask_t kAllBytes = 0xFFFFu;
+
+/// Position of the first set bit (earliest matching byte in probe order).
+/// Precondition: mask != 0.
+[[nodiscard]] inline std::size_t lowest_bit(mask_t mask) noexcept {
+  return static_cast<std::size_t>(std::countr_zero(mask));
+}
+
+/// Clears the lowest set bit — advance to the next candidate.
+[[nodiscard]] inline mask_t clear_lowest(mask_t mask) noexcept {
+  return mask & (mask - 1);
+}
+
+/// Bits strictly BELOW the first set bit of `mask`; all bits when mask is
+/// empty. `candidates & below_first(empty)` selects exactly the full slots
+/// a sequential scan would have visited before stopping at the first empty.
+[[nodiscard]] inline mask_t below_first(mask_t mask) noexcept {
+  return mask == 0 ? kAllBytes : ((mask & (0u - mask)) - 1);
+}
+
+/// Portable SWAR arm: two 64-bit words, positionally-exact zero-byte
+/// detection (the borrow-free 0x7F-add form — the classic
+/// `(v-0x01..)&~v&0x80..` haszero trick is only EXISTENCE-exact: a borrow
+/// out of a genuinely-zero byte ripples into an adjacent 0x01 byte and
+/// forges a match there), high bits collapsed to a 16-bit mask with a
+/// carry-free multiply. Always compiled, whatever the dispatch picks: the
+/// SIMD arms are differential-tested against it
+/// (tests/flat_hash_simd_test.cpp) and the REASCHED_FORCE_SCALAR_PROBE CI
+/// flavor runs the whole flat-hash tier on it.
+class ScalarGroup {
+ public:
+  explicit ScalarGroup(const std::uint8_t* ctrl) noexcept {
+    std::memcpy(&lo_, ctrl, sizeof(lo_));
+    std::memcpy(&hi_, ctrl + sizeof(lo_), sizeof(hi_));
+  }
+
+  [[nodiscard]] mask_t match(std::uint8_t value) const noexcept {
+    return static_cast<mask_t>(match_word(lo_, value)) |
+           (static_cast<mask_t>(match_word(hi_, value)) << 8);
+  }
+
+ private:
+  /// 8-bit mask of the bytes of `word` equal to `value`.
+  [[nodiscard]] static std::uint32_t match_word(std::uint64_t word,
+                                                std::uint8_t value) noexcept {
+    const std::uint64_t pattern = 0x0101010101010101ULL * value;
+    const std::uint64_t diff = word ^ pattern;  // zero byte <=> equal byte
+    // Per-byte zero test with no cross-byte carries: (d&0x7F)+0x7F tops out
+    // at 0xFE, so byte i's high bit here is set iff diff byte i == 0 —
+    // positionally exact, unlike the borrow-rippling haszero trick.
+    const std::uint64_t zero_high =
+        ~(((diff & 0x7F7F7F7F7F7F7F7FULL) + 0x7F7F7F7F7F7F7F7FULL) | diff |
+          0x7F7F7F7F7F7F7F7FULL);
+    // zero_high has bit 8i+7 set iff byte i matched. Each (set bit of
+    // zero_high) x (set bit of the constant) lands on a distinct product
+    // bit — 8(i-i') = 7(j-j') has no non-trivial solution in [0,7]² — so
+    // the multiply is carry-free and bits [56,63] read out the byte mask.
+    return static_cast<std::uint32_t>(
+        (zero_high * 0x0002040810204081ULL) >> 56);
+  }
+
+  std::uint64_t lo_;
+  std::uint64_t hi_;
+};
+
+#if defined(RS_PROBE_SSE2)
+
+class Sse2Group {
+ public:
+  explicit Sse2Group(const std::uint8_t* ctrl) noexcept
+      : bytes_(_mm_loadu_si128(reinterpret_cast<const __m128i*>(ctrl))) {}
+
+  [[nodiscard]] mask_t match(std::uint8_t value) const noexcept {
+    const __m128i pattern = _mm_set1_epi8(static_cast<char>(value));
+    return static_cast<mask_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(bytes_, pattern)));
+  }
+
+ private:
+  __m128i bytes_;
+};
+
+using Group = Sse2Group;
+inline constexpr const char* kBackendName = "sse2";
+
+#elif defined(RS_PROBE_NEON)
+
+class NeonGroup {
+ public:
+  explicit NeonGroup(const std::uint8_t* ctrl) noexcept
+      : bytes_(vld1q_u8(ctrl)) {}
+
+  [[nodiscard]] mask_t match(std::uint8_t value) const noexcept {
+    const uint8x16_t eq = vceqq_u8(bytes_, vdupq_n_u8(value));
+    // Movemask emulation: AND each matched lane (0xFF) down to its
+    // positional bit, then horizontal-add each half (A64 vaddv).
+    const uint8x16_t bits = {1, 2, 4, 8, 16, 32, 64, 128,
+                             1, 2, 4, 8, 16, 32, 64, 128};
+    const uint8x16_t masked = vandq_u8(eq, bits);
+    return static_cast<mask_t>(vaddv_u8(vget_low_u8(masked))) |
+           (static_cast<mask_t>(vaddv_u8(vget_high_u8(masked))) << 8);
+  }
+
+ private:
+  uint8x16_t bytes_;
+};
+
+using Group = NeonGroup;
+inline constexpr const char* kBackendName = "neon";
+
+#else
+
+using Group = ScalarGroup;
+inline constexpr const char* kBackendName = "scalar";
+
+#endif
+
+/// Read-prefetch of the cache line holding `address`, low temporal
+/// locality. Used to pull the partner table's ctrl group in while the
+/// active table is being probed during a two-table migration.
+inline void prefetch(const void* address) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(address, /*rw=*/0, /*locality=*/1);
+#else
+  static_cast<void>(address);
+#endif
+}
+
+}  // namespace reasched::probe

@@ -1,0 +1,385 @@
+// Group-probe edge cases for the flat-hash tier (DESIGN.md §13).
+//
+// The probe kernels scan ctrl bytes 16 at a time through the
+// util/probe_group.hpp dispatch seam (SSE2 / NEON / portable SWAR). These
+// suites pin exactly the places where a vectorized scan could diverge from
+// the sequential one it replaced:
+//   * mask identity: the dispatched Group must agree with ScalarGroup
+//     byte-for-byte on adversarial ctrl patterns — every probe decision
+//     flows from those masks, so mask identity IS cross-arm layout
+//     identity (the scalar-probe CI lane then runs the whole tier on the
+//     other arm for real);
+//   * probe chains that wrap around the table end, including on
+//     minimum-size (16-slot, single-group) tables where the wrapped lap
+//     re-examines the partial first group;
+//   * tombstone-saturated groups (16+ adjacent tombstones must be skipped
+//     in whole-group steps without losing first-tombstone placement);
+//   * erase/take during an in-flight two-table migration with the
+//     partner-table prefetch active, including the fused take_reindex path
+//     DenseHashSet's swap-with-last erase rides on.
+// Runs under both dispatch arms (the scalar-probe CI flavor rebuilds this
+// binary with REASCHED_FORCE_SCALAR_PROBE) and under ASan/UBSan, where the
+// 16-byte group loads at table edges would fault if any were out of
+// bounds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_hash.hpp"
+#include "util/probe_group.hpp"
+#include "util/rng.hpp"
+
+namespace reasched {
+namespace {
+
+using Key = std::int64_t;
+
+/// Identity hash: tests pick the exact probe start slot (capacity is a
+/// power of two, so the start is key & (capacity-1)).
+struct PinHash {
+  [[nodiscard]] std::size_t operator()(const Key& key) const noexcept {
+    return static_cast<std::size_t>(key);
+  }
+};
+
+using PinnedMap = FlatHashMap<Key, int, PinHash>;
+
+// ---- dispatch-arm mask identity -------------------------------------------
+
+TEST(ProbeGroup, DispatchedArmMatchesScalarOnAdversarialPatterns) {
+  // Group buffers cover: all-empty, all-full, all-tombstone, alternating,
+  // single-match-at-every-position, and random bytes over the full 0..255
+  // range (match() must key on exact equality, not on the 0/1/2 ctrl
+  // domain).
+  std::vector<std::vector<std::uint8_t>> patterns;
+  patterns.push_back(std::vector<std::uint8_t>(probe::kGroupWidth, 0));
+  patterns.push_back(std::vector<std::uint8_t>(probe::kGroupWidth, 1));
+  patterns.push_back(std::vector<std::uint8_t>(probe::kGroupWidth, 2));
+  for (std::size_t hot = 0; hot < probe::kGroupWidth; ++hot) {
+    std::vector<std::uint8_t> one(probe::kGroupWidth, 0);
+    one[hot] = 1;
+    patterns.push_back(one);
+    std::vector<std::uint8_t> inverted(probe::kGroupWidth, 2);
+    inverted[hot] = 0;
+    patterns.push_back(inverted);
+  }
+  Rng rng(31);
+  for (int i = 0; i < 2'000; ++i) {
+    std::vector<std::uint8_t> random(probe::kGroupWidth);
+    for (auto& byte : random)
+      byte = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    patterns.push_back(std::move(random));
+  }
+  for (const auto& pattern : patterns) {
+    const probe::Group dispatched(pattern.data());
+    const probe::ScalarGroup scalar(pattern.data());
+    for (const std::uint8_t value : {0, 1, 2, 3, 0x7F, 0x80, 0xFF}) {
+      ASSERT_EQ(dispatched.match(value), scalar.match(value));
+    }
+  }
+}
+
+TEST(ProbeGroup, MaskHelpers) {
+  EXPECT_EQ(probe::below_first(0), probe::kAllBytes);
+  EXPECT_EQ(probe::below_first(0b1000), 0b0111u);
+  EXPECT_EQ(probe::below_first(0b1001), 0u);
+  EXPECT_EQ(probe::lowest_bit(0b0100), 2u);
+  EXPECT_EQ(probe::clear_lowest(0b0110), 0b0100u);
+}
+
+// ---- wraparound and table-edge probing ------------------------------------
+
+TEST(FlatHashSimd, ProbeChainStraddlingTableEnd) {
+  // Pin a collision chain into the LAST group of a 1024-slot table so the
+  // chain wraps past the table end into slot 0. Keys 1019+1024k all start
+  // at slot 1019; the chain runs 1019..1023 then wraps to 0..2.
+  PinnedMap map;
+  map.reserve(512);  // capacity 1024, load stays below threshold
+  ASSERT_EQ(map.capacity(), 1024u);
+  std::vector<Key> keys;
+  for (int i = 0; i < 8; ++i) keys.push_back(1019 + 1024 * i);
+  for (const Key key : keys) map[key] = static_cast<int>(key);
+  for (const Key key : keys) {
+    ASSERT_NE(map.find(key), nullptr);
+    EXPECT_EQ(*map.find(key), static_cast<int>(key));
+  }
+  // A miss whose probe start sits in the wrapped chain terminates at the
+  // first empty after wraparound, not before.
+  EXPECT_EQ(map.find(1020 + 8 * 1024), nullptr);
+  // Erase mid-chain and re-find across the seam (tombstones keep the
+  // wrapped chain intact).
+  EXPECT_EQ(map.erase(keys[2]), 1u);
+  for (const Key key : keys) {
+    if (key == keys[2]) continue;
+    ASSERT_NE(map.find(key), nullptr);
+  }
+  // Reinsert reuses the first tombstone on the (wrapped) probe path.
+  map[keys[2]] = 7;
+  EXPECT_EQ(*map.find(keys[2]), 7);
+}
+
+TEST(FlatHashSimd, WraparoundOnMinimumSizeTable) {
+  // A fresh table has exactly 16 slots = one probe group. Start every key
+  // at slot 15 so every chain wraps immediately; the group walk must
+  // revisit the table head as its wrapped lap.
+  PinnedMap map;
+  for (int i = 0; i < 8; ++i) map[15 + 16 * i] = i;  // 8 keys, all hash to 15
+  ASSERT_EQ(map.capacity(), 16u);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_NE(map.find(15 + 16 * i), nullptr);
+    EXPECT_EQ(*map.find(15 + 16 * i), i);
+  }
+  EXPECT_EQ(map.find(15 + 16 * 9), nullptr);
+  // Churn the wrapped chain: erase every other key, probe, reinsert.
+  for (int i = 0; i < 8; i += 2) EXPECT_EQ(map.erase(15 + 16 * i), 1u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(map.find(15 + 16 * i) != nullptr, i % 2 == 1);
+  }
+  for (int i = 0; i < 8; i += 2) map[15 + 16 * i] = -i;
+  for (int i = 0; i < 8; i += 2) EXPECT_EQ(*map.find(15 + 16 * i), -i);
+}
+
+TEST(FlatHashSimd, TombstoneSaturatedGroups) {
+  // Fill three full groups with entries hashed to one start slot, erase
+  // them all (48 adjacent tombstones), then probe: a lookup miss must scan
+  // whole tombstone groups per step and terminate at the empty beyond
+  // them; an insert must land on the FIRST tombstone of the run.
+  PinnedMap map;
+  map.reserve(512);
+  ASSERT_EQ(map.capacity(), 1024u);
+  constexpr Key kStart = 32;  // group-aligned start keeps the run contiguous
+  std::vector<Key> keys;
+  for (int i = 0; i < 48; ++i) keys.push_back(kStart + 1024 * (i + 1));
+  for (const Key key : keys) map[key] = 1;
+  for (const Key key : keys) ASSERT_EQ(map.erase(key), 1u);
+  EXPECT_TRUE(map.empty());
+  // Miss probe rides the whole tombstone run.
+  EXPECT_EQ(map.find(kStart), nullptr);
+  // Insert with the same start lands on the run's first slot: the probe
+  // path visits only tombstones, whose first is slot kStart.
+  map[kStart + 1024 * 99] = 5;
+  ASSERT_NE(map.find(kStart + 1024 * 99), nullptr);
+  // The key after it reuses the SECOND tombstone, preserving order.
+  map[kStart + 1024 * 98] = 6;
+  EXPECT_EQ(*map.find(kStart + 1024 * 98), 6);
+  EXPECT_EQ(*map.find(kStart + 1024 * 99), 5);
+}
+
+TEST(FlatHashSimd, MixedFullTombstoneEmptyWithinOneGroup) {
+  // One group containing [full, tombstone, full, empty, ...] in the probe
+  // window: candidates past the first empty must be ignored, the tombstone
+  // must win placement over the empty.
+  PinnedMap map;
+  map.reserve(512);
+  map[100] = 1;            // slot 100
+  map[100 + 1024] = 2;     // slot 101
+  map[100 + 2048] = 3;     // slot 102
+  ASSERT_EQ(map.erase(100 + 1024), 1u);  // tombstone at 101
+  // Probe for a missing key starting at 100: full(100), tomb(101),
+  // full(102), empty(103) — terminate, report miss.
+  EXPECT_EQ(map.find(100 + 3 * 1024), nullptr);
+  // Insert starting at 100 takes the tombstone at 101, not the empty at 103.
+  map[100 + 4 * 1024] = 4;
+  ASSERT_EQ(map.size(), 3u);
+  EXPECT_EQ(*map.find(100), 1);
+  EXPECT_EQ(*map.find(100 + 2048), 3);
+  EXPECT_EQ(*map.find(100 + 4 * 1024), 4);
+}
+
+// ---- migration + prefetch paths -------------------------------------------
+
+// Inserts ascending keys until a two-table migration starts (default hash:
+// the migration machinery, not placement, is under test here).
+template <class Map>
+Key push_until_migrating(Map& map) {
+  Key key = 0;
+  while (!map.rehash_in_flight()) {
+    map[key] = static_cast<int>(key);
+    ++key;
+  }
+  return key;
+}
+
+TEST(FlatHashSimd, EraseAndTakeDuringMigrationWithPrefetchActive) {
+  // Every erase/take below runs the migrating slow path: partner-table
+  // ctrl-group prefetch, two-table group probe, tombstone-never-empty in
+  // the retiring table, and a drain step per mutation. Differential
+  // against std::unordered_map throughout.
+  FlatHashMap<Key, std::uint64_t> map;
+  std::unordered_map<Key, std::uint64_t> reference;
+  Key next = 0;
+  while (!map.rehash_in_flight()) {
+    map[next] = static_cast<std::uint64_t>(next);
+    reference[next] = static_cast<std::uint64_t>(next);
+    ++next;
+  }
+  Rng rng(17);
+  bool still_migrating = true;
+  while (still_migrating) {
+    const Key key = static_cast<Key>(rng.uniform(0, static_cast<int>(next)));
+    switch (rng.uniform(0, 2)) {
+      case 0: {
+        std::uint64_t out = 0;
+        const std::size_t took = map.take(key, out);
+        const auto it = reference.find(key);
+        ASSERT_EQ(took, it != reference.end() ? 1u : 0u);
+        if (took != 0) {
+          ASSERT_EQ(out, it->second);
+          reference.erase(it);
+        }
+        break;
+      }
+      case 1:
+        ASSERT_EQ(map.erase(key), reference.erase(key));
+        break;
+      default: {
+        const auto* found = map.find(key);
+        const auto it = reference.find(key);
+        ASSERT_EQ(found != nullptr, it != reference.end());
+        if (found != nullptr) {
+          ASSERT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+    still_migrating = map.rehash_in_flight();
+  }
+  ASSERT_EQ(map.size(), reference.size());
+  std::size_t seen = 0;
+  map.for_each([&](Key k, const std::uint64_t& v) {
+    ++seen;
+    const auto it = reference.find(k);
+    ASSERT_NE(it, reference.end());
+    ASSERT_EQ(v, it->second);
+  });
+  EXPECT_EQ(seen, reference.size());
+}
+
+TEST(FlatHashSimd, TakeReindexMatchesUnfusedPair) {
+  // The fused take_reindex must leave the same mapping as the take + at
+  // pair it replaces, across growth and migration. The "reference" map
+  // runs the unfused sequence.
+  FlatHashMap<Key, std::uint32_t> fused;
+  FlatHashMap<Key, std::uint32_t> unfused;
+  Rng rng(23);
+  std::vector<Key> live;
+  for (int step = 0; step < 60'000; ++step) {
+    if (live.empty() || rng.chance(0.6)) {
+      const Key key = static_cast<Key>(rng.uniform(0, 19'999));
+      const std::uint32_t value = static_cast<std::uint32_t>(step);
+      if (fused.try_emplace(key).second) {
+        *fused.find(key) = value;
+        *unfused.try_emplace(key).first = value;
+        live.push_back(key);
+      } else {
+        ASSERT_FALSE(unfused.try_emplace(key).second);
+      }
+    } else {
+      const std::size_t at = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<int>(live.size()) - 1));
+      const Key victim = live[at];
+      // Mimic DenseHashSet: reindex some OTHER live key to the taken value
+      // (or the victim itself when it is the last element).
+      const Key moved = live.back();
+      std::uint32_t hole_fused = 0;
+      ASSERT_EQ(fused.take_reindex(victim, hole_fused, moved), 1u);
+      std::uint32_t hole_unfused = 0;
+      ASSERT_EQ(unfused.take(victim, hole_unfused), 1u);
+      ASSERT_EQ(hole_fused, hole_unfused);
+      if (!(moved == victim)) unfused.at(moved) = hole_unfused;
+      live[at] = moved;
+      live.pop_back();
+    }
+    if (step % 7'000 == 0) {
+      ASSERT_EQ(fused.size(), unfused.size());
+      fused.for_each([&](Key k, const std::uint32_t& v) {
+        const std::uint32_t* other = unfused.find(k);
+        ASSERT_NE(other, nullptr);
+        ASSERT_EQ(v, *other);
+      });
+    }
+  }
+  // take_reindex on a missing key is a no-op returning 0.
+  std::uint32_t out = 0;
+  EXPECT_EQ(fused.take_reindex(777'777, out, 777'777), 0u);
+}
+
+TEST(FlatHashSimd, DenseHashSetFusedEraseUnderMigration) {
+  // DenseHashSet::erase rides take_reindex; drive its index map through
+  // two-table migrations and verify order-exact behavior against a plain
+  // vector model (order IS the container's contract).
+  DenseHashSet<Key> set;
+  std::vector<Key> model;
+  Rng rng(29);
+  for (int step = 0; step < 50'000; ++step) {
+    if (model.empty() || rng.chance(0.58)) {
+      const Key key = static_cast<Key>(rng.uniform(0, 9'999));
+      const bool inserted = set.insert(key);
+      const bool expect_inserted =
+          std::find(model.begin(), model.end(), key) == model.end();
+      ASSERT_EQ(inserted, expect_inserted);
+      if (inserted) model.push_back(key);
+    } else {
+      const std::size_t at = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<int>(model.size()) - 1));
+      const Key victim = model[at];
+      ASSERT_EQ(set.erase(victim), 1u);
+      model[at] = model.back();
+      model.pop_back();
+    }
+    if (!model.empty()) {
+      ASSERT_EQ(set.back(), model.back());
+    }
+  }
+  std::vector<Key> order;
+  set.for_each([&](Key k) { order.push_back(k); });
+  EXPECT_EQ(order, model);
+}
+
+TEST(FlatHashSimd, RelocateOnTouchDuringMigrationUsesGroupPlacement) {
+  // try_emplace hitting a retiring-table key relocates it via the
+  // no-key-compare placement kernel; the relocated entry must stay
+  // reachable and reference-stable.
+  FlatHashMap<Key, int> map;
+  const Key next = push_until_migrating(map);
+  ASSERT_TRUE(map.rehash_in_flight());
+  int relocated = 0;
+  for (Key key = 0; key < next && map.rehash_in_flight(); key += 17) {
+    int* address = map.try_emplace(key).first;
+    ASSERT_EQ(*address, static_cast<int>(key));
+    ASSERT_EQ(map.find(key), address);  // now active-table resident
+    ++relocated;
+  }
+  EXPECT_GT(relocated, 0);
+  map.drain_rehash(0);
+  for (Key key = 0; key < next; ++key) {
+    ASSERT_NE(map.find(key), nullptr);
+    ASSERT_EQ(*map.find(key), static_cast<int>(key));
+  }
+}
+
+TEST(FlatHashSimd, NonTrivialValuesThroughGroupProbePaths) {
+  // std::string values exercise the non-trivial slot lifetime rules
+  // through every new kernel (ASan would flag a destroy/relocate slip).
+  FlatHashMap<Key, std::string> map;
+  for (Key key = 0; key < 4'000; ++key) {
+    map[key] = "v" + std::to_string(key);
+  }
+  std::string out;
+  ASSERT_EQ(map.take(123, out), 1u);
+  EXPECT_EQ(out, "v123");
+  ASSERT_EQ(map.take_reindex(200, out, 300), 1u);
+  EXPECT_EQ(out, "v200");
+  EXPECT_EQ(map.at(300), "v200");  // reindexed
+  for (Key key = 0; key < 4'000; key += 2) map.erase(key);
+  for (Key key = 1; key < 4'000; key += 2) {
+    if (key == 123 || key == 200) continue;
+    ASSERT_NE(map.find(key), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace reasched

@@ -178,27 +178,37 @@ TEST(IngestAdmission, LatencySheddingRejectsThenRecoversOnceDrained) {
     ASSERT_EQ(service.push(wide_insert(id++)), Admit::kAdmitted);
   }
   service.drain();  // 8 sojourn samples ≫ 1µs → the epoch closes shedding
-  ASSERT_TRUE(service.admission().shedding());
+  // last_p99_ns is the deterministic over-budget witness: it is written at
+  // epoch close and synchronized to us by the drain handshake, and the
+  // drain rule does not reset it. shedding() itself is TRANSIENT here by
+  // design — the consumer's idle evaluate clears it the moment it sees the
+  // empty queue, which races with anything this thread does after drain()
+  // returns — so the verdict flag and the fate of the next push are
+  // observed, not asserted (the controller's shed-then-recover sequencing
+  // is pinned deterministically in
+  // AdmissionController.LatencyEpochShedsAndRecoversOnCompliantEpoch).
   EXPECT_GT(service.admission().last_p99_ns(), 1'000u);
-  EXPECT_EQ(service.push(wide_insert(id)), Admit::kRejectedLatency);
-  EXPECT_EQ(service.stats().rejected_latency, 1u);
 
-  // The queue is empty; the consumer's idle evaluate must clear the
-  // verdict (drain rule) and admit producers again — bounded wait.
+  // Recovery: the drain rule admits producers again — bounded wait. Count
+  // the pushes shed meanwhile so the accounting check below stays exact in
+  // every schedule.
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  Admit verdict = Admit::kRejectedLatency;
-  while (verdict != Admit::kAdmitted) {
+  std::uint64_t shed = 0;
+  for (;;) {
+    const Admit verdict = service.push(wide_insert(id));
+    if (verdict == Admit::kAdmitted) break;
+    ASSERT_EQ(verdict, Admit::kRejectedLatency);
+    ++shed;
     ASSERT_LT(std::chrono::steady_clock::now(), deadline)
         << "latency shedding never cleared after drain";
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    verdict = service.push(wide_insert(id));
   }
   service.drain();
   service.stop();
   const IngestStats stats = service.stats();
   EXPECT_EQ(stats.admitted, 9u);
   EXPECT_EQ(stats.applied, 9u);
-  EXPECT_GE(stats.rejected_latency, 1u);
+  EXPECT_EQ(stats.rejected_latency, shed);
 }
 
 // ------------------------------------------------------------- crash lane

@@ -24,6 +24,7 @@ the job log alone.
 
 import argparse
 import json
+import subprocess
 import sys
 
 # Per-bench comparison registry: identity keys select the row, metrics map
@@ -33,11 +34,14 @@ import sys
 # counts as regressed while the current value also EXCEEDS the floor (a
 # 0.05 ms -> 0.15 ms max is scheduler jitter, not a cliff); a
 # higher-is-better metric only counts while the current value is BELOW the
-# floor. floor=None disables the gate. The optional ceiling is the
-# opposite instrument: an absolute bound on a lower-is-better metric that
-# fails REGARDLESS of the baseline — for metrics where the acceptance
-# criterion is the value itself (telemetry overhead <= 1.05x), not drift
-# relative to a recording. Rows missing every identity key
+# floor. floor=None disables the gate. The optional third element is an
+# ABSOLUTE bound that fails REGARDLESS of the baseline — for metrics where
+# the acceptance criterion is the value itself, not drift relative to a
+# recording. Its meaning follows the direction: for "lower" it is a
+# ceiling (telemetry overhead <= 1.05x, rehash cliff <= 1 ms); for
+# "higher" it is a hard floor (E12 vs_legacy_rehash >= 0.9 — the group-
+# probe work must keep paying for the two-table rehash machinery even if
+# the committed baseline itself drifts). Rows missing every identity key
 # (summary/smoke rows) are skipped.
 # CI runners are not the recording machine, so the gated metrics are
 # primarily the benches' IN-BINARY ratios (optimized vs legacy mode in the
@@ -48,8 +52,33 @@ import sys
 # runner.
 REGISTRY = {
     "e12_hotpath": {
+        # vs_legacy_rehash: optimized steady-state mean over the same
+        # binary's optimized+legacy_rehash posture (pre-PR-5 stop-the-world
+        # layout) — in-binary, machine-speed-independent. The absolute 0.9
+        # floor IS ROADMAP item 2's acceptance criterion: group probing
+        # must at least pay back the two-table machinery's steady-state
+        # cost. Measured parity sits at ~1.0 with a run-to-run spread of
+        # ±10% on a one-core container (the ratio divides two ~seconds-long
+        # churn runs), so the floor carries an honest noise margin: 0.9
+        # trips on a real regression (pre-tuning the mean centered at
+        # ~0.93 and samples reached 0.66) without flaking on parity.
+        # The absolute floor binds only on the n = 10^5 rows
+        # (absolute_rows): that is the steady-state regime the criterion
+        # names, and --quick CI runs (n <= 10^4, short segments where the
+        # migration windows structurally dominate the ratio) would
+        # undershoot any honest steady-state floor. Small-n / quick rows
+        # keep the 2x drift band with a 0.65 noise floor — full-run
+        # small-n samples range 0.66-1.34, so anything below 0.65 is a
+        # collapse, not noise. Carried only by audit-off optimized rows,
+        # so the gate binds exactly on the E12 mean, and only rows whose
+        # BASELINE carries the field are gated (pre-PR-10 baselines gate
+        # nothing).
         "keys": ["n", "placement", "audit", "mode"],
-        "metrics": {"speedup_vs_legacy": ("higher", None)},
+        "metrics": {
+            "speedup_vs_legacy": ("higher", None),
+            "vs_legacy_rehash": ("higher", 0.65, 0.9),
+        },
+        "absolute_rows": {"n": 100000},
     },
     "e13_service": {
         # Same-machine comparisons only (local re-records); not part of
@@ -91,9 +120,11 @@ REGISTRY = {
         # extreme statistic, making it noise-proportional (a 0.2 ms
         # scheduler stall halves the ratio while meaning nothing). A real
         # regression — stop-the-world growth returning — lands multiple
-        # milliseconds over both the floor and the 2x band.
+        # milliseconds over both the floor and the 2x band. The 1.0 ms
+        # absolute ceiling pins the cliff criterion itself (incremental
+        # growth stays sub-millisecond) independent of baseline drift.
         "keys": ["n", "mode"],
-        "metrics": {"max_ms": ("lower", 1.0)},
+        "metrics": {"max_ms": ("lower", 1.0, 1.0)},
         "absolute_modes": {"incremental"},
     },
     "e19_ingest": {
@@ -137,6 +168,26 @@ def load(path):
     except (OSError, ValueError) as error:
         print(f"bench_compare: cannot read {path}: {error}", file=sys.stderr)
         return None
+
+
+def baseline_provenance(path, baseline):
+    """Commit SHA that last touched the baseline file plus the build flavor
+    recorded in its meta block, so a failing CI gate names exactly what it
+    compared against from the job log alone. Best-effort: outside a git
+    checkout (or for a pre-meta baseline) the fields degrade to 'unknown'."""
+    try:
+        sha = subprocess.run(
+            ["git", "log", "-1", "--format=%h", "--", path],
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        sha = "unknown"
+    meta = baseline.get("meta")
+    if isinstance(meta, dict) and meta:
+        flavor = " ".join(f"{key}={value}" for key, value in meta.items())
+    else:
+        flavor = "unknown (baseline predates meta)"
+    return f"commit {sha}, flavor: {flavor}"
 
 
 def effective_keys(keys, baseline_rows, current_rows):
@@ -214,8 +265,16 @@ def main():
             continue
         label = " ".join(f"{key}={value}" for key, value in identity)
         absolute_modes = spec.get("absolute_modes")
+        # absolute_rows restricts a metric's ABSOLUTE bound to rows whose
+        # identity matches every listed key/value (the drift band still
+        # applies everywhere). Used where the absolute criterion is defined
+        # for one regime only — e.g. E12's steady-state floor binds at
+        # n = 10^5 but would structurally flake on --quick small-n rows.
+        absolute_rows = spec.get("absolute_rows")
+        row_is_absolute = absolute_rows is None or all(
+            row.get(key) == value for key, value in absolute_rows.items())
         for metric, bounds in spec["metrics"].items():
-            direction, floor, ceiling = (tuple(bounds) + (None, None))[:3]
+            direction, floor, absolute = (tuple(bounds) + (None, None))[:3]
             if metric not in base_row:
                 # Not applicable to this row shape (e.g. a recovery row has
                 # no overhead ratio) — the baseline never carried it either.
@@ -243,13 +302,17 @@ def main():
                 bad = cur_value < base_value / args.factor
                 if bad and floor is not None and cur_value >= floor:
                     bad = False  # still above the noise floor: not a cliff
+                if (absolute is not None and row_is_absolute
+                        and cur_value < absolute):
+                    bad = True  # absolute criterion (hard floor), no band
                 verdict = "REGRESSION" if bad else "ok"
             else:
                 bad = cur_value > base_value * args.factor
                 if bad and floor is not None and cur_value <= floor:
                     bad = False  # still below the noise floor: not a cliff
-                if ceiling is not None and cur_value > ceiling:
-                    bad = True  # absolute criterion, no factor band
+                if (absolute is not None and row_is_absolute
+                        and cur_value > absolute):
+                    bad = True  # absolute criterion (ceiling), no band
                 verdict = "REGRESSION" if bad else "ok"
             if verdict == "REGRESSION":
                 regressions += 1
@@ -262,9 +325,17 @@ def main():
           f"without a baseline match, {regressions} regression(s) at "
           f"factor {args.factor}")
     if compared == 0:
-        print("bench_compare: nothing compared — treat as failure", file=sys.stderr)
+        print(f"bench_compare: nothing compared — treat as failure "
+              f"(baseline {args.baseline}: "
+              f"{baseline_provenance(args.baseline, baseline)})",
+              file=sys.stderr)
         return 1
-    return 1 if regressions else 0
+    if regressions:
+        print(f"bench_compare: FAILED against baseline {args.baseline} "
+              f"({baseline_provenance(args.baseline, baseline)})",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
